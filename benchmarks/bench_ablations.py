@@ -1,0 +1,78 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* KL sidedness in retrieval (right vs left vs symmetrized);
+* sensitivity of the neighbor-selection gap threshold (paper: 0.005);
+* index size ``h`` vs accuracy and query time.
+
+The index-size ablation rebuilds indexes, so it runs at a reduced
+query count; the others reuse the shared context directly.
+"""
+
+from conftest import register_report
+
+from repro.experiments import ablations
+from repro.ranking import importance_weights, select_neighbors
+from repro.simplex import kl_divergence_matrix
+
+import numpy as np
+
+
+def test_ablation_kl_side(benchmark, context):
+    gamma = context.workload.items[4]
+    divs = benchmark(
+        kl_divergence_matrix, context.index.index_points, gamma
+    )
+    assert divs.shape == (context.index.num_index_points,)
+
+    result = ablations.run_kl_side(context)
+    register_report("Ablation - KL sidedness", result.render())
+    assert set(result.distances) == {"right (paper)", "left", "symmetrized"}
+
+
+def test_ablation_selection_threshold(benchmark, context):
+    gamma = context.workload.items[5]
+    divs = np.sort(kl_divergence_matrix(context.index.index_points, gamma))
+    weights = importance_weights(divs[:10], context.scale.num_topics)
+    keep = benchmark(select_neighbors, weights)
+    assert 1 <= keep <= 10
+
+    result = ablations.run_selection_threshold(context)
+    register_report(
+        "Ablation - selection threshold", result.render()
+    )
+    # More lists survive a larger threshold (the stop is harder to hit).
+    kept = [result.mean_lists_kept[t] for t in result.thresholds]
+    assert all(a <= b + 1e-9 for a, b in zip(kept, kept[1:]))
+
+
+def test_ablation_ad_alpha(benchmark, context):
+    from repro.bbtree import inflex_search
+
+    gamma = context.workload.items[2]
+    benchmark(inflex_search, context.index.tree, gamma)
+
+    result = ablations.run_ad_alpha(context)
+    register_report("Ablation - Anderson-Darling alpha", result.render())
+    # Direction: larger alpha -> stopping is harder -> more leaves and
+    # (weakly) better recall.
+    leaves = [result.mean_leaves[a] for a in result.alphas]
+    assert all(a <= b + 1e-9 for a, b in zip(leaves, leaves[1:]))
+    assert (
+        result.recall_at_10[result.alphas[-1]]
+        >= result.recall_at_10[result.alphas[0]] - 0.05
+    )
+
+
+def test_ablation_index_size(benchmark, context):
+    # Time one query against the full-size index as the reference op.
+    gamma = context.workload.items[6]
+    benchmark(context.index.query, gamma, context.scale.max_k)
+
+    small = context.scale.num_index_points // 8
+    large = context.scale.num_index_points // 2
+    result = ablations.run_index_size(context, sizes=(small, large))
+    register_report("Ablation - index size", result.render())
+    # More index points should not hurt accuracy.
+    assert (
+        result.mean_distance[large] <= result.mean_distance[small] + 0.05
+    )

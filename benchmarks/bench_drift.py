@@ -1,0 +1,20 @@
+"""Drift-and-densify benchmark: the index-maintenance story measured."""
+
+from conftest import register_report
+
+from repro.experiments import drift
+
+
+def test_drift_densification(benchmark, context):
+    gamma = context.workload.items[11]
+    benchmark(context.index.coverage_of, gamma)
+
+    result = drift.run(
+        context, levels=(0.0, 0.6, 0.9), num_queries=5
+    )
+    register_report("Query drift and densification", result.render())
+    worst = max(result.levels)
+    assert (
+        result.densified_distance[worst]
+        <= result.static_distance[worst] + 0.05
+    )

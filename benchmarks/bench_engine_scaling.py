@@ -1,0 +1,49 @@
+"""Engine-substitution and index-economics benchmarks.
+
+* validates the RIS-for-CELF++ substitution on the benchmark dataset
+  (small item sample: CELF++ is the expensive engine by design);
+* reports the index break-even economics (build cost vs per-query
+  savings against the offline path).
+"""
+
+from conftest import register_report
+
+from repro.experiments import engine_equivalence, scaling
+
+
+def test_engine_equivalence(benchmark, context):
+    gamma = context.dataset.item_topics[0]
+    from repro.core import offline_seed_list
+
+    result = benchmark.pedantic(
+        offline_seed_list,
+        args=(context.graph, gamma, 10),
+        kwargs={"engine": "ris", "ris_num_sets": 2000, "seed": 1},
+        rounds=3,
+        iterations=1,
+    )
+    assert len(result) == 10
+
+    check = engine_equivalence.run(
+        context, num_items=3, k=10, num_snapshots=100
+    )
+    register_report("Engine substitution check", check.render())
+    assert check.mean_distance < 0.5
+    assert 0.85 <= check.spread_ratio <= 1.15
+
+
+def test_index_economics(benchmark, context):
+    gamma = context.workload.items[9]
+    benchmark(context.index.query, gamma, context.scale.max_k)
+
+    economics = scaling.run(
+        context,
+        sizes=(context.scale.num_index_points // 4,),
+        num_offline_queries=2,
+        num_index_queries=10,
+    )
+    register_report("Index economics", economics.render())
+    h = context.scale.num_index_points // 4
+    # The whole point of the paper: indexed queries are far cheaper
+    # than offline answers, so the build amortizes quickly.
+    assert economics.query_ms[h] / 1000.0 < economics.offline_seconds_per_query

@@ -1,0 +1,28 @@
+"""Figure-1 pipeline benchmark: cost of learning error downstream."""
+
+from conftest import register_report
+
+from repro.experiments import fig1_pipeline
+from repro.learning import TICLearner, generate_propagation_log
+
+
+def test_fig1_pipeline(benchmark, context):
+    # Timed micro-operation: one EM iteration's worth of fitting on a
+    # small log (the pipeline's bottleneck besides IM itself).
+    graph = context.dataset.graph
+    items = context.dataset.item_topics[:20]
+    log = generate_propagation_log(
+        graph, items, seeds_per_item=5, seed=3
+    )
+    learner = TICLearner(graph, context.scale.num_topics, max_iter=2, seed=4)
+    result = benchmark.pedantic(
+        learner.fit,
+        args=(log,),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.probabilities.shape[0] == graph.num_arcs
+
+    pipeline = fig1_pipeline.run(seed=context.scale.seed)
+    register_report("Figure 1 - end-to-end pipeline", pipeline.render())
+    assert pipeline.spread_learned_params > pipeline.spread_random

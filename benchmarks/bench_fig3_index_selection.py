@@ -1,0 +1,34 @@
+"""Figure 3 benchmark: index-point selection pipeline.
+
+Times the offline selection machinery (Dirichlet MLE + sampling +
+Bregman K-means++) at a reduced size and regenerates the coverage
+comparison of Figure 3.
+"""
+
+from conftest import register_report
+
+from repro.clustering import bregman_kmeans
+from repro.divergence import KLDivergence
+from repro.experiments import fig3_index_selection
+from repro.simplex import fit_dirichlet_mle
+
+
+def test_fig3_index_selection(benchmark, context):
+    catalog = context.dataset.item_topics
+
+    def select_index_points():
+        dirichlet = fit_dirichlet_mle(catalog)
+        samples = dirichlet.sample(2000, seed=1)
+        return bregman_kmeans(samples, 32, KLDivergence(), seed=2).centroids
+
+    centroids = benchmark(select_index_points)
+    assert centroids.shape == (32, context.scale.num_topics)
+
+    result = fig3_index_selection.run(context)
+    register_report(
+        "Figure 3 - index selection",
+        result.render() + "\n\n" + result.render_plot(),
+    )
+    inflex = result.coverage["dirichlet+kmeans++ (INFLEX)"]
+    uniform = result.coverage["uniform simplex (space-based)"]
+    assert inflex < uniform

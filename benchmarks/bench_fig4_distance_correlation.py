@@ -1,0 +1,25 @@
+"""Figure 4 benchmark: KL vs Kendall-tau correlation.
+
+Times the top-list Kendall-tau computation (the distance the whole
+evaluation is built on) and regenerates the Figure 4 correlation.
+"""
+
+from conftest import register_report
+
+from repro.experiments import fig4_distance_correlation
+from repro.ranking import kendall_tau_top
+
+
+def test_fig4_distance_correlation(benchmark, context):
+    list_a = context.index.seed_lists[0]
+    list_b = context.index.seed_lists[1]
+    value = benchmark(kendall_tau_top, list_a, list_b)
+    assert 0.0 <= value <= 1.0
+
+    result = fig4_distance_correlation.run(context)
+    register_report(
+        "Figure 4 - distance correlation",
+        result.render() + "\n\n" + result.render_plot(),
+    )
+    # The paper's core assumption: strong positive correlation.
+    assert result.pearson > 0.2

@@ -1,0 +1,31 @@
+"""Figure 5 benchmark: similarity-search retrieval accuracy.
+
+Times the INFLEX similarity search (Algorithm 1) on the bb-tree and
+regenerates the recall-vs-leaves curves plus the Anderson--Darling
+early-stopping statistics from the Section 5 text.
+"""
+
+from conftest import register_report
+
+from repro.bbtree import inflex_search
+from repro.experiments import fig5_retrieval_recall
+from repro.simplex import sample_uniform_simplex
+
+
+def test_fig5_retrieval_recall(benchmark, context):
+    query = sample_uniform_simplex(1, context.scale.num_topics, seed=5)[0]
+    tree = context.index.tree
+    result = benchmark(inflex_search, tree, query)
+    assert len(result) >= 1
+
+    recall = fig5_retrieval_recall.run(context)
+    register_report("Figure 5 - retrieval recall", recall.render())
+    # Recall grows with the leaf budget and the AD stop is cheaper than
+    # the full budget.
+    for k in recall.k_values:
+        first = recall.recall[(k, recall.leaf_budgets[0])]
+        last = recall.recall[(k, recall.leaf_budgets[-1])]
+        assert last >= first - 1e-9
+    assert recall.ad_mean_computations <= recall.fixed_mean_computations[
+        max(recall.leaf_budgets)
+    ]

@@ -1,0 +1,26 @@
+"""Figure 6 benchmark: accuracy of the query-evaluation strategies.
+
+Times a full INFLEX query evaluation and regenerates Figure 6: the
+mean Kendall-tau distance of every strategy to the offline ground
+truth across seed-set sizes.
+"""
+
+from conftest import register_report
+
+from repro.experiments import fig6_accuracy
+
+
+def test_fig6_accuracy(benchmark, context):
+    gamma = context.workload.items[0]
+    answer = benchmark(
+        context.index.query, gamma, context.scale.max_k, strategy="inflex"
+    )
+    assert len(answer.seeds) == context.scale.max_k
+
+    result = fig6_accuracy.run(context)
+    register_report("Figure 6 - accuracy comparison", result.render())
+    means = result.strategy_means()
+    # Paper's orderings: selection helps INFLEX over plain approxAD,
+    # and exact retrieval is the accuracy ceiling.
+    assert means["inflex"] <= means["approx-ad"] + 1e-9
+    assert means["exact-knn"] <= min(means.values()) + 0.02

@@ -1,0 +1,34 @@
+"""Figure 7 benchmark: query run-time per strategy.
+
+Each strategy's end-to-end query evaluation is timed individually by
+pytest-benchmark (the authoritative numbers), and the Figure 7 table of
+per-phase means is regenerated for the summary.
+"""
+
+import pytest
+from conftest import register_report
+
+from repro.core import STRATEGIES
+from repro.experiments import fig7_runtime
+
+_reported = False
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_fig7_runtime(benchmark, context, strategy):
+    gamma = context.workload.items[1]
+    answer = benchmark(
+        context.index.query, gamma, context.scale.max_k, strategy=strategy
+    )
+    assert len(answer.seeds) >= 1
+
+    global _reported
+    if not _reported:
+        _reported = True
+        result = fig7_runtime.run(context)
+        register_report("Figure 7 - run-time comparison", result.render())
+        means = result.strategy_means()
+        # Everything answers in milliseconds; the full-traversal exact
+        # search is the slowest retrieval.
+        assert all(v < 100.0 for v in means.values())
+        assert means["exact-knn"] >= means["approx-knn-sel"]

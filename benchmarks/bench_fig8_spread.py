@@ -1,0 +1,44 @@
+"""Figure 8 / Table 2 benchmark: expected spread of the seed sets.
+
+Times one Monte-Carlo spread estimation (the evaluation primitive) and
+regenerates Table 2: per-method expected spread with RMSE/NRMSE against
+the offline-TIC ground truth.
+"""
+
+from conftest import register_report
+
+from repro.propagation import estimate_spread
+
+
+def test_fig8_spread(benchmark, context, spread_result):
+    gamma = context.workload.items[0]
+    seeds = list(context.ground_truth(0, context.scale.max_k))
+    estimate = benchmark(
+        estimate_spread,
+        context.graph,
+        gamma,
+        seeds,
+        num_simulations=context.scale.spread_simulations,
+        seed=7,
+    )
+    assert estimate.mean > 0
+
+    register_report(
+        "Table 2 / Figure 8 - expected spread", spread_result.render()
+    )
+    tic = spread_result.mean_spread("offline TIC")
+    inflex = spread_result.mean_spread("INFLEX")
+    ic = spread_result.mean_spread("offline IC")
+    random = spread_result.mean_spread("random")
+    # Paper's headline ordering: aggregation methods land near the
+    # ground truth; topic-blind selection below; random far below
+    # everything.  The IC gap is milder here than the paper's "less
+    # than half": half of the workload is uniform-on-the-simplex
+    # queries (mixed topics), on which a topic-blind seed set is
+    # inherently competitive; see EXPERIMENTS.md for the split.
+    assert random < ic < tic
+    assert inflex >= 0.85 * tic
+    assert ic <= 0.93 * tic
+    assert random <= 0.5 * tic
+    _, inflex_nrmse = spread_result.error_metrics("INFLEX")
+    assert inflex_nrmse < 0.2

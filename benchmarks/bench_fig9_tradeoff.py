@@ -1,0 +1,46 @@
+"""Figure 9 benchmark: run-time vs expected-spread trade-off.
+
+Reuses the Figure 8 spreads, times every strategy's query evaluation,
+and regenerates the trade-off scatter (as a table).
+"""
+
+import numpy as np
+from conftest import register_report
+
+from repro.experiments.fig9_tradeoff import Fig9Result
+from repro.experiments.fig8_spread import _STRATEGY_OF
+
+
+def test_fig9_tradeoff(benchmark, context, spread_result):
+    k = context.scale.max_k
+
+    # The timed operation: one full INFLEX answer.
+    gamma = context.workload.items[3]
+    benchmark(context.index.query, gamma, k, strategy="inflex")
+
+    points = {}
+    for method, strategy in _STRATEGY_OF.items():
+        times = []
+        for qi in range(0, context.workload.num_queries, 2):
+            answer = context.index.query(
+                context.workload.items[qi], k, strategy=strategy
+            )
+            times.append(answer.timing.total * 1000)
+        points[method] = (
+            float(np.mean(times)),
+            spread_result.mean_spread(method),
+        )
+    result = Fig9Result(k=k, points=points)
+    register_report(
+        "Figure 9 - run-time vs spread trade-off",
+        result.render() + "\n\n" + result.render_plot(),
+    )
+
+    # INFLEX on (or near) the Pareto frontier: no method is both
+    # meaningfully faster and higher-spread.
+    inflex_time, inflex_spread = result.points["INFLEX"]
+    for method, (time_ms, spread) in result.points.items():
+        if method == "INFLEX":
+            continue
+        dominates = time_ms < inflex_time * 0.9 and spread > inflex_spread * 1.02
+        assert not dominates, f"{method} dominates INFLEX"

@@ -1,0 +1,21 @@
+"""Latency-percentile benchmark (tail behavior behind Figure 7's means)."""
+
+from conftest import register_report
+
+from repro.experiments import latency
+
+
+def test_latency_percentiles(benchmark, context):
+    gamma = context.workload.items[8]
+    benchmark(context.index.query, gamma, context.scale.max_k)
+
+    result = latency.run(context, repeats=2)
+    register_report("Query latency percentiles", result.render())
+    # The paper's "few milliseconds" claim should hold at the tail too.
+    for strategy in result.samples:
+        assert result.percentiles[(strategy, 99)] < 100.0
+    # INFLEX's p99 stays below the exact search's p99.
+    assert (
+        result.percentiles[("inflex", 99)]
+        <= result.percentiles[("exact-knn", 99)] * 1.5
+    )

@@ -1,0 +1,31 @@
+"""Robustness benchmarks: parameter noise and the sparse-catalog case."""
+
+from conftest import register_report
+
+from repro.experiments import robustness
+
+
+def test_parameter_noise(benchmark, context):
+    gamma = context.workload.items[10]
+    benchmark(context.index.query, gamma, context.scale.max_k)
+
+    result = robustness.run_parameter_noise(
+        context, sigmas=(0.0, 0.5, 1.0), num_queries=8
+    )
+    register_report("Robustness - parameter noise", result.render())
+    # Degradation should be graceful: even sigma = 1.0 noise must not
+    # push the answers to the disjoint-lists regime.
+    assert result.mean_distance[1.0] < 0.7
+    assert result.mean_distance[1.0] >= result.mean_distance[0.0] - 0.08
+
+
+def test_sparse_catalog(benchmark, context):
+    from repro.simplex import fit_dirichlet_mle
+
+    benchmark(fit_dirichlet_mle, context.dataset.item_topics)
+
+    result = robustness.run_sparse_catalog(context)
+    register_report("Robustness - sparse catalog", result.render())
+    # The paper's Section-3.1 argument: the pipeline covers stress
+    # queries at least as well as raw clumped catalog items.
+    assert result.pipeline_coverage <= result.catalog_coverage + 0.02

@@ -1,0 +1,40 @@
+"""Section 5 text benchmarks: paired t-tests and the workload split.
+
+Regenerates the statistical comparisons the paper reports in prose
+(INFLEX vs approxKNN indistinguishable, Copeland^w significantly best,
+robustness across data-driven and uniform queries), timing the paired
+t-test primitive.
+"""
+
+import numpy as np
+from conftest import register_report
+
+from repro.experiments import significance, workload_split
+from repro.stats import paired_t_test
+
+
+def test_significance(benchmark, context):
+    rng = np.random.default_rng(1)
+    a = rng.normal(0.1, 0.02, 60)
+    b = a + rng.normal(0.005, 0.01, 60)
+    result = benchmark(paired_t_test, a, b)
+    assert 0.0 <= result.p_value <= 1.0
+
+    tests = significance.run(context)
+    register_report("Section 5 - paired t-tests", tests.render())
+    inflex_vs_ad = tests.strategy_tests[("inflex", "approx-ad")]
+    # INFLEX must never be significantly worse than approxAD — the
+    # selection step is the whole point.
+    if inflex_vs_ad.significant():
+        assert inflex_vs_ad.mean_difference < 0
+
+
+def test_workload_split(benchmark, context):
+    gamma = context.workload.items[7]
+    benchmark(context.index.query, gamma, context.scale.max_k)
+
+    split = workload_split.run(context)
+    register_report("Section 5 - workload split", split.render())
+    assert set(split.mean_distance) == {"data-driven", "uniform"}
+    # Robustness: the stress half does not collapse.
+    assert split.mean_distance["uniform"] < 0.6

@@ -1,0 +1,40 @@
+"""Table 1 benchmark: rank-aggregation accuracy.
+
+Times the weighted Copeland aggregation (the paper's winning method)
+and regenerates Table 1: Kendall-tau of Borda / Borda^w / Copeland /
+Copeland^w against the offline ground truth across seed-set sizes.
+"""
+
+import numpy as np
+from conftest import register_report
+
+from repro.core import aggregate_seed_lists
+from repro.experiments import table1_aggregation
+from repro.ranking import importance_weights
+from repro.simplex import kl_divergence_matrix
+
+
+def test_table1_aggregation(benchmark, context):
+    index = context.index
+    gamma = context.workload.items[0]
+    divs = kl_divergence_matrix(index.index_points, gamma)
+    order = np.argsort(divs)[:10]
+    lists = [index.seed_lists[int(i)] for i in order]
+    weights = importance_weights(divs[order], context.scale.num_topics)
+
+    result = benchmark(
+        aggregate_seed_lists,
+        lists,
+        context.scale.max_k,
+        aggregator="copeland",
+        weights=weights,
+    )
+    assert len(result) >= 1
+
+    table = table1_aggregation.run(context)
+    register_report("Table 1 - aggregation accuracy", table.render())
+    means = table.method_means()
+    # Paper's findings: weighting helps; Copeland^w is (near-)best.
+    assert means["borda_w"] <= means["borda"] + 1e-9
+    assert means["copeland_w"] <= means["copeland"] + 1e-9
+    assert means["copeland_w"] <= min(means.values()) + 0.02

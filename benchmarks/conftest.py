@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite.
+
+All benches share one ``paper-shape`` experiment context (dataset,
+index, workload, ground truths), so the expensive construction is paid
+once per pytest session.  Each bench does two things:
+
+* times a representative micro-operation with ``pytest-benchmark``
+  (query evaluation, search, aggregation, ...), and
+* runs the corresponding table/figure experiment and registers its
+  rendered output, which is printed in the terminal summary — the
+  regenerated rows/series of the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig8_spread, get_context
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+def register_report(title: str, text: str) -> None:
+    """Queue an experiment's rendered output for the terminal summary."""
+    _REPORTS.append((title, text))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for title, text in _REPORTS:
+        terminalreporter.write_sep("-", title)
+        terminalreporter.write_line(text)
+
+
+@pytest.fixture(scope="session")
+def context():
+    """The shared paper-shape experiment context."""
+    return get_context("paper-shape")
+
+
+@pytest.fixture(scope="session")
+def spread_result(context):
+    """Figure 8 / Table 2 spreads, shared with the Figure 9 bench."""
+    return fig8_spread.run(context)

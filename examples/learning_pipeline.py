@@ -1,0 +1,102 @@
+"""The full pipeline of the paper's Figure 1: log -> TIC learning -> INFLEX.
+
+Everything upstream of the index is exercised here: a propagation log
+(the synthetic stand-in for Flixster's rating log) is fed to the EM
+learner of Barbieri et al. to estimate per-topic arc probabilities and
+item topic distributions; the *learned* parameters — not the ground
+truth — are then used to build the INFLEX index and answer queries.
+
+Run:  python examples/learning_pipeline.py
+"""
+
+import numpy as np
+
+from repro.core import InflexConfig, InflexIndex
+from repro.datasets import generate_flixster_like
+from repro.learning import TICLearner, parameter_recovery_correlation
+from repro.propagation import estimate_spread
+
+
+def main() -> None:
+    print("1. Generating ground truth + a propagation log ...")
+    data = generate_flixster_like(
+        num_nodes=300,
+        num_topics=3,
+        num_items=400,
+        topics_per_node=1,
+        base_strength=0.18,
+        with_log=True,
+        seeds_per_item=8,
+        seed=31,
+    )
+    assert data.log is not None
+    print(
+        f"   log: {data.log.num_items} items, "
+        f"{data.log.total_activations} activations"
+    )
+
+    print("2. Learning TIC parameters with EM (Barbieri et al.) ...")
+    learner = TICLearner(data.graph, data.num_topics, max_iter=40, seed=32)
+    result = learner.fit(data.log, init_item_topics="trace-clustering")
+    print(
+        f"   converged={result.converged}, final log-likelihood "
+        f"{result.log_likelihood:.1f} "
+        f"(started at {result.history[0]:.1f})"
+    )
+    gamma_corr = parameter_recovery_correlation(
+        result.item_topics, data.item_topics
+    )
+    prob_corr = parameter_recovery_correlation(
+        result.probabilities, data.graph.probabilities
+    )
+    print(
+        f"   recovery correlation vs ground truth: item mixtures "
+        f"{gamma_corr:.2f}, arc probabilities {prob_corr:.2f}"
+    )
+
+    print("3. Building INFLEX on the LEARNED parameters ...")
+    learned_graph = result.to_graph(data.graph)
+    index = InflexIndex.build(
+        learned_graph,
+        result.item_topics,
+        InflexConfig(
+            num_index_points=32,
+            num_dirichlet_samples=4000,
+            seed_list_length=15,
+            ris_num_sets=3000,
+            seed=33,
+        ),
+    )
+    print(f"   {index}")
+
+    print("4. Querying, then validating on the TRUE propagation process ...")
+    gamma = data.item_topics[5]
+    answer = index.query(gamma, k=8)
+    true_process_spread = estimate_spread(
+        data.graph, gamma, list(answer.seeds), num_simulations=300, seed=34
+    )
+    baseline = estimate_spread(
+        data.graph,
+        gamma,
+        list(
+            np.random.default_rng(35).choice(
+                data.graph.num_nodes, 8, replace=False
+            )
+        ),
+        num_simulations=300,
+        seed=34,
+    )
+    print(f"   seeds from the learned-parameter index: {list(answer.seeds)}")
+    print(
+        f"   spread under the TRUE process: {true_process_spread.mean:.1f} "
+        f"(random baseline: {baseline.mean:.1f})"
+    )
+    print(
+        "   The end-to-end pipeline — learn from the log, index, query — "
+        "beats random targeting\n   even though it never saw the true "
+        "parameters."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""INFLEX beyond IC: an index over Linear Threshold seed lists.
+
+The paper defines INFLEX for the TIC model, but nothing in the index
+machinery depends on *how* the per-index-point seed lists were
+computed — similarity search and rank aggregation only consume ranked
+lists.  This example assembles an index whose seed lists come from the
+topic-aware **Linear Threshold** model (the other classic diffusion
+model of Kempe et al.), demonstrating the modular construction API:
+pick index points however you like, provide one ranked list per point,
+and query as usual.
+
+Run:  python examples/lt_model_index.py
+"""
+
+import numpy as np
+
+from repro.clustering import bregman_kmeans
+from repro.core import InflexConfig, InflexIndex
+from repro.datasets import generate_flixster_like
+from repro.divergence import KLDivergence
+from repro.propagation import (
+    estimate_lt_spread,
+    lt_influence_maximization,
+    normalize_lt_weights,
+)
+from repro.simplex import fit_dirichlet_mle, smooth
+
+
+def main() -> None:
+    print("1. Dataset + LT-valid weights ...")
+    data = generate_flixster_like(
+        num_nodes=600,
+        num_topics=5,
+        num_items=200,
+        topics_per_node=1,
+        base_strength=0.3,
+        seed=41,
+    )
+    lt_graph = normalize_lt_weights(data.graph)
+    print(f"   {lt_graph} (in-weights normalized per topic)")
+
+    print("2. Selecting index points (the paper's pipeline) ...")
+    dirichlet = fit_dirichlet_mle(data.item_topics)
+    samples = dirichlet.sample(4000, seed=42)
+    centroids = bregman_kmeans(samples, 32, KLDivergence(), seed=43).centroids
+    index_points = smooth(np.maximum(centroids, 1e-12))
+
+    print("3. Precomputing LINEAR THRESHOLD seed lists per index point ...")
+    seed_lists = [
+        lt_influence_maximization(lt_graph, gamma, 15, num_sets=3000, seed=44 + i)
+        for i, gamma in enumerate(index_points)
+    ]
+    print(f"   {len(seed_lists)} lists, engine: {seed_lists[0].algorithm}")
+
+    print("4. Assembling the index from explicit parts ...")
+    index = InflexIndex(
+        lt_graph,
+        index_points,
+        seed_lists,
+        InflexConfig(
+            num_index_points=32,
+            num_dirichlet_samples=4000,
+            seed_list_length=15,
+            seed=45,
+        ),
+    )
+    print(f"   {index}")
+
+    print("5. Querying and validating under the LT process ...")
+    gamma = data.item_topics[7]
+    answer = index.query(gamma, k=8)
+    targeted = estimate_lt_spread(
+        lt_graph, gamma, list(answer.seeds), num_simulations=300, seed=46
+    )
+    rng = np.random.default_rng(47)
+    baseline = estimate_lt_spread(
+        lt_graph,
+        gamma,
+        rng.choice(lt_graph.num_nodes, 8, replace=False),
+        num_simulations=300,
+        seed=46,
+    )
+    print(f"   recommended seeds: {list(answer.seeds)}")
+    print(
+        f"   LT expected adoption: {targeted.mean:.1f} "
+        f"(random baseline {baseline.mean:.1f}) in "
+        f"{answer.timing.total * 1000:.2f} ms"
+    )
+    print(
+        "   Same millisecond index, different propagation model — the "
+        "precomputed-ranking\n   abstraction is model-agnostic."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Segment-targeted viral marketing (the paper's future-work query type).
+
+A campaign often cares only about adoptions within a market segment —
+say, users of a particular region or demographic.  The objective
+becomes "expected adoptions inside the segment", which stays monotone
+and submodular; the RIS machinery adapts by rooting its reverse-
+reachable sets at segment members.  Notably, the best seeds for a
+segment need not belong to it.
+
+Run:  python examples/segment_targeting.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    estimate_segment_spread,
+    offline_tic_seed_list,
+    segment_influence_maximization,
+)
+from repro.datasets import generate_flixster_like
+
+
+def main() -> None:
+    data = generate_flixster_like(
+        num_nodes=800,
+        num_topics=6,
+        num_items=100,
+        topics_per_node=1,
+        base_strength=0.2,
+        seed=21,
+    )
+    gamma = data.item_topics[0]
+    print(f"Item topic mix: {np.round(gamma, 3)}")
+
+    # The market segment: a random 15% of the user base.
+    rng = np.random.default_rng(22)
+    segment = rng.choice(data.graph.num_nodes, size=120, replace=False)
+    print(f"Target segment: {len(segment)} users\n")
+
+    print("Selecting seeds that maximize GLOBAL adoption ...")
+    global_seeds = offline_tic_seed_list(
+        data.graph, gamma, 10, ris_num_sets=6000, seed=23
+    )
+    print("Selecting seeds that maximize adoption WITHIN the segment ...")
+    segment_seeds = segment_influence_maximization(
+        data.graph, gamma, 10, segment, num_sets=6000, seed=24
+    )
+
+    in_segment = sum(1 for v in segment_seeds if v in set(segment.tolist()))
+    print(
+        f"\nSegment-targeted seeds: {list(segment_seeds)} "
+        f"({in_segment}/10 inside the segment — influential outsiders "
+        "are legitimate choices)"
+    )
+
+    for label, seeds in (
+        ("global-objective seeds", global_seeds),
+        ("segment-targeted seeds", segment_seeds),
+    ):
+        spread = estimate_segment_spread(
+            data.graph,
+            gamma,
+            list(seeds),
+            segment,
+            num_simulations=300,
+            seed=25,
+        )
+        print(
+            f"  adoptions within segment using {label}: "
+            f"{spread.mean:.1f} +/- {spread.standard_error:.1f}"
+        )
+    print(
+        "\nThe segment-aware selection concentrates the same budget on "
+        "the slice\nof the network the campaign is paid for."
+    )
+
+
+if __name__ == "__main__":
+    main()

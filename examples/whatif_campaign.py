@@ -1,0 +1,97 @@
+"""What-if analysis: how should we position a new product?
+
+The paper's motivating scenario (Section 1.2, Section 6): an advertiser
+arrives with an item that could be positioned in different ways — e.g.
+marketing a new movie as "action with a romance subplot" versus
+"romance with action elements".  Each positioning is a different topic
+distribution, hence a different TIM query, hence potentially a
+*different set of influencers* to target.  Because INFLEX answers in
+milliseconds, the advertiser can explore positionings interactively.
+
+Run:  python examples/whatif_campaign.py
+"""
+
+import numpy as np
+
+from repro.core import InflexConfig, InflexIndex, compare_positionings
+from repro.datasets import generate_flixster_like
+
+
+def main() -> None:
+    print("Setting up the platform (graph + catalog + index) ...")
+    data = generate_flixster_like(
+        num_nodes=800,
+        num_topics=6,
+        num_items=250,
+        topics_per_node=1,
+        base_strength=0.2,
+        seed=11,
+    )
+    index = InflexIndex.build(
+        data.graph,
+        data.item_topics,
+        InflexConfig(
+            num_index_points=48,
+            num_dirichlet_samples=6000,
+            seed_list_length=25,
+            ris_num_sets=5000,
+            seed=12,
+        ),
+    )
+    topics = [f"topic-{z}" for z in range(data.num_topics)]
+    print(f"Ready: {index} over topics {topics}\n")
+
+    # Candidate positionings of the same product.  Topic-model output
+    # always has full support, so realistic positionings put a small
+    # background mass on every topic; the right-sided KL the index
+    # searches with treats exact zeros in the query as hard exclusions.
+    z = data.num_topics
+    background = 0.02
+
+    def positioning(**mass: float) -> np.ndarray:
+        gamma = np.full(z, background)
+        for topic, value in mass.items():
+            gamma[int(topic.removeprefix("t"))] = value
+        return gamma / gamma.sum()
+
+    action_heavy = positioning(t0=0.75, t1=0.17)
+    romance_heavy = positioning(t0=0.17, t1=0.75)
+    balanced = positioning(t0=0.46, t1=0.46)
+    broad = np.full(z, 1.0 / z)
+
+    print("Comparing four positionings for a 15-seed campaign ...")
+    report = compare_positionings(
+        index,
+        {
+            "action-heavy (0.8/0.2)": action_heavy,
+            "romance-heavy (0.2/0.8)": romance_heavy,
+            "balanced (0.5/0.5)": balanced,
+            "broad (uniform)": broad,
+        },
+        k=15,
+        num_simulations=150,
+        seed=13,
+    )
+    print(report.render())
+
+    overlap = report.seed_overlap(
+        "action-heavy (0.8/0.2)", "romance-heavy (0.2/0.8)"
+    )
+    print(
+        f"\nSeed-set overlap between the two extreme positionings: "
+        f"{overlap:.2f}"
+    )
+    print(
+        "A low overlap means the positioning decision changes WHO to "
+        "target,\nnot just how large the campaign's reach will be."
+    )
+    best = report.best
+    print(
+        f"\nRecommendation: go with '{best.label}' "
+        f"(expected adoptions {best.spread.mean:.1f}); target users "
+        f"{list(best.answer.seeds)[:10]} ..."
+    )
+
+
+if __name__ == "__main__":
+    main()

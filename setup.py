@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network access and no ``wheel``
+package, so PEP 517 editable builds (which need ``bdist_wheel``) fail.
+Keeping a classic ``setup.py`` lets ``pip install -e .`` take the legacy
+``setup.py develop`` path. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Bregman ball tree: similarity search under non-metric divergences."""
+
+from repro.bbtree.tree import BBTree, BBTreeNode
+from repro.bbtree.projection import ProjectionResult, can_prune, project_to_ball
+from repro.bbtree.search import (
+    SearchResult,
+    SearchStats,
+    exact_nearest_neighbors,
+    inflex_search,
+    leaf_limited_search,
+    range_search,
+    similar_enough,
+)
+
+__all__ = [
+    "BBTree",
+    "BBTreeNode",
+    "ProjectionResult",
+    "can_prune",
+    "project_to_ball",
+    "SearchResult",
+    "SearchStats",
+    "exact_nearest_neighbors",
+    "inflex_search",
+    "leaf_limited_search",
+    "range_search",
+    "similar_enough",
+]

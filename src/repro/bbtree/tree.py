@@ -1,0 +1,218 @@
+"""Bregman ball tree construction (Section 3.2 of the paper).
+
+Following Nielsen, Piro & Barlaud (EuroCG 2009), the tree is built
+top-down by recursively partitioning the index points with Bregman
+K-means++.  The branching factor at each node is *learned* by Gaussian
+clustering (G-means with the Anderson--Darling test), which splits a
+node into as many Gaussian-looking child clusters as the data demands
+and thereby avoids heavily overlapping child balls.  Each node stores a
+Bregman ball ``B(mu, R)`` covering all points of its subtree, with
+``mu`` the (right) Bregman centroid and ``R = max_i d_f(x_i, mu)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.clustering.gmeans import learn_branching_factor
+from repro.clustering.kmeanspp import bregman_kmeans
+from repro.divergence.base import BregmanDivergence
+from repro.divergence.kl import KLDivergence
+from repro.rng import resolve_rng
+
+
+@dataclass
+class BBTreeNode:
+    """One node of the bb-tree.
+
+    Attributes
+    ----------
+    center / radius:
+        The covering Bregman ball ``B(center, radius)``.
+    point_ids:
+        Indices (into the tree's point matrix) stored at this node;
+        non-empty only for leaves.
+    children:
+        Child nodes; empty for leaves.
+    """
+
+    center: np.ndarray
+    radius: float
+    point_ids: np.ndarray
+    children: list["BBTreeNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def size(self) -> int:
+        """Number of points in the subtree rooted here."""
+        if self.is_leaf:
+            return int(self.point_ids.size)
+        return sum(child.size for child in self.children)
+
+
+class BBTree:
+    """Bregman ball tree over a fixed set of points.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` matrix of points to index (topic distributions in the
+        INFLEX use case).
+    divergence:
+        The Bregman divergence; KL by default, as in the paper.
+    leaf_size:
+        Maximum number of points per leaf.
+    max_branch:
+        Cap on the learned branching factor.
+    branching:
+        ``"gmeans"`` (paper: learn the branching factor with the
+        Anderson--Darling test) or an integer for a fixed fan-out.
+    ad_alpha:
+        Significance level of the G-means normality test.
+    seed:
+        Randomness for the clustering subroutines.
+    """
+
+    def __init__(
+        self,
+        points,
+        *,
+        divergence: BregmanDivergence | None = None,
+        leaf_size: int = 16,
+        max_branch: int = 8,
+        branching="gmeans",
+        ad_alpha: float = 0.0001,
+        seed=None,
+    ) -> None:
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise ValueError(
+                f"points must be a non-empty 2-D array, got shape {pts.shape}"
+            )
+        if leaf_size < 1:
+            raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
+        if max_branch < 2:
+            raise ValueError(f"max_branch must be >= 2, got {max_branch}")
+        if isinstance(branching, int) and branching < 2:
+            raise ValueError(
+                f"fixed branching factor must be >= 2, got {branching}"
+            )
+        self._points = pts
+        self._divergence = divergence if divergence is not None else KLDivergence()
+        self._leaf_size = int(leaf_size)
+        self._max_branch = int(max_branch)
+        self._branching = branching
+        self._ad_alpha = float(ad_alpha)
+        self._rng = resolve_rng(seed)
+        self._root = self._build(np.arange(pts.shape[0], dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> BBTreeNode:
+        return self._root
+
+    @property
+    def points(self) -> np.ndarray:
+        """The indexed point matrix (rows addressed by ``point_ids``)."""
+        return self._points
+
+    @property
+    def divergence(self) -> BregmanDivergence:
+        return self._divergence
+
+    @property
+    def num_points(self) -> int:
+        return int(self._points.shape[0])
+
+    def num_leaves(self) -> int:
+        """Total number of leaf nodes."""
+
+        def count(node: BBTreeNode) -> int:
+            if node.is_leaf:
+                return 1
+            return sum(count(child) for child in node.children)
+
+        return count(self._root)
+
+    def depth(self) -> int:
+        """Longest root-to-leaf path length (root alone = 1)."""
+
+        def walk(node: BBTreeNode) -> int:
+            if node.is_leaf:
+                return 1
+            return 1 + max(walk(child) for child in node.children)
+
+        return walk(self._root)
+
+    def leaves(self) -> list[BBTreeNode]:
+        """All leaf nodes, left-to-right."""
+        out: list[BBTreeNode] = []
+
+        def walk(node: BBTreeNode) -> None:
+            if node.is_leaf:
+                out.append(node)
+            else:
+                for child in node.children:
+                    walk(child)
+
+        walk(self._root)
+        return out
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _make_ball(self, ids: np.ndarray) -> tuple[np.ndarray, float]:
+        members = self._points[ids]
+        center = self._divergence.right_centroid(members)
+        radius = float(
+            self._divergence.divergence_to_point(members, center).max()
+        )
+        return center, radius
+
+    def _branch_count(self, ids: np.ndarray) -> np.ndarray:
+        """Cluster labels partitioning ``ids`` into children."""
+        members = self._points[ids]
+        if isinstance(self._branching, int):
+            k = min(self._branching, ids.size)
+            result = bregman_kmeans(
+                members, k, self._divergence, seed=self._rng
+            )
+            return result.labels
+        result = learn_branching_factor(
+            members,
+            self._divergence,
+            alpha=self._ad_alpha,
+            max_branch=min(self._max_branch, ids.size),
+            seed=self._rng,
+        )
+        return result.labels
+
+    def _build(self, ids: np.ndarray) -> BBTreeNode:
+        center, radius = self._make_ball(ids)
+        if ids.size <= self._leaf_size:
+            return BBTreeNode(center, radius, ids)
+        labels = self._branch_count(ids)
+        unique = np.unique(labels)
+        if unique.size < 2:
+            # Clustering failed to split (e.g. duplicated points):
+            # terminate as an oversized leaf rather than recurse forever.
+            return BBTreeNode(center, radius, ids)
+        children = []
+        for label in unique:
+            child_ids = ids[labels == label]
+            children.append(self._build(child_ids))
+        return BBTreeNode(center, radius, np.empty(0, dtype=np.int64), children)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BBTree(num_points={self.num_points}, "
+            f"leaves={self.num_leaves()}, depth={self.depth()}, "
+            f"divergence={self._divergence.name})"
+        )

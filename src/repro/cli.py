@@ -1,0 +1,289 @@
+"""Command-line interface: generate, build, query, experiment.
+
+Usage (after ``pip install -e .``)::
+
+    repro-inflex generate --out data/ --nodes 1000 --topics 6 --items 300
+    repro-inflex build    --data data/ --out data/index.npz --index-points 64
+    repro-inflex query    --data data/ --index data/index.npz \
+                          --gamma 0.6,0.2,0.05,0.05,0.05,0.05 --k 10
+    repro-inflex experiment fig6 --scale test
+    repro-inflex autosize --data data/
+
+All subcommands operate on a data directory holding ``graph.npz`` (the
+topic graph) and ``catalog.npy`` (item topic distributions), plus an
+optional ``log.txt`` propagation log.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import (
+    InflexConfig,
+    InflexIndex,
+    auto_size_index,
+    load_index,
+    save_index,
+)
+from repro.datasets import generate_flixster_like
+from repro.graph import load_graph, save_graph
+
+#: Experiment name -> module (resolved lazily to keep startup fast).
+_EXPERIMENTS = (
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table1",
+    "table3",
+    "significance",
+    "workload_split",
+    "latency",
+    "scaling",
+    "engine_equivalence",
+)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    data = generate_flixster_like(
+        num_nodes=args.nodes,
+        num_topics=args.topics,
+        num_items=args.items,
+        topics_per_node=args.topics_per_node,
+        base_strength=args.base_strength,
+        with_log=args.with_log,
+        seed=args.seed,
+    )
+    save_graph(data.graph, out / "graph.npz")
+    np.save(out / "catalog.npy", data.item_topics)
+    if data.log is not None:
+        data.log.save(out / "log.txt")
+    print(
+        f"generated {data.graph} with a {data.num_items}-item catalog "
+        f"into {out}/"
+    )
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    data_dir = Path(args.data)
+    graph = load_graph(data_dir / "graph.npz")
+    catalog = np.load(data_dir / "catalog.npy")
+    config = InflexConfig(
+        num_index_points=args.index_points,
+        num_dirichlet_samples=args.dirichlet_samples,
+        seed_list_length=args.seed_list_length,
+        ris_num_sets=args.ris_sets,
+        seed=args.seed,
+    )
+    start = time.perf_counter()
+    index = InflexIndex.build(
+        graph,
+        catalog,
+        config,
+        progress=lambda stage, done, total: print(
+            f"  [{stage}] {done}/{total}", end="\r"
+        ),
+    )
+    print()
+    save_index(index, args.out)
+    print(
+        f"built {index} in {time.perf_counter() - start:.1f}s -> {args.out}"
+    )
+    return 0
+
+
+def _parse_gamma(text: str) -> np.ndarray:
+    values = np.asarray([float(x) for x in text.split(",")])
+    total = values.sum()
+    if total <= 0:
+        raise argparse.ArgumentTypeError(
+            "gamma components must have a positive sum"
+        )
+    return values / total
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    data_dir = Path(args.data)
+    graph = load_graph(data_dir / "graph.npz")
+    index = load_index(args.index, graph)
+    if args.gamma is not None:
+        gamma = _parse_gamma(args.gamma)
+    else:
+        catalog = np.load(data_dir / "catalog.npy")
+        gamma = catalog[args.item]
+    answer = index.query(gamma, args.k, strategy=args.strategy)
+    print(f"query gamma: {np.round(gamma, 4)}")
+    print(f"strategy: {answer.strategy}")
+    print(f"seeds (ranked): {list(answer.seeds)}")
+    print(
+        f"evaluated in {answer.timing.total * 1000:.2f} ms using "
+        f"{answer.num_neighbors_used} index lists"
+        + (" (epsilon-exact hit)" if answer.epsilon_match else "")
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro import experiments
+
+    modules = {
+        "fig3": experiments.fig3_index_selection,
+        "fig4": experiments.fig4_distance_correlation,
+        "fig5": experiments.fig5_retrieval_recall,
+        "fig6": experiments.fig6_accuracy,
+        "fig7": experiments.fig7_runtime,
+        "fig8": experiments.fig8_spread,
+        "fig9": experiments.fig9_tradeoff,
+        "table1": experiments.table1_aggregation,
+        "table3": experiments.table3_spread_by_k,
+        "significance": experiments.significance,
+        "workload_split": experiments.workload_split,
+        "latency": experiments.latency,
+        "scaling": experiments.scaling,
+        "engine_equivalence": experiments.engine_equivalence,
+    }
+    context = experiments.get_context(args.scale)
+    result = modules[args.name].run(context)
+    print(result.render())
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    from repro.graph import summarize_graph
+
+    graph = load_graph(Path(args.data) / "graph.npz")
+    print(summarize_graph(graph).render())
+    return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    from repro import experiments
+    from repro.experiments.runner import run_all
+
+    context = experiments.get_context(args.scale)
+    run_all(
+        context,
+        args.out,
+        only=args.only or None,
+        progress=lambda name, done, total: print(
+            f"  [{done}/{total}] {name}"
+        ),
+    )
+    print(f"results written to {args.out}/")
+    return 0
+
+
+def _cmd_autosize(args: argparse.Namespace) -> int:
+    catalog = np.load(Path(args.data) / "catalog.npy")
+    result = auto_size_index(
+        catalog,
+        candidate_sizes=tuple(args.sizes),
+        improvement_tolerance=args.tolerance,
+        seed=args.seed,
+    )
+    print(result.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-inflex",
+        description="INFLEX: online topic-aware influence maximization",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    gen.add_argument("--out", required=True, help="output directory")
+    gen.add_argument("--nodes", type=int, default=1000)
+    gen.add_argument("--topics", type=int, default=6)
+    gen.add_argument("--items", type=int, default=300)
+    gen.add_argument("--topics-per-node", type=int, default=1)
+    gen.add_argument("--base-strength", type=float, default=0.2)
+    gen.add_argument("--with-log", action="store_true")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.set_defaults(func=_cmd_generate)
+
+    build = sub.add_parser("build", help="build an INFLEX index")
+    build.add_argument("--data", required=True, help="dataset directory")
+    build.add_argument("--out", required=True, help="index output path")
+    build.add_argument("--index-points", type=int, default=64)
+    build.add_argument("--dirichlet-samples", type=int, default=8000)
+    build.add_argument("--seed-list-length", type=int, default=30)
+    build.add_argument("--ris-sets", type=int, default=6000)
+    build.add_argument("--seed", type=int, default=0)
+    build.set_defaults(func=_cmd_build)
+
+    query = sub.add_parser("query", help="answer a TIM query")
+    query.add_argument("--data", required=True, help="dataset directory")
+    query.add_argument("--index", required=True, help="index .npz path")
+    group = query.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--gamma", help="comma-separated topic mix (normalized)"
+    )
+    group.add_argument(
+        "--item", type=int, help="catalog item id to use as the query"
+    )
+    query.add_argument("--k", type=int, default=10)
+    query.add_argument(
+        "--strategy",
+        default="inflex",
+        choices=("inflex", "exact-knn", "approx-knn", "approx-knn-sel", "approx-ad"),
+    )
+    query.set_defaults(func=_cmd_query)
+
+    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp.add_argument("name", choices=_EXPERIMENTS)
+    exp.add_argument(
+        "--scale", default="test", choices=("test", "demo", "paper-shape")
+    )
+    exp.set_defaults(func=_cmd_experiment)
+
+    summarize = sub.add_parser(
+        "summarize", help="print structural statistics of a graph"
+    )
+    summarize.add_argument("--data", required=True, help="dataset directory")
+    summarize.set_defaults(func=_cmd_summarize)
+
+    run_all_cmd = sub.add_parser(
+        "run-all", help="run the full experiment suite to a directory"
+    )
+    run_all_cmd.add_argument("--out", required=True)
+    run_all_cmd.add_argument(
+        "--scale", default="test", choices=("test", "demo", "paper-shape")
+    )
+    run_all_cmd.add_argument(
+        "--only", nargs="*", help="restrict to these experiment names"
+    )
+    run_all_cmd.set_defaults(func=_cmd_run_all)
+
+    auto = sub.add_parser("autosize", help="choose the index size h")
+    auto.add_argument("--data", required=True, help="dataset directory")
+    auto.add_argument(
+        "--sizes", type=int, nargs="+", default=[16, 32, 64, 128]
+    )
+    auto.add_argument("--tolerance", type=float, default=0.1)
+    auto.add_argument("--seed", type=int, default=0)
+    auto.set_defaults(func=_cmd_autosize)
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point of the ``repro-inflex`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Bregman clustering: K-means++ seeding, Lloyd iterations, G-means."""
+
+from repro.clustering.kmeanspp import (
+    KMeansResult,
+    bregman_kmeans,
+    kmeanspp_seeding,
+)
+from repro.clustering.gmeans import (
+    GMeansResult,
+    cluster_is_gaussian,
+    gmeans,
+    learn_branching_factor,
+)
+
+__all__ = [
+    "KMeansResult",
+    "bregman_kmeans",
+    "kmeanspp_seeding",
+    "GMeansResult",
+    "cluster_is_gaussian",
+    "gmeans",
+    "learn_branching_factor",
+]

@@ -1,0 +1,155 @@
+"""G-means: learning the number of clusters with a normality test.
+
+Hamerly & Elkan's G-means grows the number of clusters by splitting any
+cluster whose points, projected on the axis connecting the centroids of
+a tentative 2-means split, fail an Anderson--Darling normality test.
+
+Nielsen et al. (and this paper, Section 3.2) use the same procedure to
+learn the *branching factor* at each bb-tree node: a node's population is
+split into as many Gaussian-looking child clusters as the test demands,
+which avoids overlapping child Bregman balls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.kmeanspp import bregman_kmeans
+from repro.divergence.base import BregmanDivergence
+from repro.rng import resolve_rng
+from repro.stats.anderson_darling import anderson_darling_test
+
+
+@dataclass(frozen=True)
+class GMeansResult:
+    """Clusters discovered by G-means.
+
+    Attributes
+    ----------
+    centroids:
+        Shape ``(k, d)`` — learned number of clusters ``k``.
+    labels:
+        Assignment of each input point, shape ``(n,)``.
+    """
+
+    centroids: np.ndarray
+    labels: np.ndarray
+
+    @property
+    def num_clusters(self) -> int:
+        return int(self.centroids.shape[0])
+
+
+def cluster_is_gaussian(
+    points, divergence: BregmanDivergence, *, alpha: float, seed=None
+) -> bool:
+    """Anderson--Darling verdict on one cluster's population.
+
+    Splits the cluster in two with Bregman 2-means, projects the points
+    onto the axis connecting the two child centroids (the informative
+    direction for a bimodal split) and tests normality.  Clusters too
+    small or too degenerate to test are treated as Gaussian — they
+    cannot justify further splitting.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.shape[0] < 8:
+        return True
+    split = bregman_kmeans(pts, 2, divergence, seed=seed, max_iter=30)
+    direction = split.centroids[1] - split.centroids[0]
+    norm = np.linalg.norm(direction)
+    if norm == 0.0:
+        return True
+    projected = pts @ (direction / norm)
+    if np.isclose(projected.std(), 0.0):
+        return True
+    try:
+        result = anderson_darling_test(projected, alpha=alpha)
+    except ValueError:
+        return True
+    return result.is_normal
+
+
+def gmeans(
+    points,
+    divergence: BregmanDivergence,
+    *,
+    alpha: float = 0.0001,
+    max_clusters: int = 16,
+    min_cluster_size: int = 8,
+    seed=None,
+) -> GMeansResult:
+    """Cluster ``points``, learning ``k`` by repeated normality testing.
+
+    Parameters
+    ----------
+    points:
+        Array ``(n, d)``.
+    divergence:
+        Bregman divergence driving the K-means sub-problems.
+    alpha:
+        Significance level of the Anderson--Darling test; the G-means
+        paper's conservative ``1e-4`` is the default (splitting only on
+        strong evidence keeps the tree shallow).
+    max_clusters:
+        Hard cap on the number of clusters returned.
+    min_cluster_size:
+        Clusters at or below this size are never split.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[0] == 0:
+        raise ValueError(f"points must be non-empty 2-D, got shape {pts.shape}")
+    rng = resolve_rng(seed)
+    k = 1
+    result = bregman_kmeans(pts, k, divergence, seed=rng)
+    while k < max_clusters:
+        split_any = False
+        for j in range(result.num_clusters):
+            members = pts[result.labels == j]
+            if members.shape[0] <= min_cluster_size:
+                continue
+            if not cluster_is_gaussian(
+                members, divergence, alpha=alpha, seed=rng
+            ):
+                split_any = True
+        if not split_any:
+            break
+        k = min(k + 1, max_clusters)
+        result = bregman_kmeans(pts, k, divergence, seed=rng)
+        if k == max_clusters:
+            break
+    return GMeansResult(centroids=result.centroids, labels=result.labels)
+
+
+def learn_branching_factor(
+    points,
+    divergence: BregmanDivergence,
+    *,
+    alpha: float = 0.0001,
+    max_branch: int = 8,
+    min_cluster_size: int = 8,
+    seed=None,
+) -> GMeansResult:
+    """Pick how many children a bb-tree node should have.
+
+    Identical to :func:`gmeans` but guaranteed to return at least two
+    clusters (a node being split must produce children) whenever the
+    population allows it.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.shape[0] < 2:
+        raise ValueError("cannot branch a node with fewer than 2 points")
+    rng = resolve_rng(seed)
+    result = gmeans(
+        pts,
+        divergence,
+        alpha=alpha,
+        max_clusters=max_branch,
+        min_cluster_size=min_cluster_size,
+        seed=rng,
+    )
+    if result.num_clusters >= 2:
+        return result
+    forced = bregman_kmeans(pts, 2, divergence, seed=rng)
+    return GMeansResult(centroids=forced.centroids, labels=forced.labels)

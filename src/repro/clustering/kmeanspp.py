@@ -1,0 +1,182 @@
+"""Bregman K-means++ and Lloyd iterations (Banerjee et al. 2005).
+
+INFLEX uses Bregman K-means++ twice:
+
+* over the Dirichlet samples, to select the ``h`` index-point centroids
+  (Section 3.1 of the paper), and
+* recursively at every bb-tree node, to partition a node's population
+  into children (Section 3.2, following Nielsen et al.).
+
+Hard Bregman clustering assigns each point ``x`` to the centroid ``c``
+minimizing ``d_f(x, c)`` and recomputes each centroid as the arithmetic
+mean of its cluster — which is *exactly* optimal for every Bregman
+divergence (the right-centroid property), so Lloyd's argument carries
+over unchanged and the objective decreases monotonically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.divergence.base import BregmanDivergence
+from repro.rng import resolve_rng
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Result of a Bregman K-means run.
+
+    Attributes
+    ----------
+    centroids:
+        Array of shape ``(k, d)``.
+    labels:
+        Cluster assignment per input point, shape ``(n,)``.
+    inertia:
+        Final clustering objective ``sum_i d_f(x_i, c_{label_i})``.
+    iterations:
+        Number of Lloyd iterations performed.
+    converged:
+        Whether assignments stabilized before the iteration budget.
+    """
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    iterations: int
+    converged: bool
+
+    @property
+    def num_clusters(self) -> int:
+        return int(self.centroids.shape[0])
+
+
+def _divergence_to_centroids(
+    points: np.ndarray, centroids: np.ndarray, divergence: BregmanDivergence
+) -> np.ndarray:
+    """Matrix ``D[i, j] = d_f(points[i], centroids[j])``."""
+    columns = [
+        divergence.divergence_to_point(points, centroid)
+        for centroid in centroids
+    ]
+    return np.column_stack(columns)
+
+
+def kmeanspp_seeding(
+    points, k: int, divergence: BregmanDivergence, seed=None
+) -> np.ndarray:
+    """Select ``k`` initial centroid *indices* with D^2-style sampling.
+
+    The classic K-means++ scheme of Arthur & Vassilvitskii, with the
+    squared Euclidean distance replaced by the Bregman divergence
+    ``d_f(x, c)`` (Banerjee et al. justify the same potential argument).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    n = pts.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    rng = resolve_rng(seed)
+    chosen = np.empty(k, dtype=np.int64)
+    chosen[0] = rng.integers(n)
+    closest = divergence.divergence_to_point(pts, pts[chosen[0]])
+    for j in range(1, k):
+        total = closest.sum()
+        if total <= 0:
+            # All remaining points coincide with a chosen centroid; fill
+            # the rest uniformly at random among unchosen indices.
+            remaining = np.setdiff1d(
+                np.arange(n), chosen[:j], assume_unique=False
+            )
+            fill = rng.choice(remaining, size=k - j, replace=False)
+            chosen[j:] = fill
+            return chosen
+        probabilities = closest / total
+        chosen[j] = rng.choice(n, p=probabilities)
+        distance_new = divergence.divergence_to_point(pts, pts[chosen[j]])
+        closest = np.minimum(closest, distance_new)
+    return chosen
+
+
+def bregman_kmeans(
+    points,
+    k: int,
+    divergence: BregmanDivergence,
+    *,
+    seed=None,
+    max_iter: int = 100,
+    n_init: int = 1,
+) -> KMeansResult:
+    """Cluster ``points`` into ``k`` groups under a Bregman divergence.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``.
+    k:
+        Number of clusters, ``1 <= k <= n``.
+    divergence:
+        Any :class:`~repro.divergence.base.BregmanDivergence`.
+    seed:
+        Randomness control for seeding (and restarts).
+    max_iter:
+        Lloyd iteration budget per restart.
+    n_init:
+        Number of independent restarts; the lowest-inertia run wins.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[0] == 0:
+        raise ValueError(f"points must be a non-empty 2-D array, got {pts.shape}")
+    if n_init < 1:
+        raise ValueError(f"n_init must be >= 1, got {n_init}")
+    rng = resolve_rng(seed)
+    best: KMeansResult | None = None
+    for _ in range(n_init):
+        result = _single_kmeans(pts, k, divergence, rng, max_iter)
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None
+    return best
+
+
+def _single_kmeans(
+    pts: np.ndarray,
+    k: int,
+    divergence: BregmanDivergence,
+    rng: np.random.Generator,
+    max_iter: int,
+) -> KMeansResult:
+    seed_idx = kmeanspp_seeding(pts, k, divergence, seed=rng)
+    centroids = pts[seed_idx].copy()
+    labels = np.full(pts.shape[0], -1, dtype=np.int64)
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        distances = _divergence_to_centroids(pts, centroids, divergence)
+        new_labels = np.argmin(distances, axis=1)
+        if np.array_equal(new_labels, labels):
+            converged = True
+            break
+        labels = new_labels
+        for j in range(k):
+            members = pts[labels == j]
+            if members.shape[0] == 0:
+                # Re-seed an empty cluster at the point farthest from its
+                # current centroid — standard empty-cluster repair.
+                worst = int(
+                    np.argmax(distances[np.arange(pts.shape[0]), labels])
+                )
+                centroids[j] = pts[worst]
+            else:
+                centroids[j] = divergence.right_centroid(members)
+    distances = _divergence_to_centroids(pts, centroids, divergence)
+    labels = np.argmin(distances, axis=1)
+    inertia = float(distances[np.arange(pts.shape[0]), labels].sum())
+    return KMeansResult(
+        centroids=centroids,
+        labels=labels,
+        inertia=inertia,
+        iterations=iterations,
+        converged=converged,
+    )

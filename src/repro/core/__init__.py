@@ -1,0 +1,64 @@
+"""INFLEX: the paper's primary contribution.
+
+Build an index once with :meth:`InflexIndex.build`, then answer TIM
+queries in milliseconds with :meth:`InflexIndex.query`.
+"""
+
+from repro.core.config import AGGREGATORS, IM_ENGINES, InflexConfig, PAPER_CONFIG
+from repro.core.query import QueryTiming, TimAnswer, TimQuery
+from repro.core.index import STRATEGIES, InflexIndex
+from repro.core.aggregation import aggregate_seed_lists
+from repro.core.offline import (
+    offline_ic_seed_list,
+    offline_seed_list,
+    offline_seed_lists_batch,
+    offline_tic_seed_list,
+)
+from repro.core.persistence import load_index, save_index
+from repro.core.whatif import WhatIfReport, compare_positionings
+from repro.core.segment import (
+    estimate_segment_spread,
+    sample_segment_rr_sets,
+    segment_influence_maximization,
+)
+from repro.core.autosize import AutoSizeResult, auto_size_index
+from repro.core.cache import CachedIndex
+from repro.core.keywords import KeywordTopicMapper
+from repro.core.builder import ResumableBuilder
+from repro.core.explain import (
+    AnswerExplanation,
+    SeedExplanation,
+    explain_answer,
+)
+
+__all__ = [
+    "WhatIfReport",
+    "compare_positionings",
+    "estimate_segment_spread",
+    "sample_segment_rr_sets",
+    "segment_influence_maximization",
+    "AutoSizeResult",
+    "auto_size_index",
+    "CachedIndex",
+    "KeywordTopicMapper",
+    "ResumableBuilder",
+    "AnswerExplanation",
+    "SeedExplanation",
+    "explain_answer",
+    "AGGREGATORS",
+    "IM_ENGINES",
+    "InflexConfig",
+    "PAPER_CONFIG",
+    "QueryTiming",
+    "TimAnswer",
+    "TimQuery",
+    "STRATEGIES",
+    "InflexIndex",
+    "aggregate_seed_lists",
+    "offline_ic_seed_list",
+    "offline_seed_list",
+    "offline_seed_lists_batch",
+    "offline_tic_seed_list",
+    "load_index",
+    "save_index",
+]

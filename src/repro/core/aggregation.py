@@ -1,0 +1,75 @@
+"""Seed-list aggregation used by every index-backed query strategy.
+
+Thin orchestration over :mod:`repro.ranking`: pick the aggregator
+(Borda / Copeland / MC4), apply importance weights, optionally refine
+with Local Kemenization, and cut the result to the requested ``k``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.im.seed_list import SeedList
+from repro.ranking.borda import borda_aggregation
+from repro.ranking.copeland import copeland_aggregation
+from repro.ranking.kemeny import local_kemenization
+from repro.ranking.mc4 import mc4_aggregation
+
+_AGGREGATORS = {
+    "borda": borda_aggregation,
+    "copeland": copeland_aggregation,
+    "mc4": mc4_aggregation,
+}
+
+
+def aggregate_seed_lists(
+    seed_lists,
+    k: int,
+    *,
+    aggregator: str = "copeland",
+    weights=None,
+    apply_local_kemenization: bool = True,
+) -> SeedList:
+    """Combine precomputed seed lists into one ranked answer list.
+
+    Parameters
+    ----------
+    seed_lists:
+        The retrieved neighbors' :class:`~repro.im.seed_list.SeedList`
+        objects (or plain sequences of node ids).
+    k:
+        Requested answer length; the returned list is the top ``k`` of
+        the aggregation (shorter if the union has fewer than ``k``
+        nodes — by retrieving more index points a caller can always
+        satisfy larger ``k``, as the paper notes in Section 2).
+    aggregator:
+        ``"copeland"`` (paper's best), ``"borda"`` or ``"mc4"``.
+    weights:
+        Importance weight per input list; ``None`` for the unweighted
+        variants.
+    apply_local_kemenization:
+        Run the Local Kemenization refinement pass over the aggregated
+        order before cutting to ``k`` (weights, when given, carry into
+        the majority votes, per Section 4.2).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    lists = [list(entry) for entry in seed_lists]
+    if not lists:
+        raise ValueError("no seed lists to aggregate")
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+    if aggregator not in _AGGREGATORS:
+        raise ValueError(
+            f"unknown aggregator {aggregator!r}; "
+            f"expected one of {sorted(_AGGREGATORS)}"
+        )
+    if len(lists) == 1:
+        ranked = list(lists[0])
+    else:
+        ranked = _AGGREGATORS[aggregator](lists, None, weights=weights)
+        if apply_local_kemenization:
+            ranked = local_kemenization(ranked, lists, weights=weights)
+    return SeedList(
+        tuple(ranked[:k]), (), algorithm=f"aggregation:{aggregator}"
+    )

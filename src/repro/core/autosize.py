@@ -1,0 +1,125 @@
+"""Automatic selection of the index size ``h`` (paper future work).
+
+Section 6 asks how to "automatically determine the number of items to
+index for maintaining the accuracy of the framework".  The dominant
+driver of answer quality is *coverage*: how close (in KL) a typical
+future query lands to its nearest index point (Figure 4 ties that
+distance to the Kendall-tau error of the answer).  Coverage is cheap to
+evaluate — no influence maximization needed — so ``h`` can be chosen
+before paying for any seed-list precomputation:
+
+1. fit the catalog Dirichlet and draw a held-out validation sample of
+   pseudo-queries;
+2. for growing candidate ``h``, cluster the index-point cloud and
+   measure the mean nearest-index-point divergence of the validation
+   queries;
+3. stop when the relative improvement drops below a tolerance — the
+   knee of the coverage curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.kmeanspp import bregman_kmeans
+from repro.divergence.kl import KLDivergence
+from repro.rng import resolve_rng
+from repro.simplex.dirichlet import fit_dirichlet_mle
+from repro.simplex.kl import kl_divergence_matrix
+from repro.simplex.vectors import as_distribution_matrix, smooth
+
+
+@dataclass(frozen=True)
+class AutoSizeResult:
+    """Outcome of the index-size search.
+
+    Attributes
+    ----------
+    chosen_size:
+        The selected ``h``.
+    coverage:
+        Mean nearest-index-point KL divergence per evaluated ``h``.
+    candidate_sizes:
+        The sizes evaluated, in order.
+    """
+
+    chosen_size: int
+    coverage: dict[int, float]
+    candidate_sizes: tuple[int, ...]
+
+    def render(self) -> str:
+        lines = ["Auto-sizing of index points:"]
+        for h in self.candidate_sizes:
+            marker = " <-- chosen" if h == self.chosen_size else ""
+            lines.append(f"  h={h}: coverage={self.coverage[h]:.4f}{marker}")
+        return "\n".join(lines)
+
+
+def auto_size_index(
+    catalog_items,
+    *,
+    candidate_sizes: tuple[int, ...] = (16, 32, 64, 128, 256),
+    num_cloud_samples: int = 5000,
+    num_validation_queries: int = 300,
+    improvement_tolerance: float = 0.1,
+    seed=None,
+) -> AutoSizeResult:
+    """Pick ``h`` by the knee of the coverage curve.
+
+    Parameters
+    ----------
+    catalog_items:
+        Item catalog ``(num_items, Z)``.
+    candidate_sizes:
+        Increasing candidate values of ``h``.
+    num_cloud_samples:
+        Dirichlet samples clustered into index points per candidate.
+    num_validation_queries:
+        Held-out pseudo-queries drawn from the same Dirichlet.
+    improvement_tolerance:
+        Stop at the first size whose relative coverage improvement over
+        the previous size falls below this fraction.
+    """
+    sizes = tuple(sorted(set(int(h) for h in candidate_sizes)))
+    if not sizes or sizes[0] < 2:
+        raise ValueError(
+            f"candidate_sizes must contain values >= 2, got {candidate_sizes}"
+        )
+    if not 0.0 < improvement_tolerance < 1.0:
+        raise ValueError(
+            "improvement_tolerance must be in (0, 1), got "
+            f"{improvement_tolerance}"
+        )
+    catalog = smooth(as_distribution_matrix(catalog_items))
+    rng = resolve_rng(seed)
+    dirichlet = fit_dirichlet_mle(catalog)
+    cloud = dirichlet.sample(num_cloud_samples, seed=rng)
+    validation = dirichlet.sample(num_validation_queries, seed=rng)
+    divergence = KLDivergence()
+
+    coverage: dict[int, float] = {}
+    chosen = sizes[-1]
+    previous: float | None = None
+    for h in sizes:
+        if h > cloud.shape[0]:
+            break
+        centroids = bregman_kmeans(cloud, h, divergence, seed=rng).centroids
+        points = smooth(np.maximum(centroids, 1e-12))
+        total = 0.0
+        for query in validation:
+            total += float(kl_divergence_matrix(points, query).min())
+        coverage[h] = total / validation.shape[0]
+        if previous is not None and previous > 0:
+            improvement = (previous - coverage[h]) / previous
+            if improvement < improvement_tolerance:
+                chosen = h
+                break
+        previous = coverage[h]
+        chosen = h
+    return AutoSizeResult(
+        chosen_size=chosen,
+        coverage=coverage,
+        candidate_sizes=tuple(coverage.keys()),
+    )

@@ -1,0 +1,102 @@
+"""Query-result caching for serving workloads.
+
+An advertising platform sees the same (or nearly the same) item
+descriptions repeatedly — re-running even a millisecond pipeline is
+waste at serving rates.  :class:`CachedIndex` wraps an
+:class:`~repro.core.index.InflexIndex` with an LRU cache keyed on a
+*rounded* topic distribution (queries within rounding distance share an
+answer, a cheap and deterministic analogue of the index's own
+epsilon-exact shortcut) plus the exact ``(k, strategy)`` pair.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.index import InflexIndex
+from repro.core.query import TimAnswer
+
+
+class CachedIndex:
+    """LRU-cached front of an INFLEX index.
+
+    Parameters
+    ----------
+    index:
+        The wrapped index.
+    max_entries:
+        LRU capacity.
+    decimals:
+        Topic distributions are rounded to this many decimals to form
+        cache keys; 3 collapses gamma differences below 1e-3 (far under
+        any divergence the retrieval reacts to).
+    """
+
+    def __init__(
+        self,
+        index: InflexIndex,
+        *,
+        max_entries: int = 1024,
+        decimals: int = 3,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if decimals < 1:
+            raise ValueError(f"decimals must be >= 1, got {decimals}")
+        self._index = index
+        self._max_entries = int(max_entries)
+        self._decimals = int(decimals)
+        self._entries: OrderedDict[tuple, TimAnswer] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def index(self) -> InflexIndex:
+        return self._index
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _key(self, gamma, k: int, strategy: str) -> tuple:
+        rounded = np.round(
+            np.asarray(gamma, dtype=np.float64), self._decimals
+        )
+        return (rounded.tobytes(), int(k), strategy)
+
+    def query(
+        self, gamma, k: int, *, strategy: str = "inflex"
+    ) -> TimAnswer:
+        """Cached equivalent of :meth:`InflexIndex.query`."""
+        key = self._key(gamma, k, strategy)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self._misses += 1
+        answer = self._index.query(gamma, k, strategy=strategy)
+        self._entries[key] = answer
+        if len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+        return answer
+
+    def clear(self) -> None:
+        """Drop all cached answers and reset the statistics."""
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0

@@ -1,0 +1,148 @@
+"""Configuration of the INFLEX index and its query pipeline.
+
+Every knob of the paper has a field here, with the paper's value as the
+documented reference point and a laptop-sized default where the paper's
+value would make a pure-Python run impractical (DESIGN.md §2 records the
+substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Influence-maximization engines available for seed-list precomputation.
+IM_ENGINES = ("ris", "celf++", "celf", "greedy")
+
+#: Rank-aggregation methods available at query time.
+AGGREGATORS = ("copeland", "borda", "mc4")
+
+
+@dataclass(frozen=True)
+class InflexConfig:
+    """All tunables of INFLEX construction and query evaluation.
+
+    Index construction
+    ------------------
+    num_index_points:
+        ``h`` — number of index points (paper: 1000).
+    num_dirichlet_samples:
+        Samples drawn from the fitted Dirichlet before clustering
+        (paper: 100k).
+    seed_list_length:
+        ``l`` — length of each precomputed seed list (paper: 50).
+    im_engine:
+        Seed-extraction algorithm: ``"ris"`` (default; fast sampling
+        engine), or the paper's ``"celf++"`` (and ``"celf"``/
+        ``"greedy"`` for reference) driven by live-edge snapshots.
+    ris_num_sets:
+        RR sets per index point for the RIS engine.
+    num_snapshots:
+        Live-edge snapshots for the CELF-family engines.
+    leaf_size / max_branch / branching / gmeans_alpha:
+        bb-tree shape controls (see :class:`repro.bbtree.BBTree`).
+
+    Query evaluation
+    ----------------
+    epsilon:
+        The epsilon-exact match threshold of Algorithm 1.
+    ad_alpha:
+        Significance level of the Anderson--Darling early-stop test.
+        Note the direction: the search *stops* when normality is
+        accepted, so a higher alpha makes stopping harder and the
+        search more thorough.  The default 0.8 calibrates the mean
+        number of visited leaves to the paper's reported 3.65 (our
+        leaves are small — 16 points — so the test needs a high alpha
+        to have any power).
+    max_leaves:
+        Leaf budget of the similarity search (paper: 5).
+    knn:
+        ``K`` used by the K-NN style strategies (paper: 10, found best).
+    aggregator:
+        ``"copeland"`` (paper's winner), ``"borda"`` or ``"mc4"``.
+    weighted:
+        Use importance weights (Eq. 9) in the aggregation.
+    local_kemenization:
+        Apply the Local Kemenization refinement after aggregation.
+    selection_threshold:
+        Gap threshold of the automatic neighbor selection (paper: 0.005).
+    weight_bound_eps:
+        Smoothing of the corner-to-corner ``KL_max`` bound in Eq. 9.
+
+    Randomness
+    ----------
+    seed:
+        Master seed for every stochastic stage of index construction.
+    """
+
+    num_index_points: int = 128
+    num_dirichlet_samples: int = 20000
+    seed_list_length: int = 50
+    im_engine: str = "ris"
+    ris_num_sets: int = 3000
+    num_snapshots: int = 100
+    leaf_size: int = 16
+    max_branch: int = 8
+    branching: object = "gmeans"
+    gmeans_alpha: float = 0.0001
+
+    epsilon: float = 1e-9
+    ad_alpha: float = 0.8
+    max_leaves: int = 5
+    knn: int = 10
+    aggregator: str = "copeland"
+    weighted: bool = True
+    local_kemenization: bool = True
+    selection_threshold: float = 0.005
+    weight_bound_eps: float = 0.05
+
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.num_index_points < 2:
+            raise ValueError(
+                f"num_index_points must be >= 2, got {self.num_index_points}"
+            )
+        if self.num_dirichlet_samples < self.num_index_points:
+            raise ValueError(
+                "num_dirichlet_samples must be >= num_index_points "
+                f"({self.num_dirichlet_samples} < {self.num_index_points})"
+            )
+        if self.seed_list_length < 1:
+            raise ValueError(
+                f"seed_list_length must be >= 1, got {self.seed_list_length}"
+            )
+        if self.im_engine not in IM_ENGINES:
+            raise ValueError(
+                f"im_engine must be one of {IM_ENGINES}, got {self.im_engine!r}"
+            )
+        if self.aggregator not in AGGREGATORS:
+            raise ValueError(
+                f"aggregator must be one of {AGGREGATORS}, "
+                f"got {self.aggregator!r}"
+            )
+        if self.max_leaves < 1:
+            raise ValueError(f"max_leaves must be >= 1, got {self.max_leaves}")
+        if self.knn < 1:
+            raise ValueError(f"knn must be >= 1, got {self.knn}")
+        if not 0.0 < self.ad_alpha < 1.0:
+            raise ValueError(
+                f"ad_alpha must lie in (0, 1), got {self.ad_alpha}"
+            )
+        if self.epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {self.epsilon}")
+        if self.selection_threshold <= 0:
+            raise ValueError(
+                f"selection_threshold must be positive, got "
+                f"{self.selection_threshold}"
+            )
+
+
+#: Paper-faithful parameter set (expensive: hours of precomputation even
+#: with the RIS engine at full scale — provided for completeness).
+PAPER_CONFIG = InflexConfig(
+    num_index_points=1000,
+    num_dirichlet_samples=100000,
+    seed_list_length=50,
+    knn=10,
+    max_leaves=5,
+)

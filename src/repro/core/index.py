@@ -1,0 +1,493 @@
+"""The INFLEX index: offline construction and online TIM query evaluation.
+
+Construction (Section 3 of the paper):
+
+1. fit a Dirichlet to the item catalog by maximum likelihood (Minka);
+2. sample a large cloud from it and run Bregman K-means++; the ``h``
+   centroids become the index points — a data-aware yet smooth coverage
+   of the topic simplex;
+3. for each index point, precompute a ranked seed list of length ``l``
+   with a standard influence-maximization computation;
+4. organize the index points in a Bregman ball tree under the
+   right-sided KL divergence.
+
+Query evaluation (Section 4): similarity search on the bb-tree
+(Algorithm 1), importance weighting (Eq. 9), automatic neighbor
+selection, and weighted rank aggregation with Local Kemenization.
+Five strategies are exposed, matching the paper's comparison:
+``inflex``, ``exact-knn``, ``approx-knn``, ``approx-knn-sel`` and
+``approx-ad``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bbtree.search import (
+    SearchResult,
+    exact_nearest_neighbors,
+    inflex_search,
+    leaf_limited_search,
+)
+from repro.bbtree.tree import BBTree
+from repro.clustering.kmeanspp import bregman_kmeans
+from repro.core.aggregation import aggregate_seed_lists
+from repro.core.config import InflexConfig
+from repro.core.offline import offline_seed_list, offline_seed_lists_batch
+from repro.core.query import QueryTiming, TimAnswer, TimQuery
+from repro.divergence.kl import KLDivergence
+from repro.errors import EmptyIndexError, QueryError
+from repro.graph.topic_graph import TopicGraph
+from repro.im.seed_list import SeedList
+from repro.ranking.weights import importance_weights, select_neighbors
+from repro.rng import resolve_rng, spawn_rngs
+from repro.simplex.dirichlet import Dirichlet, fit_dirichlet_mle
+from repro.simplex.vectors import as_distribution_matrix, smooth
+
+#: Strategy names accepted by :meth:`InflexIndex.query`.
+STRATEGIES = (
+    "inflex",
+    "exact-knn",
+    "approx-knn",
+    "approx-knn-sel",
+    "approx-ad",
+)
+
+
+class InflexIndex:
+    """Precomputed index answering TIM queries in milliseconds.
+
+    Instances are built with :meth:`build` (the full pipeline) or
+    assembled directly from explicit index points and seed lists (used
+    by persistence and by tests).
+    """
+
+    def __init__(
+        self,
+        graph: TopicGraph,
+        index_points: np.ndarray,
+        seed_lists: list[SeedList],
+        config: InflexConfig,
+        *,
+        dirichlet: Dirichlet | None = None,
+        tree: BBTree | None = None,
+    ) -> None:
+        points = as_distribution_matrix(index_points)
+        if points.shape[1] != graph.num_topics:
+            raise ValueError(
+                f"index points have {points.shape[1]} topics, graph has "
+                f"{graph.num_topics}"
+            )
+        if len(seed_lists) != points.shape[0]:
+            raise ValueError(
+                f"{len(seed_lists)} seed lists for {points.shape[0]} "
+                "index points"
+            )
+        if points.shape[0] == 0:
+            raise EmptyIndexError("cannot build an index with no points")
+        self._graph = graph
+        self._points = smooth(points)
+        self._seed_lists = list(seed_lists)
+        self._config = config
+        self._dirichlet = dirichlet
+        self._divergence = KLDivergence()
+        if tree is None:
+            tree = BBTree(
+                self._points,
+                divergence=self._divergence,
+                leaf_size=config.leaf_size,
+                max_branch=config.max_branch,
+                branching=config.branching,
+                ad_alpha=config.gmeans_alpha,
+                seed=config.seed,
+            )
+        self._tree = tree
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: TopicGraph,
+        catalog_items,
+        config: InflexConfig | None = None,
+        *,
+        progress=None,
+        workers: int = 1,
+    ) -> "InflexIndex":
+        """Run the full offline pipeline and return a ready index.
+
+        Parameters
+        ----------
+        graph:
+            Topic graph with (learned or ground-truth) TIC parameters.
+        catalog_items:
+            Item catalog ``(num_items, Z)`` defining the query space.
+        config:
+            All tunables; defaults to :class:`InflexConfig()`.
+        progress:
+            Optional callable ``progress(stage: str, done: int,
+            total: int)`` for long builds.
+        workers:
+            Process count for the seed-list precomputation (the
+            dominant cost; items are independent, results are
+            bit-identical to the serial run).
+        """
+        if config is None:
+            config = InflexConfig()
+        catalog = smooth(as_distribution_matrix(catalog_items))
+        if catalog.shape[1] != graph.num_topics:
+            raise ValueError(
+                f"catalog has {catalog.shape[1]} topics, graph has "
+                f"{graph.num_topics}"
+            )
+        rng = resolve_rng(config.seed)
+
+        def report(stage: str, done: int, total: int) -> None:
+            if progress is not None:
+                progress(stage, done, total)
+
+        # 1. Dirichlet MLE over the catalog.
+        report("dirichlet", 0, 1)
+        dirichlet = fit_dirichlet_mle(catalog)
+        # 2. Sample the cloud and cluster it.
+        report("sampling", 0, 1)
+        samples = dirichlet.sample(config.num_dirichlet_samples, seed=rng)
+        report("clustering", 0, 1)
+        divergence = KLDivergence()
+        clustering = bregman_kmeans(
+            samples, config.num_index_points, divergence, seed=rng
+        )
+        index_points = smooth(np.maximum(clustering.centroids, 1e-12))
+        # 3. Precompute seed lists (the dominant cost; parallelizable).
+        child_rngs = spawn_rngs(rng, index_points.shape[0])
+        item_seeds = [
+            int(child.integers(0, 2**63 - 1)) for child in child_rngs
+        ]
+        seed_lists = offline_seed_lists_batch(
+            graph,
+            index_points,
+            config.seed_list_length,
+            engine=config.im_engine,
+            ris_num_sets=config.ris_num_sets,
+            num_snapshots=config.num_snapshots,
+            seeds=item_seeds,
+            workers=workers,
+            progress=lambda done, total: report("seed-lists", done, total),
+        )
+        # 4. The bb-tree is created in __init__.
+        return cls(
+            graph,
+            index_points,
+            seed_lists,
+            config,
+            dirichlet=dirichlet,
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> TopicGraph:
+        return self._graph
+
+    @property
+    def config(self) -> InflexConfig:
+        return self._config
+
+    @property
+    def index_points(self) -> np.ndarray:
+        """The ``(h, Z)`` matrix of indexed topic distributions."""
+        return self._points
+
+    @property
+    def seed_lists(self) -> list[SeedList]:
+        """Precomputed ranked seed lists, aligned with the index points."""
+        return list(self._seed_lists)
+
+    @property
+    def tree(self) -> BBTree:
+        return self._tree
+
+    @property
+    def dirichlet(self) -> Dirichlet | None:
+        """The catalog-fitted Dirichlet (``None`` for assembled indexes)."""
+        return self._dirichlet
+
+    @property
+    def num_index_points(self) -> int:
+        return int(self._points.shape[0])
+
+    # ------------------------------------------------------------------
+    # Query evaluation
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        gamma,
+        k: int,
+        *,
+        strategy: str = "inflex",
+    ) -> TimAnswer:
+        """Answer the TIM query ``Q(gamma, k)``.
+
+        Parameters
+        ----------
+        gamma:
+            Query item topic distribution.
+        k:
+            Requested seed-set size.
+        strategy:
+            One of :data:`STRATEGIES`; ``"inflex"`` is the paper's full
+            pipeline, the others are its evaluated alternatives.
+        """
+        tim_query = TimQuery(np.asarray(gamma, dtype=np.float64), k)
+        if tim_query.num_topics != self._graph.num_topics:
+            raise QueryError(
+                f"query has {tim_query.num_topics} topics, index has "
+                f"{self._graph.num_topics}"
+            )
+        if strategy not in STRATEGIES:
+            raise QueryError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        config = self._config
+        query_point = smooth(tim_query.gamma)
+
+        # Phase 1: similarity search -----------------------------------
+        start = time.perf_counter()
+        result = self._search(query_point, strategy)
+        search_time = time.perf_counter() - start
+        if result.stats.epsilon_match:
+            match_id = int(result.indices[0])
+            seeds = self._seed_lists[match_id].top(k)
+            return TimAnswer(
+                seeds=SeedList(seeds.nodes, (), algorithm=f"{strategy}:exact"),
+                strategy=strategy,
+                neighbor_ids=(match_id,),
+                neighbor_divergences=(float(result.divergences[0]),),
+                neighbor_weights=(1.0,),
+                search_stats=result.stats,
+                timing=QueryTiming(search=search_time),
+                epsilon_match=True,
+            )
+
+        # Phase 2: weights and automatic selection ----------------------
+        start = time.perf_counter()
+        if strategy == "inflex":
+            # The AD-stopped search returns whole leaf populations; cap
+            # the aggregation candidates at the K-NN budget (nearest
+            # first) before the gap-rule selection — distant leaf
+            # co-residents would only dilute the consensus.
+            result = result.top(min(config.knn, len(result)))
+        weights = importance_weights(
+            result.divergences,
+            self._graph.num_topics,
+            bound_eps=config.weight_bound_eps,
+        )
+        if strategy in ("inflex", "approx-knn-sel"):
+            keep = select_neighbors(
+                weights, threshold=config.selection_threshold
+            )
+        else:
+            keep = len(result)
+        selection_time = time.perf_counter() - start
+        kept_ids = result.indices[:keep]
+        kept_divs = result.divergences[:keep]
+        kept_weights = weights[:keep]
+
+        # Phase 3: rank aggregation -------------------------------------
+        start = time.perf_counter()
+        lists = [self._seed_lists[int(i)] for i in kept_ids]
+        aggregation_weights = kept_weights if config.weighted else None
+        if aggregation_weights is not None and aggregation_weights.sum() <= 0:
+            # Every retrieved neighbor sits beyond the KL_max bound (a
+            # query far from all index points): fall back to unweighted
+            # aggregation rather than dividing by a zero total weight.
+            aggregation_weights = None
+        seeds = aggregate_seed_lists(
+            lists,
+            k,
+            aggregator=config.aggregator,
+            weights=aggregation_weights,
+            apply_local_kemenization=config.local_kemenization,
+        )
+        aggregation_time = time.perf_counter() - start
+        return TimAnswer(
+            seeds=SeedList(seeds.nodes, (), algorithm=strategy),
+            strategy=strategy,
+            neighbor_ids=tuple(int(i) for i in kept_ids),
+            neighbor_divergences=tuple(float(d) for d in kept_divs),
+            neighbor_weights=tuple(float(w) for w in kept_weights),
+            search_stats=result.stats,
+            timing=QueryTiming(
+                search=search_time,
+                selection=selection_time,
+                aggregation=aggregation_time,
+            ),
+            epsilon_match=False,
+        )
+
+    def stats(self) -> dict:
+        """Operator summary of the index.
+
+        Returns a plain dict (JSON-friendly) with the index dimensions,
+        tree shape, memory footprint and — when the index was built by
+        the full pipeline — the fitted Dirichlet concentration.
+        """
+        summary = {
+            "num_index_points": self.num_index_points,
+            "seed_list_length": self._config.seed_list_length,
+            "num_topics": self._graph.num_topics,
+            "graph_nodes": self._graph.num_nodes,
+            "graph_arcs": self._graph.num_arcs,
+            "tree_leaves": self._tree.num_leaves(),
+            "tree_depth": self._tree.depth(),
+            "memory_bytes": self.memory_footprint(),
+            "im_engine": self._config.im_engine,
+            "aggregator": self._config.aggregator,
+        }
+        if self._dirichlet is not None:
+            summary["dirichlet_alpha"] = [
+                float(a) for a in self._dirichlet.alpha
+            ]
+            summary["dirichlet_concentration"] = float(
+                self._dirichlet.concentration
+            )
+        return summary
+
+    def query_batch(
+        self,
+        gammas,
+        k: int,
+        *,
+        strategy: str = "inflex",
+    ) -> list[TimAnswer]:
+        """Answer one TIM query per row of ``gammas``.
+
+        Convenience wrapper for analytics workloads that score many
+        candidate items at once (e.g. the what-if loop); answers are
+        independent and returned in input order.
+        """
+        rows = as_distribution_matrix(np.atleast_2d(np.asarray(gammas)))
+        return [self.query(row, k, strategy=strategy) for row in rows]
+
+    def memory_footprint(self) -> int:
+        """Estimated in-memory cost of the precomputed index, in bytes.
+
+        The paper's footnote 4 prices one preprocessed index item at
+        ``(Z - 1) * sizeof(double) + l * sizeof(int)``: the topic
+        distribution (one component is implied) plus the seed list.
+        Returned value is that per-item cost times ``h``.
+        """
+        z = self._graph.num_topics
+        per_item = (z - 1) * 8 + self._config.seed_list_length * 4
+        return per_item * self.num_index_points
+
+    # ------------------------------------------------------------------
+    # Index maintenance (online analytics support)
+    # ------------------------------------------------------------------
+    def with_added_point(
+        self, gamma, seed_list: SeedList | None = None
+    ) -> "InflexIndex":
+        """A new index with one additional index point.
+
+        When a popular query region turns out to be poorly covered
+        (large nearest-neighbor divergences), an operator can densify
+        the index there without rebuilding from scratch.  The seed list
+        is precomputed with the configured engine unless supplied.
+        The bb-tree is rebuilt — construction over ``h`` points is
+        negligible next to the seed precomputation.
+        """
+        point = smooth(
+            as_distribution_matrix(
+                np.asarray(gamma, dtype=np.float64)[np.newaxis, :]
+            )
+        )
+        if seed_list is None:
+            config = self._config
+            seed_list = offline_seed_list(
+                self._graph,
+                point[0],
+                config.seed_list_length,
+                engine=config.im_engine,
+                ris_num_sets=config.ris_num_sets,
+                num_snapshots=config.num_snapshots,
+                seed=config.seed,
+            )
+        return InflexIndex(
+            self._graph,
+            np.vstack([self._points, point]),
+            self._seed_lists + [seed_list],
+            self._config,
+            dirichlet=self._dirichlet,
+        )
+
+    def without_point(self, index_point_id: int) -> "InflexIndex":
+        """A new index with one index point removed.
+
+        Raises when removal would leave an empty index.
+        """
+        if not 0 <= index_point_id < self.num_index_points:
+            raise ValueError(
+                f"index point id {index_point_id} out of range "
+                f"[0, {self.num_index_points})"
+            )
+        if self.num_index_points <= 1:
+            raise EmptyIndexError(
+                "cannot remove the last index point"
+            )
+        keep = [
+            i for i in range(self.num_index_points) if i != index_point_id
+        ]
+        return InflexIndex(
+            self._graph,
+            self._points[keep],
+            [self._seed_lists[i] for i in keep],
+            self._config,
+            dirichlet=self._dirichlet,
+        )
+
+    def coverage_of(self, gamma) -> float:
+        """KL divergence of the nearest index point to ``gamma``.
+
+        The operator-facing health metric behind :meth:`with_added_point`:
+        large values flag query regions the index covers poorly.
+        """
+        from repro.simplex.kl import kl_divergence_matrix
+
+        query_point = smooth(
+            as_distribution_matrix(
+                np.asarray(gamma, dtype=np.float64)[np.newaxis, :]
+            )
+        )[0]
+        return float(
+            kl_divergence_matrix(self._points, query_point).min()
+        )
+
+    def _search(self, query_point: np.ndarray, strategy: str) -> SearchResult:
+        config = self._config
+        if strategy in ("inflex", "approx-ad"):
+            return inflex_search(
+                self._tree,
+                query_point,
+                epsilon=config.epsilon,
+                ad_alpha=config.ad_alpha,
+                max_leaves=config.max_leaves,
+            )
+        k = min(config.knn, self.num_index_points)
+        if strategy == "exact-knn":
+            return exact_nearest_neighbors(self._tree, query_point, k)
+        # approx-knn and approx-knn-sel share the leaf-limited search.
+        return leaf_limited_search(
+            self._tree, query_point, k, max_leaves=config.max_leaves
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"InflexIndex(h={self.num_index_points}, "
+            f"l={self._config.seed_list_length}, "
+            f"Z={self._graph.num_topics})"
+        )

@@ -1,0 +1,149 @@
+"""Keyword front-end: from ad descriptions to TIM queries.
+
+The paper's motivating platform (Section 1.2) receives items as
+*descriptions* — "advertisers come to the platform with a description
+of the ad (e.g., a set of keywords)".  The TIM machinery consumes topic
+distributions, so a thin mapping layer turns keyword sets into query
+gammas.  The mapper is a lexicon of per-keyword topic distributions
+(e.g. exported from the same topic model that produced the catalog);
+an ad's gamma is the smoothed mixture of its keywords', weighted by
+optional per-keyword emphasis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.simplex.vectors import as_distribution, smooth, uniform_distribution
+
+
+class KeywordTopicMapper:
+    """Maps keyword sets to topic distributions.
+
+    Parameters
+    ----------
+    lexicon:
+        Mapping from keyword (case-insensitive) to a topic distribution
+        of consistent dimensionality.
+    background_weight:
+        Mass of the uniform background mixed into every result; keeps
+        gammas interior (full support), which the right-sided KL
+        retrieval requires to behave well.
+    """
+
+    def __init__(self, lexicon: dict, *, background_weight: float = 0.05) -> None:
+        if not lexicon:
+            raise ValueError("lexicon must contain at least one keyword")
+        if not 0.0 <= background_weight < 1.0:
+            raise ValueError(
+                f"background_weight must be in [0, 1), got {background_weight}"
+            )
+        self._background_weight = float(background_weight)
+        self._lexicon: dict[str, np.ndarray] = {}
+        num_topics = None
+        for keyword, distribution in lexicon.items():
+            vector = as_distribution(np.asarray(distribution, dtype=np.float64))
+            if num_topics is None:
+                num_topics = vector.size
+            elif vector.size != num_topics:
+                raise ValueError(
+                    f"keyword {keyword!r} has {vector.size} topics, "
+                    f"expected {num_topics}"
+                )
+            self._lexicon[str(keyword).lower()] = vector
+        assert num_topics is not None
+        self._num_topics = num_topics
+
+    @property
+    def num_topics(self) -> int:
+        return self._num_topics
+
+    @property
+    def vocabulary(self) -> tuple[str, ...]:
+        """Known keywords, sorted."""
+        return tuple(sorted(self._lexicon))
+
+    def __contains__(self, keyword: str) -> bool:
+        return str(keyword).lower() in self._lexicon
+
+    def gamma_for(self, keywords, *, weights=None) -> np.ndarray:
+        """Topic distribution for a keyword set.
+
+        Parameters
+        ----------
+        keywords:
+            Iterable of keywords; unknown keywords raise
+            :class:`~repro.errors.QueryError` (an ad platform should
+            surface them, not silently ignore them).
+        weights:
+            Optional per-keyword emphasis (parallel to ``keywords``).
+        """
+        keyword_list = [str(k).lower() for k in keywords]
+        if not keyword_list:
+            raise QueryError("keyword set is empty")
+        unknown = [k for k in keyword_list if k not in self._lexicon]
+        if unknown:
+            raise QueryError(
+                f"unknown keywords: {sorted(set(unknown))}; known "
+                f"vocabulary has {len(self._lexicon)} entries"
+            )
+        if weights is None:
+            weight_values = np.ones(len(keyword_list))
+        else:
+            weight_values = np.asarray(list(weights), dtype=np.float64)
+            if weight_values.shape[0] != len(keyword_list):
+                raise QueryError(
+                    f"{weight_values.shape[0]} weights for "
+                    f"{len(keyword_list)} keywords"
+                )
+            if np.any(weight_values < 0) or weight_values.sum() <= 0:
+                raise QueryError(
+                    "keyword weights must be non-negative with a "
+                    "positive sum"
+                )
+        stacked = np.vstack(
+            [self._lexicon[k] for k in keyword_list]
+        )
+        mixture = (
+            weight_values[:, np.newaxis] * stacked
+        ).sum(axis=0) / weight_values.sum()
+        if self._background_weight > 0:
+            background = uniform_distribution(self._num_topics)
+            mixture = (
+                (1.0 - self._background_weight) * mixture
+                + self._background_weight * background
+            )
+        return smooth(mixture)
+
+    @classmethod
+    def from_topic_labels(
+        cls,
+        labels: dict,
+        num_topics: int,
+        *,
+        focus: float = 0.9,
+        background_weight: float = 0.05,
+    ) -> "KeywordTopicMapper":
+        """Build a lexicon from plain ``keyword -> topic id`` labels.
+
+        Each keyword's distribution puts ``focus`` on its topic and the
+        rest uniformly elsewhere — the minimal lexicon one can write by
+        hand (e.g. genre names to genre topics).
+        """
+        if not 0.0 < focus <= 1.0:
+            raise ValueError(f"focus must be in (0, 1], got {focus}")
+        lexicon = {}
+        for keyword, topic in labels.items():
+            topic = int(topic)
+            if not 0 <= topic < num_topics:
+                raise ValueError(
+                    f"keyword {keyword!r}: topic {topic} out of range "
+                    f"[0, {num_topics})"
+                )
+            vector = np.full(
+                num_topics, (1.0 - focus) / max(num_topics - 1, 1)
+            )
+            vector[topic] = focus
+            lexicon[keyword] = vector / vector.sum()
+        return cls(lexicon, background_weight=background_weight)

@@ -1,0 +1,189 @@
+"""Offline (from-scratch) influence maximization for TIM queries.
+
+A TIM query can always be answered without an index by instantiating
+the item-specific IC graph (Eq. 1) and running a standard influence
+maximization — this is the paper's ``offline TIC`` ground truth, its
+``offline IC`` topic-blind baseline (uniform topic mixture), and the
+engine used to precompute every index point's seed list.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.graph.topic_graph import TopicGraph
+from repro.im.celf import celf_seed_selection
+from repro.im.celfpp import celfpp_seed_selection
+from repro.im.greedy import greedy_seed_selection
+from repro.im.ris import ris_influence_maximization
+from repro.im.seed_list import SeedList
+from repro.propagation.snapshots import SnapshotSpread
+from repro.rng import resolve_rng
+from repro.simplex.vectors import uniform_distribution
+
+
+def offline_seed_list(
+    graph: TopicGraph,
+    gamma,
+    k: int,
+    *,
+    engine: str = "ris",
+    ris_num_sets: int = 3000,
+    num_snapshots: int = 100,
+    seed=None,
+) -> SeedList:
+    """Extract a ranked seed list for one item, from scratch.
+
+    Parameters
+    ----------
+    graph:
+        The topic graph.
+    gamma:
+        Item topic distribution (Eq. 1 instantiates the IC graph).
+    k:
+        Seed budget.
+    engine:
+        ``"ris"`` (reverse influence sampling; fast default),
+        ``"celf++"`` (the paper's choice), ``"celf"`` or ``"greedy"``;
+        the CELF-family engines run on live-edge snapshots for exact
+        greedy invariants.
+    ris_num_sets / num_snapshots:
+        Sampling budgets of the respective engines.
+    seed:
+        Randomness control.
+    """
+    rng = resolve_rng(seed)
+    if engine == "ris":
+        return ris_influence_maximization(
+            graph, gamma, k, num_sets=ris_num_sets, seed=rng
+        )
+    estimator = SnapshotSpread(
+        graph, gamma, num_snapshots=num_snapshots, seed=rng
+    )
+    if engine == "celf++":
+        return celfpp_seed_selection(estimator, graph.num_nodes, k)
+    if engine == "celf":
+        return celf_seed_selection(estimator, graph.num_nodes, k)
+    if engine == "greedy":
+        return greedy_seed_selection(estimator, graph.num_nodes, k)
+    raise ValueError(
+        f"unknown engine {engine!r}; expected 'ris', 'celf++', 'celf' "
+        "or 'greedy'"
+    )
+
+
+# ----------------------------------------------------------------------
+# Parallel batch extraction (used by index construction)
+# ----------------------------------------------------------------------
+_WORKER_GRAPH: TopicGraph | None = None
+
+
+def _init_worker(graph: TopicGraph) -> None:
+    """Give each worker process one shared copy of the graph."""
+    global _WORKER_GRAPH
+    _WORKER_GRAPH = graph
+
+
+def _seed_list_task(args) -> SeedList:
+    gamma, k, engine, ris_num_sets, num_snapshots, seed = args
+    assert _WORKER_GRAPH is not None
+    return offline_seed_list(
+        _WORKER_GRAPH,
+        gamma,
+        k,
+        engine=engine,
+        ris_num_sets=ris_num_sets,
+        num_snapshots=num_snapshots,
+        seed=seed,
+    )
+
+
+def offline_seed_lists_batch(
+    graph: TopicGraph,
+    gammas,
+    k: int,
+    *,
+    engine: str = "ris",
+    ris_num_sets: int = 3000,
+    num_snapshots: int = 100,
+    seeds=None,
+    workers: int = 1,
+    progress=None,
+) -> list[SeedList]:
+    """Extract one seed list per row of ``gammas``.
+
+    The per-item computations are independent, so with ``workers > 1``
+    they run in a process pool; results are bit-identical to the serial
+    run because each item gets its own pre-spawned RNG seed.
+
+    Parameters
+    ----------
+    seeds:
+        Optional per-item RNG seeds (ints); derived from a fresh
+        ``SeedSequence`` when omitted.
+    progress:
+        Optional callable ``progress(done, total)``.
+    """
+    import numpy as np
+
+    from repro.rng import spawn_rngs
+
+    gamma_rows = [np.asarray(g, dtype=np.float64) for g in gammas]
+    total = len(gamma_rows)
+    if seeds is None:
+        child_rngs = spawn_rngs(None, total)
+        seeds = [int(rng.integers(0, 2**63 - 1)) for rng in child_rngs]
+    seeds = list(seeds)
+    if len(seeds) != total:
+        raise ValueError(f"{len(seeds)} seeds for {total} items")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    tasks = [
+        (gamma, k, engine, ris_num_sets, num_snapshots, seed)
+        for gamma, seed in zip(gamma_rows, seeds)
+    ]
+    results: list[SeedList] = []
+    if workers == 1:
+        for done, task in enumerate(tasks, start=1):
+            results.append(
+                offline_seed_list(
+                    graph,
+                    task[0],
+                    k,
+                    engine=engine,
+                    ris_num_sets=ris_num_sets,
+                    num_snapshots=num_snapshots,
+                    seed=task[5],
+                )
+            )
+            if progress is not None:
+                progress(done, total)
+        return results
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_init_worker, initargs=(graph,)
+    ) as pool:
+        for done, result in enumerate(
+            pool.map(_seed_list_task, tasks), start=1
+        ):
+            results.append(result)
+            if progress is not None:
+                progress(done, total)
+    return results
+
+
+def offline_tic_seed_list(
+    graph: TopicGraph, gamma, k: int, **kwargs
+) -> SeedList:
+    """The paper's ``offline TIC`` ground truth for a query item."""
+    return offline_seed_list(graph, gamma, k, **kwargs)
+
+
+def offline_ic_seed_list(graph: TopicGraph, k: int, **kwargs) -> SeedList:
+    """The paper's topic-blind ``offline IC`` baseline.
+
+    Runs the same computation with a *uniform* topic mixture — the best
+    one can do while ignoring the item's topical identity.
+    """
+    return offline_seed_list(
+        graph, uniform_distribution(graph.num_topics), k, **kwargs
+    )

@@ -1,0 +1,94 @@
+"""Saving and loading INFLEX indexes.
+
+The expensive part of an index is the precomputed seed lists (hours of
+influence maximization at paper scale), so those and the index points
+are persisted in a compressed ``.npz`` archive together with the
+configuration.  The bb-tree is *rebuilt* on load: construction is
+``O(h log h)`` over only ``h`` points — negligible next to the seed
+precomputation — and rebuilding from the stored seed keeps the archive
+format free of recursive structures.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import InflexConfig
+from repro.core.index import InflexIndex
+from repro.graph.topic_graph import TopicGraph
+from repro.im.seed_list import SeedList
+
+_FORMAT_VERSION = 1
+
+
+def save_index(index: InflexIndex, path) -> None:
+    """Write ``index`` to ``path`` as a compressed ``.npz`` archive."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    seed_matrix = np.full(
+        (index.num_index_points, index.config.seed_list_length),
+        -1,
+        dtype=np.int64,
+    )
+    gain_matrix = np.zeros_like(seed_matrix, dtype=np.float64)
+    algorithms = []
+    for row, seed_list in enumerate(index.seed_lists):
+        nodes = seed_list.as_array()
+        seed_matrix[row, : nodes.size] = nodes
+        if seed_list.marginal_gains:
+            gain_matrix[row, : nodes.size] = seed_list.marginal_gains
+        algorithms.append(seed_list.algorithm)
+    np.savez_compressed(
+        target,
+        format_version=np.int64(_FORMAT_VERSION),
+        index_points=index.index_points,
+        seed_matrix=seed_matrix,
+        gain_matrix=gain_matrix,
+        algorithms=np.asarray(algorithms),
+        config_json=np.asarray(json.dumps(_config_to_dict(index.config))),
+    )
+
+
+def load_index(path, graph: TopicGraph) -> InflexIndex:
+    """Load an index written by :func:`save_index`.
+
+    The social graph is not stored in the archive (it has its own
+    persistence in :mod:`repro.graph.io`) and must be supplied.
+    """
+    with np.load(Path(path), allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported index format version {version}")
+        config = _config_from_dict(json.loads(str(data["config_json"])))
+        index_points = data["index_points"]
+        seed_matrix = data["seed_matrix"]
+        gain_matrix = data["gain_matrix"]
+        algorithms = [str(a) for a in data["algorithms"]]
+    seed_lists = []
+    for row in range(seed_matrix.shape[0]):
+        nodes = seed_matrix[row]
+        valid = nodes >= 0
+        gains = gain_matrix[row][valid]
+        seed_lists.append(
+            SeedList(
+                tuple(int(v) for v in nodes[valid]),
+                tuple(float(g) for g in gains) if gains.any() else (),
+                algorithm=algorithms[row],
+            )
+        )
+    return InflexIndex(graph, index_points, seed_lists, config)
+
+
+def _config_to_dict(config: InflexConfig) -> dict:
+    data = asdict(config)
+    # ``branching`` may be the string "gmeans" or an int; both are
+    # JSON-native already.
+    return data
+
+
+def _config_from_dict(data: dict) -> InflexConfig:
+    return InflexConfig(**data)

@@ -1,0 +1,109 @@
+"""TIM query and answer types.
+
+A TIM query ``Q(gamma_q, k)`` asks for the ``k`` users maximizing the
+expected adoption of an item described by the topic distribution
+``gamma_q`` (Eq. 2 of the paper).  The answer object carries the ranked
+seed list plus full provenance: which index points were used, their
+divergences and weights, search instrumentation, and a per-phase timing
+breakdown — everything needed by the experiments of Section 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bbtree.search import SearchStats
+from repro.errors import QueryError
+from repro.im.seed_list import SeedList
+from repro.simplex.vectors import as_distribution
+
+
+@dataclass(frozen=True)
+class TimQuery:
+    """A topic-aware influence maximization query ``Q(gamma, k)``."""
+
+    gamma: np.ndarray
+    k: int
+
+    def __post_init__(self) -> None:
+        try:
+            gamma = as_distribution(self.gamma)
+        except Exception as exc:
+            raise QueryError(f"invalid query topic distribution: {exc}") from exc
+        if self.k < 1:
+            raise QueryError(f"query k must be >= 1, got {self.k}")
+        object.__setattr__(self, "gamma", gamma)
+
+    @property
+    def num_topics(self) -> int:
+        return int(self.gamma.size)
+
+
+@dataclass(frozen=True)
+class QueryTiming:
+    """Wall-clock breakdown of one query evaluation, in seconds."""
+
+    search: float = 0.0
+    selection: float = 0.0
+    aggregation: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.search + self.selection + self.aggregation
+
+
+@dataclass(frozen=True)
+class TimAnswer:
+    """Result of evaluating a TIM query against an INFLEX index.
+
+    Attributes
+    ----------
+    seeds:
+        The final ranked seed list (length ``<= k``; shorter only when
+        the union of retrieved lists cannot fill ``k``).
+    strategy:
+        Name of the evaluation strategy that produced the answer.
+    neighbor_ids:
+        Index-point ids whose precomputed lists entered the aggregation.
+    neighbor_divergences:
+        Their KL divergences from the query item.
+    neighbor_weights:
+        Importance weights used in the aggregation (all ones when the
+        strategy is unweighted).
+    search_stats:
+        Instrumentation of the similarity search (``None`` for offline
+        baselines that bypass the index).
+    timing:
+        Per-phase wall-clock breakdown.
+    epsilon_match:
+        Whether the answer came from an epsilon-exact index hit.
+    """
+
+    seeds: SeedList
+    strategy: str
+    neighbor_ids: tuple[int, ...] = field(default=())
+    neighbor_divergences: tuple[float, ...] = field(default=())
+    neighbor_weights: tuple[float, ...] = field(default=())
+    search_stats: SearchStats | None = None
+    timing: QueryTiming = field(default_factory=QueryTiming)
+    epsilon_match: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.neighbor_ids) != len(self.neighbor_divergences):
+            raise ValueError(
+                f"{len(self.neighbor_ids)} neighbor ids vs "
+                f"{len(self.neighbor_divergences)} divergences"
+            )
+        if self.neighbor_weights and len(self.neighbor_weights) != len(
+            self.neighbor_ids
+        ):
+            raise ValueError(
+                f"{len(self.neighbor_weights)} weights for "
+                f"{len(self.neighbor_ids)} neighbors"
+            )
+
+    @property
+    def num_neighbors_used(self) -> int:
+        return len(self.neighbor_ids)

@@ -1,0 +1,21 @@
+"""Synthetic datasets: the Flixster stand-in and query workloads."""
+
+from repro.datasets.flixster import FlixsterLikeDataset, generate_flixster_like
+from repro.datasets.workloads import QueryWorkload, generate_query_workload
+from repro.datasets.io import (
+    load_catalog_csv,
+    load_catalog_jsonl,
+    save_catalog_csv,
+    save_catalog_jsonl,
+)
+
+__all__ = [
+    "FlixsterLikeDataset",
+    "generate_flixster_like",
+    "QueryWorkload",
+    "generate_query_workload",
+    "load_catalog_csv",
+    "load_catalog_jsonl",
+    "save_catalog_csv",
+    "save_catalog_jsonl",
+]

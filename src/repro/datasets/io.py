@@ -1,0 +1,121 @@
+"""Catalog and workload I/O.
+
+Interchange formats for item catalogs (topic distributions) so the
+pipeline can consume topic-model output produced elsewhere:
+
+* **CSV** — one item per row, one column per topic, optional header;
+* **JSONL** — one JSON object per line with an ``item_id`` and a
+  ``topics`` array (the common export shape of topic-model tooling).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import InvalidDistributionError
+from repro.simplex.vectors import as_distribution_matrix, smooth
+
+
+def save_catalog_csv(item_topics, path, *, header: bool = True) -> None:
+    """Write a catalog matrix as CSV (columns ``topic_0..topic_{Z-1}``)."""
+    catalog = as_distribution_matrix(item_topics)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        if header:
+            writer.writerow(
+                [f"topic_{z}" for z in range(catalog.shape[1])]
+            )
+        for row in catalog:
+            writer.writerow([f"{v:.12g}" for v in row])
+
+
+def load_catalog_csv(path, *, normalize: bool = True) -> np.ndarray:
+    """Read a catalog matrix from CSV.
+
+    A first row that does not parse as numbers is treated as a header.
+    ``normalize`` renormalizes rows whose sums drift from 1 (common
+    after text round-trips); exact validation still applies afterwards.
+    """
+    source = Path(path)
+    rows: list[list[float]] = []
+    with source.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        for record in reader:
+            if not record:
+                continue
+            try:
+                rows.append([float(v) for v in record])
+            except ValueError:
+                if rows:
+                    raise InvalidDistributionError(
+                        f"{source}: non-numeric row after data began: "
+                        f"{record}"
+                    )
+                # header row: skip
+    if not rows:
+        raise InvalidDistributionError(f"{source}: no catalog rows found")
+    matrix = np.asarray(rows, dtype=np.float64)
+    if normalize:
+        sums = matrix.sum(axis=1, keepdims=True)
+        if np.any(sums <= 0):
+            raise InvalidDistributionError(
+                f"{source}: row with non-positive mass"
+            )
+        matrix = matrix / sums
+    return as_distribution_matrix(matrix)
+
+
+def save_catalog_jsonl(item_topics, path, *, item_ids=None) -> None:
+    """Write a catalog as JSONL: ``{"item_id": ..., "topics": [...]}``."""
+    catalog = as_distribution_matrix(item_topics)
+    if item_ids is None:
+        item_ids = list(range(catalog.shape[0]))
+    item_ids = list(item_ids)
+    if len(item_ids) != catalog.shape[0]:
+        raise ValueError(
+            f"{len(item_ids)} item ids for {catalog.shape[0]} items"
+        )
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        for item_id, row in zip(item_ids, catalog):
+            handle.write(
+                json.dumps(
+                    {"item_id": item_id, "topics": [float(v) for v in row]}
+                )
+                + "\n"
+            )
+
+
+def load_catalog_jsonl(path, *, normalize: bool = True):
+    """Read a JSONL catalog; returns ``(item_ids, matrix)``.
+
+    Rows may appear in any order; they are returned in file order.
+    """
+    source = Path(path)
+    item_ids: list = []
+    rows: list[list[float]] = []
+    with source.open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if "topics" not in record:
+                raise InvalidDistributionError(
+                    f"{source}:{line_no}: missing 'topics' field"
+                )
+            item_ids.append(record.get("item_id", len(item_ids)))
+            rows.append([float(v) for v in record["topics"]])
+    if not rows:
+        raise InvalidDistributionError(f"{source}: no catalog rows found")
+    matrix = np.asarray(rows, dtype=np.float64)
+    if normalize:
+        matrix = smooth(matrix)
+    return item_ids, as_distribution_matrix(matrix)

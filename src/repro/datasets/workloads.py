@@ -1,0 +1,96 @@
+"""TIM query workload generation (Section 5 of the paper).
+
+The paper evaluates on 200 query items: half *data-driven* (sampled
+from the Dirichlet fitted to the catalog — queries that look like the
+indexed items) and half *random* (uniform on the simplex — stress test
+for queries far from the indexed distribution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import resolve_rng
+from repro.simplex.dirichlet import fit_dirichlet_mle
+from repro.simplex.sampling import sample_uniform_simplex
+from repro.simplex.vectors import as_distribution_matrix, smooth
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A batch of TIM query items with their provenance labels.
+
+    Attributes
+    ----------
+    items:
+        Query topic distributions, shape ``(n, Z)``.
+    kinds:
+        Parallel tuple of ``"data-driven"`` / ``"uniform"`` labels.
+    """
+
+    items: np.ndarray
+    kinds: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        items = as_distribution_matrix(self.items)
+        if len(self.kinds) != items.shape[0]:
+            raise ValueError(
+                f"{len(self.kinds)} kind labels for {items.shape[0]} items"
+            )
+        object.__setattr__(self, "items", items)
+
+    @property
+    def num_queries(self) -> int:
+        return int(self.items.shape[0])
+
+    def subset(self, kind: str) -> np.ndarray:
+        """All query items of one provenance kind."""
+        mask = np.asarray([label == kind for label in self.kinds])
+        return self.items[mask]
+
+
+def generate_query_workload(
+    catalog_items,
+    num_queries: int = 200,
+    *,
+    data_driven_fraction: float = 0.5,
+    seed=None,
+) -> QueryWorkload:
+    """Build the paper's mixed query workload from an item catalog.
+
+    Parameters
+    ----------
+    catalog_items:
+        Catalog topic distributions ``(num_items, Z)``; a Dirichlet is
+        fitted to them by maximum likelihood for the data-driven half.
+    num_queries:
+        Total number of query items (the paper uses 200).
+    data_driven_fraction:
+        Fraction sampled from the fitted Dirichlet; the rest is uniform
+        on the simplex.
+    """
+    if num_queries < 1:
+        raise ValueError(f"num_queries must be >= 1, got {num_queries}")
+    if not 0.0 <= data_driven_fraction <= 1.0:
+        raise ValueError(
+            f"data_driven_fraction must be in [0, 1], got "
+            f"{data_driven_fraction}"
+        )
+    rng = resolve_rng(seed)
+    catalog = smooth(as_distribution_matrix(catalog_items))
+    num_topics = catalog.shape[1]
+    num_data_driven = int(round(num_queries * data_driven_fraction))
+    num_uniform = num_queries - num_data_driven
+    parts = []
+    kinds: list[str] = []
+    if num_data_driven:
+        dirichlet = fit_dirichlet_mle(catalog)
+        parts.append(dirichlet.sample(num_data_driven, seed=rng))
+        kinds.extend(["data-driven"] * num_data_driven)
+    if num_uniform:
+        parts.append(sample_uniform_simplex(num_uniform, num_topics, seed=rng))
+        kinds.extend(["uniform"] * num_uniform)
+    items = smooth(np.vstack(parts))
+    return QueryWorkload(items=items, kinds=tuple(kinds))

@@ -1,0 +1,21 @@
+"""Bregman divergences: the distortion family behind the bb-tree.
+
+The paper's similarity search runs on the KL divergence, a member of the
+Bregman family.  The tree, clustering and projection code are all written
+against the :class:`~repro.divergence.base.BregmanDivergence` interface,
+so any divergence here can be swapped in.
+"""
+
+from repro.divergence.base import BregmanDivergence
+from repro.divergence.kl import KLDivergence
+from repro.divergence.euclidean import SquaredEuclidean
+from repro.divergence.itakura_saito import ItakuraSaito
+from repro.divergence.mahalanobis import Mahalanobis
+
+__all__ = [
+    "BregmanDivergence",
+    "KLDivergence",
+    "SquaredEuclidean",
+    "ItakuraSaito",
+    "Mahalanobis",
+]

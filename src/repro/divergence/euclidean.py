@@ -1,0 +1,27 @@
+"""Squared Euclidean distance as a Bregman divergence.
+
+Generator ``f(x) = ||x||^2 / 2`` gives ``d_f(p, q) = ||p - q||^2 / 2``.
+The one member of the family that is symmetric; useful as a sanity
+baseline for the bb-tree and clustering code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.divergence.base import BregmanDivergence
+
+
+class SquaredEuclidean(BregmanDivergence):
+    """``d(p, q) = ||p - q||^2 / 2`` via the generator ``||x||^2 / 2``."""
+
+    name = "sqeuclidean"
+
+    def generator(self, x: np.ndarray) -> np.ndarray:
+        return 0.5 * np.sum(x * x, axis=1)
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def gradient_inverse(self, theta: np.ndarray) -> np.ndarray:
+        return theta

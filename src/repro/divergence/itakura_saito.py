@@ -1,0 +1,39 @@
+"""Itakura--Saito distance as a Bregman divergence.
+
+Generator ``f(x) = -sum_k log x_k`` (Burg entropy) gives
+
+    d_f(p, q) = sum_k (p_k / q_k - log(p_k / q_k) - 1).
+
+Listed by the paper among the Bregman divergences the bb-tree supports;
+included for completeness and as an extra test vehicle for the tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.divergence.base import BregmanDivergence
+from repro.simplex.vectors import MACHINE_EPS
+
+
+class ItakuraSaito(BregmanDivergence):
+    """Itakura--Saito divergence on the positive orthant."""
+
+    name = "itakura-saito"
+
+    def __init__(self, *, eps: float = MACHINE_EPS) -> None:
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self._eps = float(eps)
+
+    def generator(self, x: np.ndarray) -> np.ndarray:
+        return -np.sum(np.log(x), axis=1)
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        return -1.0 / x
+
+    def gradient_inverse(self, theta: np.ndarray) -> np.ndarray:
+        return -1.0 / theta
+
+    def _prepare(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, self._eps)

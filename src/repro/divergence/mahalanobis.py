@@ -1,0 +1,46 @@
+"""Mahalanobis distance as a Bregman divergence.
+
+Generator ``f(x) = x^T A x / 2`` for a symmetric positive-definite matrix
+``A`` gives ``d_f(p, q) = (p - q)^T A (p - q) / 2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.divergence.base import BregmanDivergence
+
+
+class Mahalanobis(BregmanDivergence):
+    """``d(p, q) = (p-q)^T A (p-q) / 2`` for SPD matrix ``A``."""
+
+    name = "mahalanobis"
+
+    def __init__(self, matrix) -> None:
+        mat = np.asarray(matrix, dtype=np.float64)
+        if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+            raise ValueError(f"matrix must be square, got shape {mat.shape}")
+        if not np.allclose(mat, mat.T):
+            raise ValueError("matrix must be symmetric")
+        eigenvalues = np.linalg.eigvalsh(mat)
+        if np.any(eigenvalues <= 0):
+            raise ValueError(
+                f"matrix must be positive definite (min eigenvalue "
+                f"{eigenvalues.min():.3g})"
+            )
+        self._matrix = mat
+        self._inverse = np.linalg.inv(mat)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The SPD matrix ``A`` defining the metric."""
+        return self._matrix
+
+    def generator(self, x: np.ndarray) -> np.ndarray:
+        return 0.5 * np.sum(x * (x @ self._matrix), axis=1)
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        return x @ self._matrix
+
+    def gradient_inverse(self, theta: np.ndarray) -> np.ndarray:
+        return theta @ self._inverse

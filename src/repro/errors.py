@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to discriminate finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class InvalidDistributionError(ReproError, ValueError):
+    """A vector that must be a probability distribution is not one.
+
+    Raised when a topic vector has negative entries, does not sum to one
+    (within tolerance), is empty, or contains NaN/inf values.
+    """
+
+
+class InvalidGraphError(ReproError, ValueError):
+    """A graph definition is structurally invalid.
+
+    Examples: arc endpoints out of range, probability out of ``[0, 1]``,
+    mismatched array lengths in the CSR representation.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative numerical procedure failed to converge.
+
+    Raised by the Dirichlet maximum-likelihood estimator, the EM learner
+    and the Bregman projection bisection when their iteration budgets are
+    exhausted without meeting the requested tolerance *and* the caller
+    asked for strict behaviour.
+    """
+
+
+class EmptyIndexError(ReproError, RuntimeError):
+    """An INFLEX index operation was attempted on an empty index."""
+
+
+class QueryError(ReproError, ValueError):
+    """A TIM query is malformed (bad topic vector or non-positive ``k``)."""

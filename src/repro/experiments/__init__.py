@@ -1,0 +1,74 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Usage pattern::
+
+    from repro.experiments import get_context, fig6_accuracy
+    context = get_context("demo")
+    result = fig6_accuracy.run(context)
+    print(result.render())
+
+See DESIGN.md for the experiment-to-module index and
+:mod:`repro.experiments.presets` for the scale presets.
+"""
+
+from repro.experiments import (
+    ablations,
+    drift,
+    engine_equivalence,
+    fig1_pipeline,
+    fig3_index_selection,
+    fig4_distance_correlation,
+    fig5_retrieval_recall,
+    fig6_accuracy,
+    fig7_runtime,
+    fig8_spread,
+    fig9_tradeoff,
+    latency,
+    robustness,
+    scaling,
+    significance,
+    table1_aggregation,
+    table3_spread_by_k,
+    workload_split,
+)
+from repro.experiments.context import ExperimentContext, get_context
+from repro.experiments.presets import DEMO, PAPER_SHAPE, PRESETS, TEST, ExperimentScale
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.export import (
+    export_json,
+    export_series_csv,
+    result_to_dict,
+)
+
+__all__ = [
+    "ablations",
+    "drift",
+    "engine_equivalence",
+    "fig1_pipeline",
+    "fig3_index_selection",
+    "fig4_distance_correlation",
+    "fig5_retrieval_recall",
+    "fig6_accuracy",
+    "fig7_runtime",
+    "fig8_spread",
+    "fig9_tradeoff",
+    "latency",
+    "robustness",
+    "scaling",
+    "significance",
+    "table1_aggregation",
+    "table3_spread_by_k",
+    "workload_split",
+    "ExperimentContext",
+    "get_context",
+    "DEMO",
+    "PAPER_SHAPE",
+    "PRESETS",
+    "TEST",
+    "ExperimentScale",
+    "format_series",
+    "format_table",
+    "export_json",
+    "export_series_csv",
+    "result_to_dict",
+]

@@ -1,0 +1,334 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Three ablations beyond the paper's own comparisons:
+
+* **KL sidedness** — the paper argues for the right-sided KL
+  (``D(item || query)``); this ablation swaps in the left-sided and
+  symmetrized variants at retrieval time and measures the accuracy
+  impact.
+* **Selection threshold** — sensitivity of the automatic neighbor
+  selection to its 0.005 gap threshold.
+* **Index size** — accuracy as a function of ``h`` (the paper's future
+  work asks how to choose ``h`` automatically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.aggregation import aggregate_seed_lists
+from repro.core.config import InflexConfig
+from repro.core.index import InflexIndex
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import format_table
+from repro.ranking.kendall import kendall_tau_top
+from repro.ranking.weights import importance_weights, select_neighbors
+from repro.simplex.kl import kl_divergence_matrix
+
+
+# ----------------------------------------------------------------------
+# KL sidedness
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KLSideResult:
+    """Mean Kendall-tau per retrieval divergence side."""
+
+    k: int
+    distances: dict[str, float]
+
+    def render(self) -> str:
+        rows = [[side, value] for side, value in sorted(self.distances.items())]
+        return format_table(
+            ["divergence side", "mean Kendall-tau"],
+            rows,
+            title=f"Ablation - KL sidedness in retrieval (k={self.k})",
+        )
+
+
+def run_kl_side(
+    context: ExperimentContext,
+    *,
+    k: int | None = None,
+    num_neighbors: int = 10,
+) -> KLSideResult:
+    """Compare right / left / symmetrized KL retrieval accuracy."""
+    index = context.index
+    scale = context.scale
+    if k is None:
+        k = scale.max_k
+    points = index.index_points
+    acc: dict[str, list[float]] = {
+        "right (paper)": [],
+        "left": [],
+        "symmetrized": [],
+    }
+    num_neighbors = min(num_neighbors, index.num_index_points)
+    for query_index in range(context.workload.num_queries):
+        gamma = context.workload.items[query_index]
+        right = kl_divergence_matrix(points, gamma)
+        left = np.array(
+            [
+                kl_divergence_matrix(gamma[np.newaxis, :], point)[0]
+                for point in points
+            ]
+        )
+        variants = {
+            "right (paper)": right,
+            "left": left,
+            "symmetrized": 0.5 * (right + left),
+        }
+        truth = context.ground_truth(query_index, k)
+        for side, divs in variants.items():
+            order = np.argsort(divs, kind="stable")[:num_neighbors]
+            lists = [index.seed_lists[int(i)] for i in order]
+            weights = importance_weights(divs[order], scale.num_topics)
+            answer = aggregate_seed_lists(
+                lists, k, aggregator="copeland", weights=weights
+            )
+            acc[side].append(kendall_tau_top(answer, truth))
+    return KLSideResult(
+        k=k,
+        distances={side: float(np.mean(v)) for side, v in acc.items()},
+    )
+
+
+# ----------------------------------------------------------------------
+# Selection-threshold sensitivity
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SelectionThresholdResult:
+    """Per-threshold accuracy and mean number of lists aggregated."""
+
+    k: int
+    thresholds: tuple[float, ...]
+    mean_distance: dict[float, float]
+    mean_lists_kept: dict[float, float]
+
+    def render(self) -> str:
+        rows = [
+            [t, self.mean_distance[t], self.mean_lists_kept[t]]
+            for t in self.thresholds
+        ]
+        return format_table(
+            ["threshold", "mean Kendall-tau", "mean lists kept"],
+            rows,
+            title=(
+                "Ablation - neighbor-selection gap threshold "
+                f"(paper: 0.005, k={self.k})"
+            ),
+        )
+
+
+def run_selection_threshold(
+    context: ExperimentContext,
+    *,
+    thresholds: tuple[float, ...] = (0.001, 0.005, 0.02, 0.1),
+    k: int | None = None,
+) -> SelectionThresholdResult:
+    """Sweep the automatic-selection threshold."""
+    index = context.index
+    scale = context.scale
+    if k is None:
+        k = scale.max_k
+    distances: dict[float, list[float]] = {t: [] for t in thresholds}
+    kept: dict[float, list[int]] = {t: [] for t in thresholds}
+    for query_index in range(context.workload.num_queries):
+        gamma = context.workload.items[query_index]
+        divs = kl_divergence_matrix(index.index_points, gamma)
+        order = np.argsort(divs, kind="stable")[
+            : min(index.config.knn, index.num_index_points)
+        ]
+        weights = importance_weights(
+            divs[order],
+            scale.num_topics,
+            bound_eps=index.config.weight_bound_eps,
+        )
+        truth = context.ground_truth(query_index, k)
+        for threshold in thresholds:
+            keep = select_neighbors(weights, threshold=threshold)
+            lists = [index.seed_lists[int(i)] for i in order[:keep]]
+            answer = aggregate_seed_lists(
+                lists, k, aggregator="copeland", weights=weights[:keep]
+            )
+            distances[threshold].append(kendall_tau_top(answer, truth))
+            kept[threshold].append(keep)
+    return SelectionThresholdResult(
+        k=k,
+        thresholds=thresholds,
+        mean_distance={t: float(np.mean(v)) for t, v in distances.items()},
+        mean_lists_kept={t: float(np.mean(v)) for t, v in kept.items()},
+    )
+
+
+# ----------------------------------------------------------------------
+# Anderson--Darling alpha (early-stop calibration)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ADAlphaResult:
+    """Early-stop behavior as a function of the AD significance level.
+
+    Remember the direction: the search stops when normality is
+    *accepted*, so larger alpha means stopping is harder — more leaves,
+    more computations, better recall.
+    """
+
+    alphas: tuple[float, ...]
+    mean_leaves: dict[float, float]
+    mean_computations: dict[float, float]
+    recall_at_10: dict[float, float]
+
+    def render(self) -> str:
+        rows = [
+            [
+                alpha,
+                self.mean_leaves[alpha],
+                self.mean_computations[alpha],
+                self.recall_at_10[alpha],
+            ]
+            for alpha in self.alphas
+        ]
+        return format_table(
+            ["ad_alpha", "mean leaves", "mean KL comps", "recall@10"],
+            rows,
+            title=(
+                "Ablation - Anderson-Darling alpha (default 0.8 "
+                "calibrates to the paper's 3.65 mean leaves)"
+            ),
+        )
+
+
+def run_ad_alpha(
+    context: ExperimentContext,
+    *,
+    alphas: tuple[float, ...] = (0.05, 0.2, 0.5, 0.8),
+    num_queries: int = 25,
+) -> ADAlphaResult:
+    """Sweep the early-stopping significance level."""
+    from repro.bbtree.search import inflex_search
+    from repro.simplex.sampling import sample_uniform_simplex
+
+    index = context.index
+    tree = index.tree
+    queries = np.vstack(
+        [
+            context.workload.items[
+                : min(num_queries // 2, context.workload.num_queries)
+            ],
+            sample_uniform_simplex(
+                num_queries - min(
+                    num_queries // 2, context.workload.num_queries
+                ),
+                context.scale.num_topics,
+                seed=context.scale.seed + 77,
+            ),
+        ]
+    )
+    mean_leaves: dict[float, float] = {}
+    mean_comps: dict[float, float] = {}
+    recall: dict[float, float] = {}
+    k = min(10, index.num_index_points)
+    for alpha in alphas:
+        leaves, comps, recalls = [], [], []
+        for query in queries:
+            result = inflex_search(
+                tree,
+                query,
+                ad_alpha=alpha,
+                max_leaves=index.config.max_leaves,
+            )
+            leaves.append(result.stats.leaves_visited)
+            comps.append(result.stats.divergence_computations)
+            true_top = set(
+                np.argsort(
+                    kl_divergence_matrix(index.index_points, query)
+                )[:k].tolist()
+            )
+            recalls.append(
+                len(set(result.indices.tolist()) & true_top) / k
+            )
+        mean_leaves[alpha] = float(np.mean(leaves))
+        mean_comps[alpha] = float(np.mean(comps))
+        recall[alpha] = float(np.mean(recalls))
+    return ADAlphaResult(
+        alphas=tuple(alphas),
+        mean_leaves=mean_leaves,
+        mean_computations=mean_comps,
+        recall_at_10=recall,
+    )
+
+
+# ----------------------------------------------------------------------
+# Index size
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IndexSizeResult:
+    """Accuracy and query time as functions of ``h``."""
+
+    k: int
+    sizes: tuple[int, ...]
+    mean_distance: dict[int, float]
+    mean_query_ms: dict[int, float]
+
+    def render(self) -> str:
+        rows = [
+            [h, self.mean_distance[h], self.mean_query_ms[h]]
+            for h in self.sizes
+        ]
+        return format_table(
+            ["h (index points)", "mean Kendall-tau", "mean query ms"],
+            rows,
+            title=f"Ablation - index size h (k={self.k})",
+        )
+
+
+def run_index_size(
+    context: ExperimentContext,
+    *,
+    sizes: tuple[int, ...] = (8, 16, 32, 64),
+    k: int | None = None,
+) -> IndexSizeResult:
+    """Rebuild the index at several ``h`` and measure accuracy/time.
+
+    Reuses the context's dataset and ground truths; only the index is
+    rebuilt, which dominates this ablation's cost.
+    """
+    scale = context.scale
+    if k is None:
+        k = scale.max_k
+    mean_distance: dict[int, float] = {}
+    mean_query_ms: dict[int, float] = {}
+    for h in sizes:
+        config = InflexConfig(
+            num_index_points=h,
+            num_dirichlet_samples=max(scale.num_dirichlet_samples, h * 10),
+            seed_list_length=scale.seed_list_length,
+            ris_num_sets=scale.ris_num_sets,
+            knn=min(scale.knn, h),
+            max_leaves=scale.max_leaves,
+            leaf_size=scale.leaf_size,
+            seed=scale.seed,
+        )
+        index = InflexIndex.build(
+            context.dataset.graph, context.dataset.item_topics, config
+        )
+        distances = []
+        times = []
+        for query_index in range(context.workload.num_queries):
+            gamma = context.workload.items[query_index]
+            answer = index.query(gamma, k, strategy="inflex")
+            distances.append(
+                kendall_tau_top(
+                    answer.seeds, context.ground_truth(query_index, k)
+                )
+            )
+            times.append(answer.timing.total * 1000)
+        mean_distance[h] = float(np.mean(distances))
+        mean_query_ms[h] = float(np.mean(times))
+    return IndexSizeResult(
+        k=k,
+        sizes=tuple(sizes),
+        mean_distance=mean_distance,
+        mean_query_ms=mean_query_ms,
+    )

@@ -1,0 +1,105 @@
+"""Terminal scatter plots — the figures of the paper, as text.
+
+The experiments print tables by default; for the figures that are
+fundamentally *plots* (the ILR clouds of Figure 3, the correlation
+scatter of Figure 4, the trade-off scatter of Figure 9), a coarse
+character raster conveys the shape directly in the terminal and in
+logged benchmark output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Characters for overlapping point densities (light -> dense).
+_DENSITY = " .:+*#"
+
+
+def ascii_scatter(
+    x,
+    y,
+    *,
+    width: int = 60,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+    markers: dict[str, tuple] | None = None,
+) -> str:
+    """Render points as a character raster.
+
+    Parameters
+    ----------
+    x, y:
+        Point coordinates (equal-length 1-D arrays).
+    width, height:
+        Raster size in characters.
+    markers:
+        Optional named overlays: ``{"A": (xs, ys), ...}`` are drawn
+        with their first letter on top of the density raster (used for
+        labeled methods in the Figure 9 reproduction).
+    """
+    x_arr = np.asarray(x, dtype=np.float64)
+    y_arr = np.asarray(y, dtype=np.float64)
+    if x_arr.shape != y_arr.shape or x_arr.ndim != 1:
+        raise ValueError(
+            f"x and y must be equal-length vectors, got {x_arr.shape} "
+            f"and {y_arr.shape}"
+        )
+    if x_arr.size == 0 and not markers:
+        raise ValueError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ValueError("raster must be at least 8x4 characters")
+
+    all_x = [x_arr] + [
+        np.asarray(mx, dtype=np.float64) for mx, _ in (markers or {}).values()
+    ]
+    all_y = [y_arr] + [
+        np.asarray(my, dtype=np.float64) for _, my in (markers or {}).values()
+    ]
+    x_min = min(float(a.min()) for a in all_x if a.size)
+    x_max = max(float(a.max()) for a in all_x if a.size)
+    y_min = min(float(a.min()) for a in all_y if a.size)
+    y_max = max(float(a.max()) for a in all_y if a.size)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    def to_cell(px: float, py: float) -> tuple[int, int]:
+        col = int((px - x_min) / x_span * (width - 1))
+        row = int((py - y_min) / y_span * (height - 1))
+        return height - 1 - row, col  # y grows upward
+
+    counts = np.zeros((height, width), dtype=np.int64)
+    for px, py in zip(x_arr, y_arr):
+        row, col = to_cell(float(px), float(py))
+        counts[row, col] += 1
+    grid = [[" "] * width for _ in range(height)]
+    if counts.max() > 0:
+        levels = np.ceil(
+            counts / counts.max() * (len(_DENSITY) - 1)
+        ).astype(int)
+        for row in range(height):
+            for col in range(width):
+                grid[row][col] = _DENSITY[levels[row, col]]
+    for name, (mx, my) in (markers or {}).items():
+        for px, py in zip(np.atleast_1d(mx), np.atleast_1d(my)):
+            row, col = to_cell(float(px), float(py))
+            grid[row][col] = name[0].upper()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:.3g} ^")
+    for row in grid:
+        lines.append("      |" + "".join(row))
+    lines.append(f"{y_min:.3g} +" + "-" * width + f"> {x_label}")
+    lines.append(
+        f"      {x_min:.3g}" + " " * max(1, width - 12) + f"{x_max:.3g}"
+    )
+    lines.append(f"      (y: {y_label})")
+    if markers:
+        legend = ", ".join(
+            f"{name[0].upper()}={name}" for name in markers
+        )
+        lines.append(f"      markers: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Shared experiment context: dataset, index, workload, ground truths.
+
+Most of the paper's tables and figures evaluate the same artifacts —
+one dataset, one INFLEX index, one query workload, one offline-TIC
+ground truth per query — so those are built once per scale and cached.
+Ground-truth seed lists are computed at the largest requested ``k`` and
+sliced for smaller budgets (greedy rankings are prefix-consistent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.core.index import InflexIndex
+from repro.core.offline import offline_ic_seed_list, offline_tic_seed_list
+from repro.datasets.flixster import FlixsterLikeDataset, generate_flixster_like
+from repro.datasets.workloads import QueryWorkload, generate_query_workload
+from repro.experiments.presets import PRESETS, ExperimentScale
+from repro.im.seed_list import SeedList
+from repro.propagation.spread import estimate_spread
+from repro.rng import resolve_rng
+
+
+@dataclass
+class ExperimentContext:
+    """Everything the per-figure experiment modules consume."""
+
+    scale: ExperimentScale
+    dataset: FlixsterLikeDataset
+    index: InflexIndex
+    workload: QueryWorkload
+    _ground_truth: dict[int, SeedList] = field(default_factory=dict)
+    _offline_ic: SeedList | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, scale: ExperimentScale) -> "ExperimentContext":
+        """Build the shared artifacts for ``scale`` (deterministic)."""
+        dataset = generate_flixster_like(
+            num_nodes=scale.num_nodes,
+            num_topics=scale.num_topics,
+            num_items=scale.num_items,
+            avg_out_degree=scale.avg_out_degree,
+            base_strength=scale.base_strength,
+            topics_per_node=scale.topics_per_node,
+            seed=scale.seed,
+        )
+        index = InflexIndex.build(
+            dataset.graph, dataset.item_topics, scale.config()
+        )
+        workload = generate_query_workload(
+            dataset.item_topics,
+            scale.num_queries,
+            data_driven_fraction=scale.data_driven_fraction,
+            seed=scale.seed + 1,
+        )
+        return cls(
+            scale=scale, dataset=dataset, index=index, workload=workload
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self):
+        return self.dataset.graph
+
+    def ground_truth(self, query_index: int, k: int | None = None) -> SeedList:
+        """The offline-TIC seed list for one workload query.
+
+        Computed once per query at the scale's maximum ``k`` and sliced
+        (greedy seed rankings are prefix-consistent in ``k``).
+        """
+        if query_index not in self._ground_truth:
+            gamma = self.workload.items[query_index]
+            self._ground_truth[query_index] = offline_tic_seed_list(
+                self.graph,
+                gamma,
+                self.scale.max_k,
+                ris_num_sets=self.scale.ground_truth_ris_sets,
+                seed=self.scale.seed * 1000 + query_index,
+            )
+        full = self._ground_truth[query_index]
+        return full if k is None else full.top(k)
+
+    def offline_ic(self, k: int | None = None) -> SeedList:
+        """The topic-blind baseline seed list (shared by all queries)."""
+        if self._offline_ic is None:
+            self._offline_ic = offline_ic_seed_list(
+                self.graph,
+                self.scale.max_k,
+                ris_num_sets=self.scale.ground_truth_ris_sets,
+                seed=self.scale.seed * 1000 + 999983,
+            )
+        return self._offline_ic if k is None else self._offline_ic.top(k)
+
+    def spread(self, gamma, seeds, *, seed_offset: int = 0):
+        """Monte-Carlo spread estimate at the scale's simulation budget."""
+        return estimate_spread(
+            self.graph,
+            gamma,
+            list(seeds),
+            num_simulations=self.scale.spread_simulations,
+            seed=self.scale.seed * 7919 + seed_offset,
+        )
+
+    def random_seeds(self, k: int, *, seed_offset: int = 0) -> SeedList:
+        """A fresh random seed set (the ``random`` baseline)."""
+        rng = resolve_rng(self.scale.seed * 104729 + seed_offset)
+        chosen = rng.choice(self.graph.num_nodes, size=k, replace=False)
+        return SeedList(tuple(int(v) for v in chosen), (), algorithm="random")
+
+
+@lru_cache(maxsize=4)
+def get_context(scale_name: str) -> ExperimentContext:
+    """Process-wide cached context per preset name.
+
+    Benchmarks for different tables/figures share one context so the
+    expensive index construction and ground truths are paid once per
+    pytest session.
+    """
+    if scale_name not in PRESETS:
+        raise KeyError(
+            f"unknown scale {scale_name!r}; expected one of {sorted(PRESETS)}"
+        )
+    return ExperimentContext.create(PRESETS[scale_name])

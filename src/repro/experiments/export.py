@@ -1,0 +1,87 @@
+"""Exporting experiment results for external plotting.
+
+The experiments render ASCII tables for the terminal; this module
+serializes the same data as JSON and CSV so the paper's actual figures
+can be re-plotted with any tool.  Every experiment result dataclass in
+:mod:`repro.experiments` is supported via a generic conversion that
+keeps scalars, strings and (nested) dicts/tuples of them.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+
+def _jsonable(value):
+    """Recursively convert experiment payloads to JSON-safe values."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {_key(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonable(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    return repr(value)
+
+
+def _key(key) -> str:
+    """JSON object keys must be strings; tuples become joined strings."""
+    if isinstance(key, tuple):
+        return "|".join(str(part) for part in key)
+    return str(key)
+
+
+def result_to_dict(result) -> dict:
+    """Convert any experiment result dataclass to a plain dict."""
+    if not dataclasses.is_dataclass(result):
+        raise TypeError(
+            f"expected an experiment result dataclass, got {type(result)}"
+        )
+    return _jsonable(result)
+
+
+def export_json(result, path) -> None:
+    """Write an experiment result as pretty-printed JSON."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(result_to_dict(result), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def export_series_csv(x_label: str, x_values, series: dict, path) -> None:
+    """Write figure-style series data as CSV (one column per series).
+
+    Matches the structure of
+    :func:`repro.experiments.reporting.format_series`, so a figure's
+    plotted data can be re-plotted externally.
+    """
+    names = list(series)
+    lengths = {len(values) for values in series.values()}
+    if lengths != {len(list(x_values))}:
+        raise ValueError(
+            f"series lengths {lengths} do not match "
+            f"{len(list(x_values))} x values"
+        )
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([x_label] + names)
+        for i, x in enumerate(x_values):
+            writer.writerow([x] + [series[name][i] for name in names])

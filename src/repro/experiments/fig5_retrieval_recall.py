@@ -1,0 +1,186 @@
+"""Figure 5 (and the Section 5 early-stopping statistics).
+
+Retrieval accuracy of the approximate similarity search: recall of the
+top-K *true* nearest neighbors as a function of the number of visited
+leaves, for K in {5, 10, 15, 20}, on randomly chosen query items —
+without the Anderson--Darling early stop.  The accompanying text
+statistics compare the AD-based early stopping against fixed leaf
+budgets: its recall, its average number of visited leaves (paper: 3.65)
+and its divergence-computation count (paper: roughly half).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bbtree.search import inflex_search, leaf_limited_search
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import format_series, format_table
+from repro.rng import resolve_rng
+from repro.simplex.kl import kl_divergence_matrix
+from repro.simplex.sampling import sample_uniform_simplex
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Recall curves plus early-stopping statistics.
+
+    ``recall[(K, L)]`` is the mean recall of the true top-K among the
+    points collected in the first ``L`` visited leaves.  The
+    ``*_samples`` fields keep per-query values so the paper's paired
+    t-tests (AD stop vs fixed leaf budgets) can be reproduced via
+    :meth:`compare_with_budget`.
+    """
+
+    k_values: tuple[int, ...]
+    leaf_budgets: tuple[int, ...]
+    recall: dict[tuple[int, int], float]
+    ad_recall: dict[int, float]
+    ad_mean_leaves: float
+    ad_mean_computations: float
+    fixed_mean_computations: dict[int, float]
+    recall_samples: dict[tuple[int, int], tuple[float, ...]]
+    ad_recall_samples: dict[int, tuple[float, ...]]
+    ad_computation_samples: tuple[float, ...]
+    fixed_computation_samples: dict[int, tuple[float, ...]]
+
+    def compare_with_budget(self, leaves: int, *, k: int = 10):
+        """Paired t-tests: AD early stop vs a fixed leaf budget.
+
+        Returns ``(recall_test, computation_test)`` where positive mean
+        differences mean the AD stop has *higher* recall /
+        *more* computations respectively — the comparison behind the
+        paper's statement that the AD criterion beats small fixed
+        budgets on both axes and trades recall for computations against
+        larger ones.
+        """
+        from repro.stats.tests import paired_t_test
+
+        if leaves not in self.leaf_budgets:
+            raise ValueError(
+                f"leaves must be one of {self.leaf_budgets}, got {leaves}"
+            )
+        if k not in self.k_values:
+            raise ValueError(f"k must be one of {self.k_values}, got {k}")
+        recall_test = paired_t_test(
+            self.ad_recall_samples[k], self.recall_samples[(k, leaves)]
+        )
+        computation_test = paired_t_test(
+            self.ad_computation_samples,
+            self.fixed_computation_samples[leaves],
+        )
+        return recall_test, computation_test
+
+    def render(self) -> str:
+        series = {
+            f"K={k}": [self.recall[(k, leaves)] for leaves in self.leaf_budgets]
+            for k in self.k_values
+        }
+        part1 = format_series(
+            "visited leaves",
+            list(self.leaf_budgets),
+            series,
+            title="Figure 5 - retrieval recall (leaf-based search)",
+        )
+        rows = [
+            [f"K={k}", self.ad_recall[k]] for k in self.k_values
+        ]
+        rows.append(["mean leaves visited", self.ad_mean_leaves])
+        rows.append(["mean KL computations (AD)", self.ad_mean_computations])
+        rows.append(
+            [
+                "mean KL computations (5 leaves)",
+                self.fixed_mean_computations[max(self.leaf_budgets)],
+            ]
+        )
+        part2 = format_table(
+            ["Anderson-Darling early stop", "value"],
+            rows,
+            title="Early-stopping statistics (Section 5 text)",
+        )
+        return part1 + "\n\n" + part2
+
+
+def run(
+    context: ExperimentContext,
+    *,
+    num_queries: int = 40,
+    k_values: tuple[int, ...] = (5, 10, 15, 20),
+    leaf_budgets: tuple[int, ...] = (1, 2, 3, 4, 5),
+) -> Fig5Result:
+    """Measure retrieval recall on random query items."""
+    index = context.index
+    tree = index.tree
+    h = index.num_index_points
+    k_values = tuple(k for k in k_values if k <= h)
+    rng = resolve_rng(context.scale.seed + 55)
+    queries = sample_uniform_simplex(
+        num_queries, context.scale.num_topics, seed=rng
+    )
+    recall_acc: dict[tuple[int, int], list[float]] = {
+        (k, leaves): [] for k in k_values for leaves in leaf_budgets
+    }
+    ad_recall_acc: dict[int, list[float]] = {k: [] for k in k_values}
+    ad_leaves: list[int] = []
+    ad_computations: list[int] = []
+    fixed_computations: dict[int, list[int]] = {
+        leaves: [] for leaves in leaf_budgets
+    }
+    for query in queries:
+        true_order = np.argsort(
+            kl_divergence_matrix(index.index_points, query), kind="stable"
+        )
+        true_top = {k: set(true_order[:k].tolist()) for k in k_values}
+        for leaves in leaf_budgets:
+            retrieved_all = leaf_limited_search(
+                tree, query, h, max_leaves=leaves
+            )
+            fixed_computations[leaves].append(
+                retrieved_all.stats.divergence_computations
+            )
+            found = set(int(v) for v in retrieved_all.indices)
+            for k in k_values:
+                recall_acc[(k, leaves)].append(
+                    len(found & true_top[k]) / k
+                )
+        ad_result = inflex_search(
+            tree,
+            query,
+            epsilon=index.config.epsilon,
+            ad_alpha=index.config.ad_alpha,
+            max_leaves=max(leaf_budgets),
+        )
+        ad_leaves.append(ad_result.stats.leaves_visited)
+        ad_computations.append(ad_result.stats.divergence_computations)
+        ad_found = set(int(v) for v in ad_result.indices)
+        for k in k_values:
+            ad_recall_acc[k].append(len(ad_found & true_top[k]) / k)
+    return Fig5Result(
+        k_values=k_values,
+        leaf_budgets=leaf_budgets,
+        recall={
+            key: float(np.mean(values)) for key, values in recall_acc.items()
+        },
+        ad_recall={
+            k: float(np.mean(values)) for k, values in ad_recall_acc.items()
+        },
+        ad_mean_leaves=float(np.mean(ad_leaves)),
+        ad_mean_computations=float(np.mean(ad_computations)),
+        fixed_mean_computations={
+            leaves: float(np.mean(values))
+            for leaves, values in fixed_computations.items()
+        },
+        recall_samples={
+            key: tuple(values) for key, values in recall_acc.items()
+        },
+        ad_recall_samples={
+            k: tuple(values) for k, values in ad_recall_acc.items()
+        },
+        ad_computation_samples=tuple(float(v) for v in ad_computations),
+        fixed_computation_samples={
+            leaves: tuple(float(v) for v in values)
+            for leaves, values in fixed_computations.items()
+        },
+    )

@@ -1,0 +1,89 @@
+"""Figure 6: accuracy comparison of the query-evaluation strategies.
+
+Mean Kendall-tau distance to the offline ground truth for INFLEX and
+the four alternatives (exactKNN, approxKNN, approxKNN+Sel, approxAD)
+across seed-set sizes.  Paper's findings: INFLEX is statistically
+indistinguishable from approxKNN, and consistently better than
+approxAD (thanks to the neighbor selection) and approxKNN+Sel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.index import STRATEGIES
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import format_series
+from repro.ranking.kendall import kendall_tau_top
+from repro.stats.tests import PairedTTestResult, paired_t_test
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """Mean Kendall-tau per (strategy, k) plus per-query samples."""
+
+    k_values: tuple[int, ...]
+    mean_distance: dict[tuple[str, int], float]
+    samples: dict[tuple[str, int], tuple[float, ...]]
+
+    def strategy_means(self) -> dict[str, float]:
+        return {
+            strategy: float(
+                np.mean(
+                    [self.mean_distance[(strategy, k)] for k in self.k_values]
+                )
+            )
+            for strategy in STRATEGIES
+        }
+
+    def compare(self, strategy_a: str, strategy_b: str, k: int) -> PairedTTestResult:
+        """Paired t-test between two strategies at one ``k``."""
+        return paired_t_test(
+            self.samples[(strategy_a, k)], self.samples[(strategy_b, k)]
+        )
+
+    def render(self) -> str:
+        series = {
+            strategy: [
+                self.mean_distance[(strategy, k)] for k in self.k_values
+            ]
+            for strategy in STRATEGIES
+        }
+        return format_series(
+            "k",
+            list(self.k_values),
+            series,
+            title="Figure 6 - mean Kendall-tau vs offline ground truth",
+        )
+
+
+def run(
+    context: ExperimentContext,
+    *,
+    k_values: tuple[int, ...] | None = None,
+) -> Fig6Result:
+    """Evaluate every strategy on the shared workload."""
+    if k_values is None:
+        k_values = context.scale.seed_set_sizes
+    k_values = tuple(k for k in k_values if k <= context.scale.max_k)
+    acc: dict[tuple[str, int], list[float]] = {
+        (s, k): [] for s in STRATEGIES for k in k_values
+    }
+    for query_index in range(context.workload.num_queries):
+        gamma = context.workload.items[query_index]
+        for strategy in STRATEGIES:
+            for k in k_values:
+                answer = context.index.query(gamma, k, strategy=strategy)
+                truth = context.ground_truth(query_index, k)
+                acc[(strategy, k)].append(
+                    kendall_tau_top(answer.seeds, truth)
+                )
+    return Fig6Result(
+        k_values=k_values,
+        mean_distance={
+            key: float(np.mean(values)) for key, values in acc.items()
+        },
+        samples={key: tuple(values) for key, values in acc.items()},
+    )

@@ -1,0 +1,92 @@
+"""Figure 7: run-time comparison of the query-evaluation strategies.
+
+Mean query-evaluation wall-clock per strategy and seed-set size, split
+into the pipeline phases (search / selection / aggregation).  Paper's
+findings: approxKNN+Sel is fastest (pre-bounded search plus pruned
+aggregation), exact K-NN slowest, INFLEX in between — and everything is
+milliseconds, versus hours-to-days for the offline computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.index import STRATEGIES
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import format_series
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Mean per-query time (milliseconds) per (strategy, k)."""
+
+    k_values: tuple[int, ...]
+    mean_total_ms: dict[tuple[str, int], float]
+    mean_search_ms: dict[str, float]
+    mean_aggregation_ms: dict[str, float]
+
+    def strategy_means(self) -> dict[str, float]:
+        return {
+            strategy: float(
+                np.mean(
+                    [self.mean_total_ms[(strategy, k)] for k in self.k_values]
+                )
+            )
+            for strategy in STRATEGIES
+        }
+
+    def render(self) -> str:
+        series = {
+            strategy: [
+                self.mean_total_ms[(strategy, k)] for k in self.k_values
+            ]
+            for strategy in STRATEGIES
+        }
+        return format_series(
+            "k",
+            list(self.k_values),
+            series,
+            title="Figure 7 - mean query evaluation time (ms)",
+        )
+
+
+def run(
+    context: ExperimentContext,
+    *,
+    k_values: tuple[int, ...] | None = None,
+    repeats: int = 1,
+) -> Fig7Result:
+    """Time every strategy on the shared workload."""
+    if k_values is None:
+        k_values = context.scale.seed_set_sizes
+    k_values = tuple(k for k in k_values if k <= context.scale.max_k)
+    totals: dict[tuple[str, int], list[float]] = {
+        (s, k): [] for s in STRATEGIES for k in k_values
+    }
+    search: dict[str, list[float]] = {s: [] for s in STRATEGIES}
+    aggregation: dict[str, list[float]] = {s: [] for s in STRATEGIES}
+    for query_index in range(context.workload.num_queries):
+        gamma = context.workload.items[query_index]
+        for strategy in STRATEGIES:
+            for k in k_values:
+                for _ in range(max(1, repeats)):
+                    answer = context.index.query(gamma, k, strategy=strategy)
+                    totals[(strategy, k)].append(answer.timing.total * 1000)
+                    search[strategy].append(answer.timing.search * 1000)
+                    aggregation[strategy].append(
+                        answer.timing.aggregation * 1000
+                    )
+    return Fig7Result(
+        k_values=k_values,
+        mean_total_ms={
+            key: float(np.mean(values)) for key, values in totals.items()
+        },
+        mean_search_ms={
+            s: float(np.mean(values)) for s, values in search.items()
+        },
+        mean_aggregation_ms={
+            s: float(np.mean(values)) for s, values in aggregation.items()
+        },
+    )

@@ -1,0 +1,87 @@
+"""Figure 9: run-time vs expected-spread trade-off.
+
+One point per method: mean query-evaluation time against mean expected
+spread (at the largest ``k``).  Paper's finding: INFLEX sits near the
+top-left frontier — almost the best spread at less than half the time
+of the exact alternatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.fig8_spread import _STRATEGY_OF, run as run_fig8
+from repro.experiments.reporting import format_table
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """(mean time ms, mean spread) per strategy at one ``k``."""
+
+    k: int
+    points: dict[str, tuple[float, float]]
+
+    def frontier(self) -> list[str]:
+        """Methods on the Pareto frontier (faster or higher spread)."""
+        methods = sorted(self.points, key=lambda m: self.points[m][0])
+        best: list[str] = []
+        top_spread = -np.inf
+        for method in methods:
+            _, spread = self.points[method]
+            if spread > top_spread:
+                best.append(method)
+                top_spread = spread
+        return best
+
+    def render_plot(self) -> str:
+        """The trade-off scatter with method-initial markers."""
+        from repro.experiments.ascii_plot import ascii_scatter
+
+        markers = {
+            method: ([time_ms], [spread])
+            for method, (time_ms, spread) in self.points.items()
+        }
+        return ascii_scatter(
+            [],
+            [],
+            markers=markers,
+            x_label="query time (ms)",
+            y_label="expected spread",
+            title=f"Figure 9 scatter (k={self.k})",
+        )
+
+    def render(self) -> str:
+        rows = [
+            [method, time_ms, spread]
+            for method, (time_ms, spread) in sorted(
+                self.points.items(), key=lambda kv: kv[1][0]
+            )
+        ]
+        return format_table(
+            ["Method", "mean query time (ms)", "mean expected spread"],
+            rows,
+            title=f"Figure 9 - run-time vs spread trade-off at k={self.k}",
+        )
+
+
+def run(context: ExperimentContext, *, k: int | None = None) -> Fig9Result:
+    """Measure time and spread per index-backed strategy."""
+    scale = context.scale
+    if k is None:
+        k = scale.max_k
+    spread_result = run_fig8(context, k=k)
+    points: dict[str, tuple[float, float]] = {}
+    for method, strategy in _STRATEGY_OF.items():
+        times = []
+        for query_index in range(context.workload.num_queries):
+            gamma = context.workload.items[query_index]
+            answer = context.index.query(gamma, k, strategy=strategy)
+            times.append(answer.timing.total * 1000)
+        points[method] = (
+            float(np.mean(times)),
+            spread_result.mean_spread(method),
+        )
+    return Fig9Result(k=k, points=points)

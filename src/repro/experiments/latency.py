@@ -1,0 +1,82 @@
+"""Query-latency percentiles per strategy.
+
+The paper's headline claim is answering "in few milliseconds"; the mean
+(Figure 7) hides tail behavior, which is what an online analytics
+deployment actually cares about.  This experiment runs every strategy
+repeatedly over the workload and reports p50 / p90 / p99 latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.index import STRATEGIES
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import format_table
+
+PERCENTILES = (50, 90, 99)
+
+
+@dataclass(frozen=True)
+class LatencyResult:
+    """Latency percentiles (milliseconds) per strategy.
+
+    ``samples`` keeps the raw per-query latencies for external analysis.
+    """
+
+    k: int
+    percentiles: dict[tuple[str, int], float]
+    samples: dict[str, tuple[float, ...]]
+
+    def render(self) -> str:
+        rows = []
+        for strategy in STRATEGIES:
+            rows.append(
+                [strategy]
+                + [self.percentiles[(strategy, p)] for p in PERCENTILES]
+            )
+        return format_table(
+            ["strategy"] + [f"p{p} (ms)" for p in PERCENTILES],
+            rows,
+            title=f"Query latency percentiles at k={self.k}",
+        )
+
+
+def run(
+    context: ExperimentContext,
+    *,
+    k: int | None = None,
+    repeats: int = 3,
+) -> LatencyResult:
+    """Measure per-strategy latency distributions.
+
+    Parameters
+    ----------
+    repeats:
+        Passes over the workload per strategy; more passes tighten the
+        tail estimates (each query is an independent sample).
+    """
+    scale = context.scale
+    if k is None:
+        k = scale.max_k
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    samples: dict[str, list[float]] = {s: [] for s in STRATEGIES}
+    for _ in range(repeats):
+        for query_index in range(context.workload.num_queries):
+            gamma = context.workload.items[query_index]
+            for strategy in STRATEGIES:
+                answer = context.index.query(gamma, k, strategy=strategy)
+                samples[strategy].append(answer.timing.total * 1000)
+    percentiles = {
+        (strategy, p): float(np.percentile(values, p))
+        for strategy, values in samples.items()
+        for p in PERCENTILES
+    }
+    return LatencyResult(
+        k=k,
+        percentiles=percentiles,
+        samples={s: tuple(v) for s, v in samples.items()},
+    )

@@ -1,0 +1,118 @@
+"""Run every paper experiment and write a results directory.
+
+``run_all`` executes each table/figure module against one shared
+context and writes, per experiment, the rendered text and a JSON dump —
+the "regenerate the whole evaluation section" entry point:
+
+    from repro.experiments import get_context
+    from repro.experiments.runner import run_all
+    run_all(get_context("paper-shape"), "results/")
+
+(or ``repro-inflex experiment`` for single experiments).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments import (
+    ablations,
+    drift,
+    fig3_index_selection,
+    robustness,
+    fig4_distance_correlation,
+    fig5_retrieval_recall,
+    fig6_accuracy,
+    fig7_runtime,
+    fig8_spread,
+    fig9_tradeoff,
+    latency,
+    significance,
+    table1_aggregation,
+    table3_spread_by_k,
+    workload_split,
+)
+from repro.experiments.context import ExperimentContext
+from repro.experiments.export import export_json
+
+#: name -> zero-argument-beyond-context runner.
+EXPERIMENTS = {
+    "fig3_index_selection": fig3_index_selection.run,
+    "fig4_distance_correlation": fig4_distance_correlation.run,
+    "fig5_retrieval_recall": fig5_retrieval_recall.run,
+    "table1_aggregation": table1_aggregation.run,
+    "fig6_accuracy": fig6_accuracy.run,
+    "fig7_runtime": fig7_runtime.run,
+    "fig8_spread": fig8_spread.run,
+    "table3_spread_by_k": table3_spread_by_k.run,
+    "fig9_tradeoff": fig9_tradeoff.run,
+    "significance": significance.run,
+    "workload_split": workload_split.run,
+    "latency": latency.run,
+    "ablation_kl_side": ablations.run_kl_side,
+    "ablation_selection_threshold": ablations.run_selection_threshold,
+    "ablation_ad_alpha": ablations.run_ad_alpha,
+    "robustness_parameter_noise": robustness.run_parameter_noise,
+    "robustness_sparse_catalog": robustness.run_sparse_catalog,
+    "drift_densification": drift.run,
+}
+
+
+def run_all(
+    context: ExperimentContext,
+    out_dir,
+    *,
+    only=None,
+    progress=None,
+) -> dict[str, object]:
+    """Run (a subset of) the experiment suite, writing artifacts.
+
+    Parameters
+    ----------
+    context:
+        The shared experiment context.
+    out_dir:
+        Directory receiving ``<name>.txt`` (rendered) and
+        ``<name>.json`` (raw data) per experiment, plus an
+        ``INDEX.txt`` table of contents.
+    only:
+        Optional iterable of experiment names to restrict to.
+    progress:
+        Optional ``progress(name, done, total)`` callback.
+
+    Returns
+    -------
+    dict
+        Experiment name to result object.
+    """
+    target = Path(out_dir)
+    target.mkdir(parents=True, exist_ok=True)
+    selected = dict(EXPERIMENTS)
+    if only is not None:
+        names = set(only)
+        unknown = names - set(selected)
+        if unknown:
+            raise KeyError(
+                f"unknown experiments: {sorted(unknown)}; available: "
+                f"{sorted(selected)}"
+            )
+        selected = {
+            name: fn for name, fn in selected.items() if name in names
+        }
+    results: dict[str, object] = {}
+    total = len(selected)
+    for done, (name, runner) in enumerate(selected.items(), start=1):
+        result = runner(context)
+        results[name] = result
+        (target / f"{name}.txt").write_text(result.render() + "\n")
+        export_json(result, target / f"{name}.json")
+        if progress is not None:
+            progress(name, done, total)
+    lines = [
+        f"Experiment results at scale '{context.scale.name}'",
+        "",
+    ]
+    for name in selected:
+        lines.append(f"  {name}.txt / {name}.json")
+    (target / "INDEX.txt").write_text("\n".join(lines) + "\n")
+    return results

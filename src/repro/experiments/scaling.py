@@ -1,0 +1,134 @@
+"""Scaling and break-even analysis of the index economics.
+
+The paper's pitch is an economic trade: pay an expensive offline
+precomputation once, then answer every query in milliseconds instead
+of hours.  This analysis makes the trade concrete at a given scale:
+
+* offline cost per from-scratch query (the `offline TIC` path);
+* index construction cost as a function of ``h``;
+* indexed query latency as a function of ``h``;
+* the **break-even query count** — after how many queries the index
+  has paid for itself.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import InflexConfig
+from repro.core.index import InflexIndex
+from repro.core.offline import offline_tic_seed_list
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import format_table
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """Index economics at one dataset scale.
+
+    Attributes
+    ----------
+    offline_seconds_per_query:
+        Mean wall-clock of one from-scratch TIM answer.
+    build_seconds:
+        Index construction time per evaluated ``h``.
+    query_ms:
+        Mean indexed query latency per evaluated ``h``.
+    breakeven_queries:
+        ``build_seconds / (offline_seconds - query_seconds)`` per ``h``
+        — the number of queries after which building the index was the
+        cheaper choice.
+    """
+
+    sizes: tuple[int, ...]
+    offline_seconds_per_query: float
+    build_seconds: dict[int, float]
+    query_ms: dict[int, float]
+
+    def breakeven_queries(self, h: int) -> float:
+        saved_per_query = (
+            self.offline_seconds_per_query - self.query_ms[h] / 1000.0
+        )
+        if saved_per_query <= 0:
+            return float("inf")
+        return self.build_seconds[h] / saved_per_query
+
+    def render(self) -> str:
+        rows = []
+        for h in self.sizes:
+            rows.append(
+                [
+                    h,
+                    f"{self.build_seconds[h]:.1f}",
+                    f"{self.query_ms[h]:.2f}",
+                    f"{self.breakeven_queries(h):.1f}",
+                ]
+            )
+        table = format_table(
+            ["h", "build (s)", "query (ms)", "break-even (#queries)"],
+            rows,
+            title=(
+                "Index economics - offline answer costs "
+                f"{self.offline_seconds_per_query:.2f}s/query"
+            ),
+        )
+        return table
+
+
+def run(
+    context: ExperimentContext,
+    *,
+    sizes: tuple[int, ...] = (16, 64),
+    num_offline_queries: int = 3,
+    num_index_queries: int = 20,
+) -> ScalingResult:
+    """Measure build/query/break-even economics on the shared dataset."""
+    if num_offline_queries < 1 or num_index_queries < 1:
+        raise ValueError("query counts must be >= 1")
+    scale = context.scale
+    k = scale.max_k
+
+    # Offline cost per query.
+    start = time.perf_counter()
+    for qi in range(num_offline_queries):
+        offline_tic_seed_list(
+            context.graph,
+            context.workload.items[qi],
+            k,
+            ris_num_sets=scale.ground_truth_ris_sets,
+            seed=qi,
+        )
+    offline_per_query = (time.perf_counter() - start) / num_offline_queries
+
+    build_seconds: dict[int, float] = {}
+    query_ms: dict[int, float] = {}
+    for h in sizes:
+        config = InflexConfig(
+            num_index_points=h,
+            num_dirichlet_samples=max(scale.num_dirichlet_samples, h * 10),
+            seed_list_length=scale.seed_list_length,
+            ris_num_sets=scale.ris_num_sets,
+            knn=min(scale.knn, h),
+            max_leaves=scale.max_leaves,
+            leaf_size=scale.leaf_size,
+            seed=scale.seed,
+        )
+        start = time.perf_counter()
+        index = InflexIndex.build(
+            context.dataset.graph, context.dataset.item_topics, config
+        )
+        build_seconds[h] = time.perf_counter() - start
+        times = []
+        for qi in range(min(num_index_queries, context.workload.num_queries)):
+            answer = index.query(context.workload.items[qi], k)
+            times.append(answer.timing.total * 1000)
+        query_ms[h] = float(np.mean(times))
+    return ScalingResult(
+        sizes=tuple(sizes),
+        offline_seconds_per_query=offline_per_query,
+        build_seconds=build_seconds,
+        query_ms=query_ms,
+    )

@@ -1,0 +1,142 @@
+"""Statistical significance of the strategy comparisons (Section 5 text).
+
+The paper backs its claims with paired t-tests: INFLEX vs approxKNN is
+statistically indistinguishable in accuracy, INFLEX beats approxAD,
+the early-stopping criterion trades recall for KL computations, and
+Copeland^w beats the other aggregators.  This module reproduces those
+tests on the shared workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.fig6_accuracy import run as run_fig6
+from repro.experiments.reporting import format_table
+from repro.experiments.table1_aggregation import METHODS
+from repro.ranking.kendall import kendall_tau_top
+from repro.stats.tests import PairedTTestResult, paired_t_test
+
+
+@dataclass(frozen=True)
+class SignificanceResult:
+    """Paired t-tests for the paper's headline comparisons.
+
+    ``strategy_tests`` maps ``(strategy_a, strategy_b)`` to the paired
+    t-test on their per-query Kendall-tau distances at the largest
+    ``k``; positive ``mean_difference`` means ``strategy_a`` has larger
+    distance (is *less* accurate).
+    """
+
+    k: int
+    strategy_tests: dict[tuple[str, str], PairedTTestResult]
+    aggregation_tests: dict[tuple[str, str], PairedTTestResult]
+
+    def render(self) -> str:
+        rows = []
+        for (a, b), test in sorted(self.strategy_tests.items()):
+            rows.append(
+                [
+                    f"{a} vs {b}",
+                    test.mean_difference,
+                    test.p_value,
+                    "yes" if test.significant() else "no",
+                ]
+            )
+        part1 = format_table(
+            ["strategies", "mean diff (Kendall)", "p-value", "sig. (5%)"],
+            rows,
+            title=f"Paired t-tests between strategies (k={self.k})",
+        )
+        rows = []
+        for (a, b), test in sorted(self.aggregation_tests.items()):
+            rows.append(
+                [
+                    f"{a} vs {b}",
+                    test.mean_difference,
+                    test.p_value,
+                    "yes" if test.significant() else "no",
+                ]
+            )
+        part2 = format_table(
+            ["aggregators", "mean diff (Kendall)", "p-value", "sig. (5%)"],
+            rows,
+            title="Paired t-tests between aggregation methods",
+        )
+        return part1 + "\n\n" + part2
+
+
+def run(context: ExperimentContext, *, k: int | None = None) -> SignificanceResult:
+    """Run the paper's significance comparisons on the shared workload."""
+    scale = context.scale
+    if k is None:
+        k = scale.max_k
+    fig6 = run_fig6(context, k_values=(k,))
+    pairs = [
+        ("inflex", "approx-knn"),
+        ("inflex", "approx-ad"),
+        ("inflex", "approx-knn-sel"),
+        ("approx-knn", "exact-knn"),
+    ]
+    strategy_tests = {
+        (a, b): paired_t_test(fig6.samples[(a, k)], fig6.samples[(b, k)])
+        for a, b in pairs
+    }
+
+    # Aggregator comparison: per-query distances at one k, using the
+    # exact top-N inputs as in Table 1 (recomputed here because the
+    # t-tests need per-query samples, not Table 1's means).
+    index = context.index
+    per_method: dict[str, list[float]] = {m: [] for m in METHODS}
+    import numpy as np
+
+    from repro.core.aggregation import aggregate_seed_lists
+    from repro.ranking.weights import importance_weights
+    from repro.simplex.kl import kl_divergence_matrix
+
+    for query_index in range(context.workload.num_queries):
+        gamma = context.workload.items[query_index]
+        divs = kl_divergence_matrix(index.index_points, gamma)
+        order = np.argsort(divs, kind="stable")[
+            : min(10, index.num_index_points)
+        ]
+        lists = [index.seed_lists[int(i)] for i in order]
+        weights = importance_weights(
+            divs[order],
+            scale.num_topics,
+            bound_eps=index.config.weight_bound_eps,
+        )
+        truth = context.ground_truth(query_index, k)
+        variants = {
+            "borda": aggregate_seed_lists(
+                lists, k, aggregator="borda", weights=None
+            ),
+            "borda_w": aggregate_seed_lists(
+                lists, k, aggregator="borda", weights=weights
+            ),
+            "copeland": aggregate_seed_lists(
+                lists, k, aggregator="copeland", weights=None
+            ),
+            "copeland_w": aggregate_seed_lists(
+                lists, k, aggregator="copeland", weights=weights
+            ),
+        }
+        for method, answer in variants.items():
+            per_method[method].append(kendall_tau_top(answer, truth))
+    aggregation_tests = {
+        ("copeland_w", "copeland"): paired_t_test(
+            per_method["copeland_w"], per_method["copeland"]
+        ),
+        ("copeland_w", "borda_w"): paired_t_test(
+            per_method["copeland_w"], per_method["borda_w"]
+        ),
+        ("borda_w", "borda"): paired_t_test(
+            per_method["borda_w"], per_method["borda"]
+        ),
+    }
+    return SignificanceResult(
+        k=k,
+        strategy_tests=strategy_tests,
+        aggregation_tests=aggregation_tests,
+    )

@@ -1,0 +1,38 @@
+"""Directed social graphs with per-topic influence probabilities."""
+
+from repro.graph.topic_graph import TopicGraph
+from repro.graph.generators import (
+    community_topic_graph,
+    erdos_renyi_topic_graph,
+    interest_topic_graph,
+    power_law_topic_graph,
+)
+from repro.graph.io import load_arc_list, load_graph, save_arc_list, save_graph
+from repro.graph.metrics import GraphSummary, per_topic_strength, summarize_graph
+from repro.graph.subgraph import (
+    SubgraphResult,
+    induced_subgraph,
+    largest_component,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+
+__all__ = [
+    "TopicGraph",
+    "community_topic_graph",
+    "erdos_renyi_topic_graph",
+    "interest_topic_graph",
+    "power_law_topic_graph",
+    "load_arc_list",
+    "load_graph",
+    "save_arc_list",
+    "save_graph",
+    "GraphSummary",
+    "per_topic_strength",
+    "summarize_graph",
+    "SubgraphResult",
+    "induced_subgraph",
+    "largest_component",
+    "strongly_connected_components",
+    "weakly_connected_components",
+]

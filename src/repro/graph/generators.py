@@ -1,0 +1,377 @@
+"""Synthetic social-graph generators with topic-dependent influence.
+
+The paper evaluates on Flixster: ~30k users, ~425k directed links, with
+TIC parameters learned from a rating log.  That dataset is not
+redistributable, so :mod:`repro.datasets.flixster` builds a synthetic
+stand-in from the generators in this module.  What matters for the
+reproduction is the *statistical signature* the INFLEX pipeline relies
+on:
+
+* heavy-tailed degree distribution (a few very influential hubs),
+* community structure aligned with topics — users influence each other
+  strongly on the topics their community cares about and weakly
+  elsewhere, which is what makes topic-blind influence maximization
+  perform so poorly in the paper's Figure 8,
+* arc probabilities in a realistic (mostly small) range.
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.topic_graph import TopicGraph
+from repro.rng import resolve_rng
+
+
+def _dedupe_arcs(arcs: np.ndarray) -> np.ndarray:
+    """Drop self-loops and duplicate arcs, preserving first occurrence."""
+    if arcs.size == 0:
+        return arcs.reshape(0, 2)
+    keep = arcs[:, 0] != arcs[:, 1]
+    arcs = arcs[keep]
+    # Encode pairs into single ints for a fast unique pass.
+    n = int(arcs.max()) + 1 if arcs.size else 1
+    codes = arcs[:, 0] * n + arcs[:, 1]
+    _, first = np.unique(codes, return_index=True)
+    return arcs[np.sort(first)]
+
+
+def _power_law_out_degrees(
+    num_nodes: int, avg_out_degree: float, exponent: float, rng
+) -> np.ndarray:
+    """Sample out-degrees from a truncated discrete power law, rescaled to
+    hit the requested average."""
+    ranks = np.arange(1, num_nodes + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    rng.shuffle(weights)
+    weights *= num_nodes * avg_out_degree / weights.sum()
+    degrees = np.maximum(1, np.round(weights)).astype(np.int64)
+    return np.minimum(degrees, num_nodes - 1)
+
+
+def _topic_affinities(
+    num_nodes: int,
+    num_topics: int,
+    rng,
+    *,
+    concentration: float = 0.25,
+) -> np.ndarray:
+    """Per-node topic authority profiles.
+
+    A low Dirichlet concentration makes users *specialists*: most of
+    their influence mass sits on one or two topics, which is the regime
+    in which topic-aware seed selection beats topic-blind selection.
+    """
+    return rng.dirichlet(np.full(num_topics, concentration), size=num_nodes)
+
+
+def _arc_probabilities(
+    arcs: np.ndarray,
+    affinities: np.ndarray,
+    rng,
+    *,
+    base_strength: float,
+    strength_noise: float,
+    max_probability: float,
+) -> np.ndarray:
+    """Per-topic probabilities for each arc.
+
+    The probability of ``u`` influencing ``v`` on topic ``z`` is driven by
+    the *tail's* authority on ``z`` (an expert spreads their expertise),
+    modulated by arc-level noise and normalized by the tail's out-degree
+    in the spirit of the weighted-cascade model, so hubs do not become
+    implausibly powerful.
+    """
+    num_topics = affinities.shape[1]
+    m = arcs.shape[0]
+    if m == 0:
+        return np.empty((0, num_topics))
+    tails = arcs[:, 0]
+    out_deg = np.bincount(tails, minlength=affinities.shape[0]).astype(
+        np.float64
+    )
+    degree_damping = 1.0 / np.sqrt(np.maximum(out_deg[tails], 1.0))
+    noise = rng.lognormal(mean=0.0, sigma=strength_noise, size=m)
+    scale = base_strength * noise * degree_damping
+    probs = affinities[tails] * scale[:, np.newaxis] * num_topics
+    return np.clip(probs, 0.0, max_probability)
+
+
+def power_law_topic_graph(
+    num_nodes: int,
+    num_topics: int,
+    *,
+    avg_out_degree: float = 8.0,
+    exponent: float = 0.9,
+    base_strength: float = 0.08,
+    strength_noise: float = 0.5,
+    max_probability: float = 0.8,
+    affinity_concentration: float = 0.25,
+    seed=None,
+) -> TopicGraph:
+    """Heavy-tailed directed graph with specialist topic influence.
+
+    Targets of each arc are chosen preferentially (head sampling weights
+    follow their own power law), giving correlated in/out heavy tails as
+    in real follower graphs.
+    """
+    if num_nodes < 2:
+        raise ValueError(f"need at least 2 nodes, got {num_nodes}")
+    rng = resolve_rng(seed)
+    out_degrees = _power_law_out_degrees(
+        num_nodes, avg_out_degree, exponent, rng
+    )
+    head_weights = np.arange(1, num_nodes + 1, dtype=np.float64) ** (-exponent)
+    rng.shuffle(head_weights)
+    head_weights /= head_weights.sum()
+    tails = np.repeat(np.arange(num_nodes, dtype=np.int64), out_degrees)
+    heads = rng.choice(num_nodes, size=tails.size, p=head_weights)
+    arcs = _dedupe_arcs(np.column_stack((tails, heads)))
+    affinities = _topic_affinities(
+        num_nodes, num_topics, rng, concentration=affinity_concentration
+    )
+    probs = _arc_probabilities(
+        arcs,
+        affinities,
+        rng,
+        base_strength=base_strength,
+        strength_noise=strength_noise,
+        max_probability=max_probability,
+    )
+    return TopicGraph.from_arcs(num_nodes, arcs, probs)
+
+
+def community_topic_graph(
+    num_nodes: int,
+    num_topics: int,
+    *,
+    num_communities: int | None = None,
+    avg_out_degree: float = 8.0,
+    intra_community_fraction: float = 0.9,
+    exponent: float = 0.9,
+    base_strength: float = 0.10,
+    strength_noise: float = 0.5,
+    max_probability: float = 0.8,
+    topic_focus: float = 0.9,
+    seed=None,
+) -> TopicGraph:
+    """Community-structured graph with topic-aligned communities.
+
+    Each community has a dominant topic; members' authority profiles put
+    ``topic_focus`` of their mass on it (the rest spread uniformly).
+    ``intra_community_fraction`` of each node's arcs stay inside the
+    community.  This is the Flixster-like default generator: influence
+    is strongly topic-localized, so the identity of the best seeds
+    changes a lot as the query item moves across the simplex — the
+    regime INFLEX is designed for.
+    """
+    if num_nodes < 2:
+        raise ValueError(f"need at least 2 nodes, got {num_nodes}")
+    if not 0.0 <= intra_community_fraction <= 1.0:
+        raise ValueError(
+            f"intra_community_fraction must be in [0, 1], got "
+            f"{intra_community_fraction}"
+        )
+    if not 0.0 < topic_focus < 1.0:
+        raise ValueError(f"topic_focus must be in (0, 1), got {topic_focus}")
+    rng = resolve_rng(seed)
+    if num_communities is None:
+        num_communities = max(2, num_topics)
+    community = rng.integers(num_communities, size=num_nodes)
+    community_topic = rng.integers(num_topics, size=num_communities)
+
+    out_degrees = _power_law_out_degrees(
+        num_nodes, avg_out_degree, exponent, rng
+    )
+    # Head sampling: split each node's stubs into intra- and inter-
+    # community targets; both use preferential weights.
+    head_weights = np.arange(1, num_nodes + 1, dtype=np.float64) ** (-exponent)
+    rng.shuffle(head_weights)
+    all_tails: list[np.ndarray] = []
+    all_heads: list[np.ndarray] = []
+    members_by_community = [
+        np.flatnonzero(community == c) for c in range(num_communities)
+    ]
+    for node in range(num_nodes):
+        degree = int(out_degrees[node])
+        if degree == 0:
+            continue
+        n_intra = int(round(degree * intra_community_fraction))
+        local = members_by_community[community[node]]
+        picks: list[np.ndarray] = []
+        if n_intra and local.size > 1:
+            w = head_weights[local]
+            picks.append(rng.choice(local, size=n_intra, p=w / w.sum()))
+        n_inter = degree - (picks[0].size if picks else 0)
+        if n_inter:
+            w = head_weights
+            picks.append(
+                rng.choice(num_nodes, size=n_inter, p=w / w.sum())
+            )
+        heads = np.concatenate(picks)
+        all_tails.append(np.full(heads.size, node, dtype=np.int64))
+        all_heads.append(heads.astype(np.int64))
+    arcs = _dedupe_arcs(
+        np.column_stack((np.concatenate(all_tails), np.concatenate(all_heads)))
+    )
+
+    # Authority profiles: focus on the community topic.
+    affinities = np.full(
+        (num_nodes, num_topics), (1.0 - topic_focus) / max(num_topics - 1, 1)
+    )
+    affinities[np.arange(num_nodes), community_topic[community]] = topic_focus
+    # Mild per-user noise so communities are not perfectly uniform.
+    jitter = rng.dirichlet(np.full(num_topics, 2.0), size=num_nodes)
+    affinities = 0.92 * affinities + 0.08 * jitter
+    affinities /= affinities.sum(axis=1, keepdims=True)
+
+    probs = _arc_probabilities(
+        arcs,
+        affinities,
+        rng,
+        base_strength=base_strength,
+        strength_noise=strength_noise,
+        max_probability=max_probability,
+    )
+    return TopicGraph.from_arcs(num_nodes, arcs, probs)
+
+
+def interest_topic_graph(
+    num_nodes: int,
+    num_topics: int,
+    *,
+    topics_per_node: int = 2,
+    avg_out_degree: float = 12.0,
+    degree_sigma: float = 1.0,
+    base_strength: float = 0.25,
+    off_topic_ratio: float = 0.02,
+    strength_noise: float = 0.5,
+    max_probability: float = 0.8,
+    topic_popularity_skew: float = 0.3,
+    seed=None,
+) -> TopicGraph:
+    """One global social graph with per-node topical interest sets.
+
+    This is the generator whose parameters mimic what TIC learning
+    produces on real data (e.g. Flixster): the *graph structure* is a
+    single social network with a lognormal out-degree hierarchy (many
+    distinct mid-size influencers below the top hubs), and the
+    *per-topic influence* of a user is concentrated on the few topics
+    they are expert in — an arc ``(u, v)`` is strong on ``u``'s
+    interest topics and more than an order of magnitude weaker
+    elsewhere.
+
+    For an item on topic ``z`` the relevant subnetwork is the roughly
+    ``topics_per_node / Z`` fraction of users interested in ``z``,
+    scattered *throughout* the graph — large, interconnected, and far
+    from saturating at realistic seed budgets.  The regime the defaults
+    target (verified by the experiment suite):
+
+    * greedy marginal gains decay smoothly over dozens of ranks, so
+      seed *rankings* are stable and reproducible (the property behind
+      the paper's Kendall-tau evaluations);
+    * topic-blind (uniform-mixture) seed selection wastes most of its
+      budget on users irrelevant to the query topic, landing well below
+      topic-aware selection (the paper's Figure 8);
+    * random seeds land far below everything.
+
+    Parameters
+    ----------
+    topics_per_node:
+        Size of each user's interest set (sampled without replacement,
+        weighted by global topic popularity).
+    avg_out_degree / degree_sigma:
+        Mean and lognormal shape of the out-degree distribution.
+    base_strength:
+        On-topic influence scale (per-arc, before lognormal noise).
+    off_topic_ratio:
+        Ratio of off-topic to on-topic arc probability.
+    topic_popularity_skew:
+        0 for equally popular topics; larger values concentrate
+        interest on a few globally popular topics.
+    """
+    if num_nodes < 2:
+        raise ValueError(f"need at least 2 nodes, got {num_nodes}")
+    if not 1 <= topics_per_node <= num_topics:
+        raise ValueError(
+            f"topics_per_node must be in [1, {num_topics}], "
+            f"got {topics_per_node}"
+        )
+    if not 0.0 <= off_topic_ratio <= 1.0:
+        raise ValueError(
+            f"off_topic_ratio must be in [0, 1], got {off_topic_ratio}"
+        )
+    if degree_sigma < 0:
+        raise ValueError(f"degree_sigma must be >= 0, got {degree_sigma}")
+    rng = resolve_rng(seed)
+    raw = rng.lognormal(mean=0.0, sigma=degree_sigma, size=num_nodes)
+    out_degrees = np.maximum(
+        1, np.round(raw * avg_out_degree / raw.mean())
+    ).astype(np.int64)
+    out_degrees = np.minimum(out_degrees, num_nodes - 1)
+    tails = np.repeat(np.arange(num_nodes, dtype=np.int64), out_degrees)
+    # Heads uniform: influence concentration lives in the out-degrees
+    # and arc strengths; funneling in-links onto few heads would merge
+    # all influencers' audiences into one core and erase the distinct
+    # per-seed regions the greedy ranking depends on.
+    heads = rng.integers(0, num_nodes, size=tails.size)
+    arcs = _dedupe_arcs(np.column_stack((tails, heads)))
+
+    popularity = np.arange(1, num_topics + 1, dtype=np.float64) ** (
+        -topic_popularity_skew
+    )
+    rng.shuffle(popularity)
+    popularity /= popularity.sum()
+    interests = np.zeros((num_nodes, num_topics), dtype=bool)
+    for node in range(num_nodes):
+        chosen = rng.choice(
+            num_topics, size=topics_per_node, replace=False, p=popularity
+        )
+        interests[node, chosen] = True
+
+    m = arcs.shape[0]
+    arc_tails = arcs[:, 0]
+    noise = rng.lognormal(mean=0.0, sigma=strength_noise, size=m)
+    on_strength = np.clip(base_strength * noise, 0.0, max_probability)
+    probs = np.where(
+        interests[arc_tails],
+        on_strength[:, np.newaxis],
+        (off_topic_ratio * on_strength)[:, np.newaxis],
+    )
+    return TopicGraph.from_arcs(num_nodes, arcs, probs)
+
+
+def erdos_renyi_topic_graph(
+    num_nodes: int,
+    num_topics: int,
+    *,
+    arc_probability: float = 0.01,
+    base_strength: float = 0.1,
+    strength_noise: float = 0.5,
+    max_probability: float = 0.8,
+    seed=None,
+) -> TopicGraph:
+    """Uniform random directed graph — a structureless control case."""
+    if num_nodes < 2:
+        raise ValueError(f"need at least 2 nodes, got {num_nodes}")
+    if not 0.0 <= arc_probability <= 1.0:
+        raise ValueError(
+            f"arc_probability must be in [0, 1], got {arc_probability}"
+        )
+    rng = resolve_rng(seed)
+    mask = rng.random((num_nodes, num_nodes)) < arc_probability
+    np.fill_diagonal(mask, False)
+    tails, heads = np.nonzero(mask)
+    arcs = np.column_stack((tails, heads)).astype(np.int64)
+    affinities = _topic_affinities(num_nodes, num_topics, rng)
+    probs = _arc_probabilities(
+        arcs,
+        affinities,
+        rng,
+        base_strength=base_strength,
+        strength_noise=strength_noise,
+        max_probability=max_probability,
+    )
+    return TopicGraph.from_arcs(num_nodes, arcs, probs)

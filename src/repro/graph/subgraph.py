@@ -1,0 +1,156 @@
+"""Subgraph extraction and component analysis.
+
+Real influence datasets are routinely preprocessed to a connected core
+(isolated users carry no signal for either learning or maximization).
+These utilities extract induced subgraphs and the largest weakly/
+strongly connected components while preserving per-topic probabilities,
+returning the node relabeling so results can be mapped back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidGraphError
+from repro.graph.topic_graph import TopicGraph
+
+
+@dataclass(frozen=True)
+class SubgraphResult:
+    """An induced subgraph plus its node mapping.
+
+    Attributes
+    ----------
+    graph:
+        The induced subgraph with nodes relabeled ``0..n'-1``.
+    old_to_new:
+        Mapping array of length ``num_nodes`` (``-1`` for dropped nodes).
+    new_to_old:
+        Original id of each subgraph node.
+    """
+
+    graph: TopicGraph
+    old_to_new: np.ndarray
+    new_to_old: np.ndarray
+
+    def map_seeds_back(self, seeds) -> list[int]:
+        """Translate subgraph node ids back to original ids."""
+        return [int(self.new_to_old[int(v)]) for v in seeds]
+
+
+def induced_subgraph(graph: TopicGraph, nodes) -> SubgraphResult:
+    """Induce the subgraph on ``nodes`` (arcs with both endpoints kept)."""
+    keep = np.unique(np.asarray(list(nodes), dtype=np.int64))
+    if keep.size == 0:
+        raise InvalidGraphError("cannot induce a subgraph on zero nodes")
+    if keep.min() < 0 or keep.max() >= graph.num_nodes:
+        raise InvalidGraphError("node id out of range")
+    old_to_new = np.full(graph.num_nodes, -1, dtype=np.int64)
+    old_to_new[keep] = np.arange(keep.size)
+    arcs = graph.arcs()
+    mask = (old_to_new[arcs[:, 0]] >= 0) & (old_to_new[arcs[:, 1]] >= 0)
+    sub_arcs = np.column_stack(
+        (old_to_new[arcs[mask, 0]], old_to_new[arcs[mask, 1]])
+    )
+    sub_probs = graph.probabilities[mask]
+    if sub_arcs.size == 0:
+        sub_arcs = np.empty((0, 2), dtype=np.int64)
+        sub_probs = np.empty((0, graph.num_topics))
+    sub = TopicGraph.from_arcs(int(keep.size), sub_arcs, sub_probs)
+    return SubgraphResult(
+        graph=sub, old_to_new=old_to_new, new_to_old=keep
+    )
+
+
+def weakly_connected_components(graph: TopicGraph) -> list[np.ndarray]:
+    """WCCs as arrays of node ids, largest first (union-find)."""
+    parent = np.arange(graph.num_nodes, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for tail, head in graph.arcs():
+        ra, rb = find(int(tail)), find(int(head))
+        if ra != rb:
+            parent[rb] = ra
+    groups: dict[int, list[int]] = {}
+    for node in range(graph.num_nodes):
+        groups.setdefault(find(node), []).append(node)
+    components = [
+        np.asarray(sorted(members), dtype=np.int64)
+        for members in groups.values()
+    ]
+    components.sort(key=lambda c: (-c.size, int(c[0])))
+    return components
+
+
+def strongly_connected_components(graph: TopicGraph) -> list[np.ndarray]:
+    """SCCs, largest first (iterative Tarjan)."""
+    n = graph.num_nodes
+    index_of = np.full(n, -1, dtype=np.int64)
+    low = np.zeros(n, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+    stack: list[int] = []
+    components: list[np.ndarray] = []
+    counter = 0
+    for start in range(n):
+        if index_of[start] != -1:
+            continue
+        # Iterative Tarjan with an explicit call stack of
+        # (node, next-child-pointer) frames.
+        frames = [(start, 0)]
+        while frames:
+            node, child_pos = frames.pop()
+            if child_pos == 0:
+                index_of[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            successors = graph.successors(node)
+            advanced = False
+            for pos in range(child_pos, successors.size):
+                nxt = int(successors[pos])
+                if index_of[nxt] == -1:
+                    frames.append((node, pos + 1))
+                    frames.append((nxt, 0))
+                    advanced = True
+                    break
+                if on_stack[nxt]:
+                    low[node] = min(low[node], index_of[nxt])
+            if advanced:
+                continue
+            if low[node] == index_of[node]:
+                members = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    members.append(member)
+                    if member == node:
+                        break
+                components.append(
+                    np.asarray(sorted(members), dtype=np.int64)
+                )
+            if frames:
+                parent_node, _ = frames[-1]
+                low[parent_node] = min(low[parent_node], low[node])
+    components.sort(key=lambda c: (-c.size, int(c[0])))
+    return components
+
+
+def largest_component(
+    graph: TopicGraph, *, strongly: bool = False
+) -> SubgraphResult:
+    """The induced subgraph on the largest (W/S)CC."""
+    components = (
+        strongly_connected_components(graph)
+        if strongly
+        else weakly_connected_components(graph)
+    )
+    return induced_subgraph(graph, components[0])

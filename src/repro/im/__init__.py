@@ -1,0 +1,37 @@
+"""Influence maximization: greedy, CELF, CELF++, RIS, and heuristics."""
+
+from repro.im.seed_list import SeedList
+from repro.im.greedy import greedy_seed_selection
+from repro.im.celf import celf_seed_selection
+from repro.im.celfpp import celfpp_seed_selection
+from repro.im.ris import (
+    RRSetCollection,
+    adaptive_ris_influence_maximization,
+    ris_influence_maximization,
+    ris_seed_selection,
+    sample_rr_sets,
+)
+from repro.im.heuristics import (
+    degree_seeds,
+    pagerank_seeds,
+    random_seeds,
+    weighted_degree_seeds,
+)
+from repro.im.degree_discount import degree_discount_seeds
+
+__all__ = [
+    "SeedList",
+    "greedy_seed_selection",
+    "celf_seed_selection",
+    "celfpp_seed_selection",
+    "RRSetCollection",
+    "adaptive_ris_influence_maximization",
+    "ris_influence_maximization",
+    "ris_seed_selection",
+    "sample_rr_sets",
+    "degree_discount_seeds",
+    "degree_seeds",
+    "pagerank_seeds",
+    "random_seeds",
+    "weighted_degree_seeds",
+]

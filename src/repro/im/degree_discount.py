@@ -1,0 +1,93 @@
+"""DegreeDiscount heuristic (Chen, Wang & Yang, KDD 2009).
+
+A classic near-linear-time heuristic for IC influence maximization:
+start from out-degrees and, every time a node's in-neighbor is chosen
+as a seed, discount the node's effective degree to account for the
+already-covered probability mass.  The original derivation assumes a
+uniform propagation probability ``p``; the topic-aware variant here
+uses each arc's item-specific probability (Eq. 1) as its weight, which
+reduces to the classic formula on uniform graphs.
+
+Included as an additional baseline substrate: it routinely lands
+between the degree heuristic and greedy in spread at a tiny fraction of
+the cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.graph.topic_graph import TopicGraph
+from repro.im.seed_list import SeedList
+
+
+def degree_discount_seeds(
+    graph: TopicGraph, gamma, k: int
+) -> SeedList:
+    """Select ``k`` seeds with the (weighted) DegreeDiscount heuristic.
+
+    Parameters
+    ----------
+    graph:
+        The topic graph.
+    gamma:
+        Item topic distribution; arc weights are the item-specific
+        probabilities.
+    k:
+        Seed budget.
+    """
+    if not 0 <= k <= graph.num_nodes:
+        raise ValueError(f"k must be in [0, {graph.num_nodes}], got {k}")
+    n = graph.num_nodes
+    probs = graph.item_probabilities(gamma)
+    tails = np.repeat(
+        np.arange(n, dtype=np.int64), np.diff(graph.indptr)
+    )
+    # d[v]: weighted out-degree (expected direct activations).
+    weighted_degree = np.zeros(n)
+    np.add.at(weighted_degree, tails, probs)
+    # t[v]: probability mass already covered by chosen in-neighbors.
+    covered = np.zeros(n)
+    # Average outgoing probability per node, used in the discount term.
+    out_counts = np.maximum(np.diff(graph.indptr), 1)
+    avg_p = weighted_degree / out_counts
+
+    def score(node: int) -> float:
+        # dd_v = d_v - 2 t_v - (d_v - t_v) * t_v * p  (Chen et al. Eq. 2,
+        # with t_v generalized to covered probability mass).
+        d = weighted_degree[node]
+        t = covered[node]
+        return d - 2.0 * t - (d - t) * t * avg_p[node]
+
+    heap: list[tuple[float, int]] = [(-score(v), v) for v in range(n)]
+    heapq.heapify(heap)
+    current = {v: score(v) for v in range(n)}
+    chosen: list[int] = []
+    chosen_set: set[int] = set()
+    gains: list[float] = []
+    in_indptr, in_tails, in_arc_ids = graph.reverse_view
+    while len(chosen) < k and heap:
+        neg, node = heapq.heappop(heap)
+        if node in chosen_set:
+            continue
+        if -neg != current[node]:
+            # Stale entry: refresh and reinsert.
+            heapq.heappush(heap, (-current[node], node))
+            continue
+        chosen.append(node)
+        chosen_set.add(node)
+        gains.append(max(-neg, 0.0))
+        # Discount the out-neighbors of the new seed.
+        lo, hi = graph.indptr[node], graph.indptr[node + 1]
+        for arc_pos in range(lo, hi):
+            neighbor = int(graph.indices[arc_pos])
+            if neighbor in chosen_set:
+                continue
+            covered[neighbor] += probs[arc_pos]
+            current[neighbor] = score(neighbor)
+            heapq.heappush(heap, (-current[neighbor], neighbor))
+    return SeedList(
+        tuple(chosen), tuple(gains), algorithm="degree-discount"
+    )

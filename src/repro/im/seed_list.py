@@ -1,0 +1,90 @@
+"""Ranked seed lists — the output type of influence maximization.
+
+The paper is explicit (footnote 3) that "seed sets" are really *ranked
+lists*: the greedy order in which nodes were selected.  INFLEX's rank
+aggregation operates on those rankings, so the result object preserves
+order, per-step marginal gains, and provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SeedList:
+    """An ordered list of seed nodes with their greedy marginal gains.
+
+    Attributes
+    ----------
+    nodes:
+        Seed node ids in selection (rank) order.
+    marginal_gains:
+        Estimated spread gain contributed by each seed at the moment it
+        was selected; same length as ``nodes``.  Empty tuple when the
+        producing algorithm does not track gains (e.g. random seeds).
+    algorithm:
+        Name of the producing algorithm (``"celf++"``, ``"ris"``, ...).
+    """
+
+    nodes: tuple[int, ...]
+    marginal_gains: tuple[float, ...] = field(default=())
+    algorithm: str = "unknown"
+
+    def __post_init__(self) -> None:
+        nodes = tuple(int(v) for v in self.nodes)
+        if len(set(nodes)) != len(nodes):
+            raise ValueError(f"seed list contains duplicates: {nodes}")
+        gains = tuple(float(g) for g in self.marginal_gains)
+        if gains and len(gains) != len(nodes):
+            raise ValueError(
+                f"{len(gains)} gains for {len(nodes)} seeds"
+            )
+        object.__setattr__(self, "nodes", nodes)
+        object.__setattr__(self, "marginal_gains", gains)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.nodes)
+
+    def __getitem__(self, rank: int) -> int:
+        return self.nodes[rank]
+
+    def __contains__(self, node: object) -> bool:
+        return node in set(self.nodes)
+
+    def top(self, k: int) -> "SeedList":
+        """The first ``k`` seeds (all of them if ``k`` exceeds length)."""
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        gains = self.marginal_gains[:k] if self.marginal_gains else ()
+        return SeedList(self.nodes[:k], gains, self.algorithm)
+
+    def rank_of(self, node: int) -> int | None:
+        """Zero-based rank of ``node``, or ``None`` when absent."""
+        try:
+            return self.nodes.index(node)
+        except ValueError:
+            return None
+
+    @property
+    def estimated_spread(self) -> float:
+        """Sum of marginal gains — the greedy estimate of ``sigma(S)``."""
+        return float(sum(self.marginal_gains))
+
+    def as_array(self) -> np.ndarray:
+        """Seeds as an ``int64`` array in rank order."""
+        return np.asarray(self.nodes, dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        preview = ", ".join(str(v) for v in self.nodes[:5])
+        suffix = ", ..." if len(self.nodes) > 5 else ""
+        return (
+            f"SeedList([{preview}{suffix}], len={len(self.nodes)}, "
+            f"algorithm={self.algorithm!r})"
+        )

@@ -1,0 +1,30 @@
+"""TIC parameter learning from propagation logs (Barbieri et al.)."""
+
+from repro.learning.propagation_log import (
+    ItemTrace,
+    PropagationLog,
+    generate_propagation_log,
+)
+from repro.learning.tic_em import TICLearner, TICLearningResult
+from repro.learning.evaluation import (
+    held_out_log_likelihood_curve,
+    match_topics,
+    parameter_recovery_correlation,
+)
+from repro.learning.model_selection import (
+    TopicSelectionResult,
+    select_num_topics,
+)
+
+__all__ = [
+    "ItemTrace",
+    "PropagationLog",
+    "generate_propagation_log",
+    "TICLearner",
+    "TICLearningResult",
+    "held_out_log_likelihood_curve",
+    "match_topics",
+    "parameter_recovery_correlation",
+    "TopicSelectionResult",
+    "select_num_topics",
+]

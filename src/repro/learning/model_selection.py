@@ -1,0 +1,132 @@
+"""Choosing the number of topics ``Z`` for TIC learning.
+
+The paper takes ``Z = 10`` as given ("employing Z = 10 topics"); in
+practice the modeler must pick it.  Held-out likelihood is the standard
+criterion: split the log's items into train/validation, fit a learner
+per candidate ``Z``, and score each on the validation traces using the
+learned arc probabilities with per-item mixtures inferred on the fly
+(so validation items never influence the arc parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.topic_graph import TopicGraph
+from repro.learning.propagation_log import PropagationLog
+from repro.learning.tic_em import TICLearner
+from repro.rng import resolve_rng
+
+
+@dataclass(frozen=True)
+class TopicSelectionResult:
+    """Held-out scores per candidate ``Z``.
+
+    Attributes
+    ----------
+    chosen:
+        The candidate with the best held-out log-likelihood.
+    holdout_log_likelihood:
+        Validation log-likelihood per candidate.
+    train_log_likelihood:
+        Final training log-likelihood per candidate (monotone in ``Z``
+        by definition — the overfitting reference).
+    """
+
+    chosen: int
+    holdout_log_likelihood: dict[int, float]
+    train_log_likelihood: dict[int, float]
+
+    def render(self) -> str:
+        lines = ["Topic-count selection (held-out likelihood):"]
+        for z in sorted(self.holdout_log_likelihood):
+            marker = " <-- chosen" if z == self.chosen else ""
+            lines.append(
+                f"  Z={z}: holdout={self.holdout_log_likelihood[z]:.1f} "
+                f"train={self.train_log_likelihood[z]:.1f}{marker}"
+            )
+        return "\n".join(lines)
+
+
+def _split_log(
+    log: PropagationLog, holdout_fraction: float, rng
+) -> tuple[PropagationLog, PropagationLog]:
+    num_holdout = max(1, int(round(log.num_items * holdout_fraction)))
+    if num_holdout >= log.num_items:
+        raise ValueError(
+            f"holdout of {num_holdout} items leaves no training items "
+            f"(log has {log.num_items})"
+        )
+    order = rng.permutation(log.num_items)
+    holdout_ids = set(order[:num_holdout].tolist())
+    train = tuple(
+        trace for i, trace in enumerate(log) if i not in holdout_ids
+    )
+    holdout = tuple(
+        trace for i, trace in enumerate(log) if i in holdout_ids
+    )
+    return (
+        PropagationLog(log.num_nodes, train),
+        PropagationLog(log.num_nodes, holdout),
+    )
+
+
+def select_num_topics(
+    graph: TopicGraph,
+    log: PropagationLog,
+    candidates=(2, 3, 5, 8),
+    *,
+    holdout_fraction: float = 0.2,
+    max_iter: int = 25,
+    seed=None,
+) -> TopicSelectionResult:
+    """Pick ``Z`` by held-out log-likelihood.
+
+    Parameters
+    ----------
+    graph:
+        The social graph (structure only).
+    log:
+        Full propagation log; items are split into train/validation.
+    candidates:
+        Candidate topic counts, each fitted independently.
+    holdout_fraction:
+        Fraction of items held out for validation.
+    max_iter:
+        EM budget per candidate.
+    """
+    candidate_list = sorted(set(int(z) for z in candidates))
+    if not candidate_list or candidate_list[0] < 1:
+        raise ValueError(
+            f"candidates must be positive ints, got {candidates}"
+        )
+    if not 0.0 < holdout_fraction < 1.0:
+        raise ValueError(
+            f"holdout_fraction must be in (0, 1), got {holdout_fraction}"
+        )
+    rng = resolve_rng(seed)
+    train_log, holdout_log = _split_log(log, holdout_fraction, rng)
+    holdout_scores: dict[int, float] = {}
+    train_scores: dict[int, float] = {}
+    for z in candidate_list:
+        learner = TICLearner(
+            graph, z, max_iter=max_iter, seed=int(rng.integers(2**31))
+        )
+        result = learner.fit(
+            train_log, init_item_topics="trace-clustering"
+        )
+        train_scores[z] = result.log_likelihood
+        # Validation: arc probabilities frozen; per-item mixtures
+        # inferred from each holdout trace.
+        holdout_gammas = learner.infer_item_topics(result, holdout_log)
+        holdout_scores[z] = learner.log_likelihood(
+            holdout_log, result.probabilities, holdout_gammas
+        )
+    chosen = max(holdout_scores, key=lambda z: holdout_scores[z])
+    return TopicSelectionResult(
+        chosen=chosen,
+        holdout_log_likelihood=holdout_scores,
+        train_log_likelihood=train_scores,
+    )

@@ -1,0 +1,98 @@
+"""Analytic bounds on the expected spread.
+
+Monte-Carlo estimation is the workhorse, but two closed-form bounds are
+useful for screening and sanity checks:
+
+* **One-hop lower bound** — seeds plus the expected number of direct
+  activations of non-seed nodes: every such activation happens in the
+  full process too (activation probabilities only grow with more
+  rounds), so this truncation never overshoots.
+* **Union upper bound** — per-node activation probability bounded by
+  the union bound along in-arcs, propagated in topological waves (with
+  a cutoff for cyclic graphs); summing the per-node bounds over-counts
+  correlations, so it never undershoots.
+
+Both are cheap (linear passes over arcs per wave) and bracket the exact
+value on tiny graphs (tested against :mod:`repro.propagation.exact`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.topic_graph import TopicGraph
+
+
+def one_hop_lower_bound(graph: TopicGraph, gamma, seeds) -> float:
+    """Lower bound: seeds + expected direct (one-hop) activations.
+
+    For a non-seed node ``v`` with seed in-neighbors ``S_v``, its
+    probability of activating in round one is
+    ``1 - prod_{u in S_v} (1 - p^i_{u,v})``, a lower bound on its
+    overall activation probability.
+    """
+    seed_array = np.unique(np.asarray(list(seeds), dtype=np.int64))
+    if seed_array.size == 0:
+        return 0.0
+    if seed_array.min() < 0 or seed_array.max() >= graph.num_nodes:
+        raise ValueError("seed out of node range")
+    probs = graph.item_probabilities(gamma)
+    is_seed = np.zeros(graph.num_nodes, dtype=bool)
+    is_seed[seed_array] = True
+    # Survival (no direct activation) per non-seed node.
+    log_survival = np.zeros(graph.num_nodes)
+    for seed in seed_array:
+        lo, hi = graph.indptr[seed], graph.indptr[seed + 1]
+        heads = graph.indices[lo:hi]
+        with np.errstate(divide="ignore"):
+            log_survival[heads] += np.log1p(
+                -np.minimum(probs[lo:hi], 1.0 - 1e-15)
+            )
+    direct = 1.0 - np.exp(log_survival)
+    direct[is_seed] = 0.0
+    return float(seed_array.size + direct.sum())
+
+
+def union_upper_bound(
+    graph: TopicGraph, gamma, seeds, *, max_rounds: int | None = None
+) -> float:
+    """Upper bound via the union bound, iterated in waves.
+
+    Maintains per-node bounds ``q_v >= P[v active]``, initialized to 1
+    on seeds and 0 elsewhere, and iterates
+
+        ``q_v <- min(1, seed_v + sum_{(u,v)} q_u * p^i_{u,v})``
+
+    to a fixed point (or ``max_rounds``; defaults to ``num_nodes``,
+    which suffices because true activation takes at most ``n - 1``
+    rounds).  The update dominates the true dynamics (union bound over
+    in-arcs, ignoring the each-arc-fires-once constraint), so the fixed
+    point dominates the true activation probabilities.
+    """
+    seed_array = np.unique(np.asarray(list(seeds), dtype=np.int64))
+    if seed_array.size == 0:
+        return 0.0
+    if seed_array.min() < 0 or seed_array.max() >= graph.num_nodes:
+        raise ValueError("seed out of node range")
+    if max_rounds is None:
+        max_rounds = graph.num_nodes
+    if max_rounds < 1:
+        raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+    probs = graph.item_probabilities(gamma)
+    tails = np.repeat(
+        np.arange(graph.num_nodes, dtype=np.int64),
+        np.diff(graph.indptr),
+    )
+    heads = graph.indices
+    q = np.zeros(graph.num_nodes)
+    q[seed_array] = 1.0
+    seed_mask = q.copy()
+    for _ in range(max_rounds):
+        incoming = np.zeros(graph.num_nodes)
+        np.add.at(incoming, heads, q[tails] * probs)
+        updated = np.minimum(1.0, seed_mask + incoming)
+        if np.allclose(updated, q, atol=1e-12):
+            q = updated
+            break
+        q = updated
+    return float(q.sum())

@@ -1,0 +1,115 @@
+"""Live-edge snapshot spread estimation (common random numbers).
+
+By the standard live-edge coupling of the IC model, sampling each arc
+once with its probability yields a deterministic subgraph ("snapshot");
+the spread of a seed set equals the expected number of nodes reachable
+from it across snapshots.  Pre-sampling ``R`` snapshots and reusing them
+for every seed-set evaluation gives three benefits the greedy algorithms
+rely on:
+
+* *common random numbers*: comparisons between candidate seeds are not
+  polluted by independent simulation noise, so CELF's lazy bounds stay
+  consistent within one greedy run;
+* marginal gains are guaranteed non-negative and submodular *exactly*
+  on the sampled snapshot set, so the greedy invariants hold without
+  Monte-Carlo slack;
+* repeated evaluations are plain BFS traversals — no coin flips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.topic_graph import TopicGraph
+from repro.propagation.spread import SpreadEstimate
+from repro.rng import resolve_rng
+
+
+class SnapshotSpread:
+    """Spread estimator over ``R`` pre-sampled live-edge snapshots."""
+
+    def __init__(
+        self,
+        graph: TopicGraph,
+        gamma,
+        *,
+        num_snapshots: int = 100,
+        seed=None,
+    ) -> None:
+        if num_snapshots < 1:
+            raise ValueError(
+                f"num_snapshots must be >= 1, got {num_snapshots}"
+            )
+        self._num_nodes = graph.num_nodes
+        self._num_snapshots = int(num_snapshots)
+        rng = resolve_rng(seed)
+        probs = graph.item_probabilities(gamma)
+        indptr = graph.indptr
+        indices = graph.indices
+        tails = np.repeat(
+            np.arange(graph.num_nodes, dtype=np.int64), np.diff(indptr)
+        )
+        self._snapshots: list[tuple[np.ndarray, np.ndarray]] = []
+        for _ in range(self._num_snapshots):
+            keep = rng.random(probs.size) < probs
+            kept_tails = tails[keep]
+            kept_heads = indices[keep]
+            counts = np.bincount(kept_tails, minlength=self._num_nodes)
+            snap_indptr = np.concatenate(([0], np.cumsum(counts)))
+            # kept arcs are already grouped by tail because the forward
+            # CSR enumerates arcs in tail order.
+            self._snapshots.append((snap_indptr, kept_heads))
+
+    @property
+    def num_snapshots(self) -> int:
+        return self._num_snapshots
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    def _reachable_count(
+        self, snap_indptr: np.ndarray, snap_indices: np.ndarray, seeds: np.ndarray
+    ) -> int:
+        visited = np.zeros(self._num_nodes, dtype=bool)
+        visited[seeds] = True
+        frontier = seeds
+        while frontier.size:
+            starts = snap_indptr[frontier]
+            ends = snap_indptr[frontier + 1]
+            counts = ends - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            offsets = np.repeat(starts, counts)
+            within = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            targets = snap_indices[offsets + within]
+            targets = targets[~visited[targets]]
+            if targets.size == 0:
+                break
+            frontier = np.unique(targets)
+            visited[frontier] = True
+        return int(visited.sum())
+
+    def estimate(self, seeds) -> float:
+        """Average reachable-set size of ``seeds`` across snapshots."""
+        return self.estimate_with_error(seeds).mean
+
+    def estimate_with_error(self, seeds) -> SpreadEstimate:
+        """Estimate with the across-snapshot standard deviation."""
+        seed_array = np.unique(np.asarray(seeds, dtype=np.int64))
+        if seed_array.size == 0:
+            return SpreadEstimate(0.0, 0.0, self._num_snapshots)
+        counts = np.empty(self._num_snapshots, dtype=np.float64)
+        for i, (snap_indptr, snap_indices) in enumerate(self._snapshots):
+            counts[i] = self._reachable_count(
+                snap_indptr, snap_indices, seed_array
+            )
+        std = float(counts.std(ddof=1)) if counts.size > 1 else 0.0
+        return SpreadEstimate(
+            mean=float(counts.mean()),
+            std=std,
+            num_simulations=self._num_snapshots,
+        )

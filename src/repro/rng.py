@@ -1,0 +1,52 @@
+"""Random-number-generator plumbing shared by the whole package.
+
+Every stochastic routine in :mod:`repro` accepts a ``seed`` argument that
+may be ``None`` (fresh entropy), an integer, or an already-constructed
+:class:`numpy.random.Generator`.  :func:`resolve_rng` normalizes all three
+into a ``Generator`` so call sites never have to care which form they got.
+
+Keeping this in one module guarantees deterministic, reproducible runs:
+passing the same integer seed to any public entry point replays the same
+stream of random numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Union of everything accepted where randomness is configurable.
+SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def resolve_rng(seed=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` or ``SeedSequence`` for a
+        deterministic stream, or an existing ``Generator`` which is
+        returned unchanged (so that callers can thread one generator
+        through a pipeline of sub-computations).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent generators from ``seed``.
+
+    Useful when a computation fans out into parallel sub-tasks that must
+    not share a random stream (e.g. per-index-point seed-set extraction).
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of rngs: {n}")
+    if isinstance(seed, np.random.Generator):
+        # Child streams are jumps of the parent's bit generator state.
+        seq = np.random.SeedSequence(seed.integers(0, 2**63 - 1))
+    elif isinstance(seed, np.random.SeedSequence):
+        seq = seed
+    else:
+        seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]

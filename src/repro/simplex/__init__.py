@@ -1,0 +1,48 @@
+"""Probability-simplex math: distributions over topics.
+
+Items and TIM queries in the paper are points on the ``(Z-1)``-simplex.
+This package provides everything needed to manipulate them:
+
+* validation and smoothing of topic vectors (:mod:`repro.simplex.vectors`),
+* Kullback--Leibler divergence in its sided and symmetrized forms
+  (:mod:`repro.simplex.kl`),
+* sampling on the simplex (:mod:`repro.simplex.sampling`),
+* Dirichlet distribution with Minka's maximum-likelihood estimation
+  (:mod:`repro.simplex.dirichlet`),
+* the isometric log-ratio transform used by the paper's Figure 3
+  (:mod:`repro.simplex.ilr`).
+"""
+
+from repro.simplex.vectors import (
+    as_distribution,
+    as_distribution_matrix,
+    is_distribution,
+    smooth,
+    uniform_distribution,
+)
+from repro.simplex.kl import (
+    kl_divergence,
+    kl_divergence_matrix,
+    kl_max_bound,
+    symmetrized_kl,
+)
+from repro.simplex.sampling import sample_uniform_simplex
+from repro.simplex.dirichlet import Dirichlet, fit_dirichlet_mle
+from repro.simplex.ilr import ilr_transform, ilr_inverse
+
+__all__ = [
+    "as_distribution",
+    "as_distribution_matrix",
+    "is_distribution",
+    "smooth",
+    "uniform_distribution",
+    "kl_divergence",
+    "kl_divergence_matrix",
+    "kl_max_bound",
+    "symmetrized_kl",
+    "sample_uniform_simplex",
+    "Dirichlet",
+    "fit_dirichlet_mle",
+    "ilr_transform",
+    "ilr_inverse",
+]

@@ -1,0 +1,65 @@
+"""Isometric log-ratio (ILR) transform for compositional data.
+
+The paper visualizes the item catalog, the Dirichlet samples and the
+selected index points (Figure 3) by mapping the ``(Z-1)``-simplex
+isometrically into Euclidean ``R^{Z-1}`` with the ILR transform of
+Egozcue et al. (2003), then applying dimensionality reduction.
+
+The transform used here is the standard one built from a Helmert
+orthonormal basis of the hyperplane orthogonal to ``(1, ..., 1)``:
+
+``ilr(x) = V^T . clr(x)`` where ``clr(x) = log(x) - mean(log(x))``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simplex.vectors import MACHINE_EPS, smooth
+
+
+def _helmert_basis(num_topics: int) -> np.ndarray:
+    """Orthonormal basis (columns) of the clr hyperplane, shape (Z, Z-1)."""
+    basis = np.zeros((num_topics, num_topics - 1))
+    for j in range(1, num_topics):
+        column = np.zeros(num_topics)
+        column[:j] = 1.0 / j
+        column[j] = -1.0
+        column *= np.sqrt(j / (j + 1.0))
+        basis[:, j - 1] = column
+    return basis
+
+
+def ilr_transform(points, *, eps: float = MACHINE_EPS) -> np.ndarray:
+    """Map simplex points to Euclidean ``R^{Z-1}`` isometrically.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, Z)`` (or a single ``(Z,)`` vector) of
+        distributions; zeros are smoothed away first.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(n, Z-1)`` (or ``(Z-1,)`` for a single vector).
+    """
+    arr = np.asarray(points, dtype=np.float64)
+    single = arr.ndim == 1
+    pts = smooth(np.atleast_2d(arr), eps=eps)
+    logs = np.log(pts)
+    clr = logs - logs.mean(axis=1, keepdims=True)
+    out = clr @ _helmert_basis(pts.shape[1])
+    return out[0] if single else out
+
+
+def ilr_inverse(coords) -> np.ndarray:
+    """Invert :func:`ilr_transform`, returning points on the simplex."""
+    arr = np.asarray(coords, dtype=np.float64)
+    single = arr.ndim == 1
+    mat = np.atleast_2d(arr)
+    basis = _helmert_basis(mat.shape[1] + 1)
+    clr = mat @ basis.T
+    exp = np.exp(clr - clr.max(axis=1, keepdims=True))
+    points = exp / exp.sum(axis=1, keepdims=True)
+    return points[0] if single else points

@@ -1,0 +1,35 @@
+"""Sampling points on the probability simplex.
+
+The paper's query workload mixes *data-driven* items (drawn from the
+Dirichlet fitted to the catalog — see :mod:`repro.simplex.dirichlet`) and
+*random* items sampled uniformly on the simplex; the uniform half tests
+robustness to queries far from the indexed distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import resolve_rng
+
+
+def sample_uniform_simplex(
+    num_samples: int, num_topics: int, seed=None
+) -> np.ndarray:
+    """Draw ``num_samples`` points uniformly from the ``(Z-1)``-simplex.
+
+    Uses the standard exponential-spacings construction (equivalently,
+    ``Dirichlet(1, ..., 1)``), which is exact and vectorized.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(num_samples, num_topics)``; each row sums to 1.
+    """
+    if num_samples < 0:
+        raise ValueError(f"num_samples must be >= 0, got {num_samples}")
+    if num_topics <= 0:
+        raise ValueError(f"num_topics must be positive, got {num_topics}")
+    rng = resolve_rng(seed)
+    gaps = rng.exponential(scale=1.0, size=(num_samples, num_topics))
+    return gaps / gaps.sum(axis=1, keepdims=True)

@@ -1,0 +1,118 @@
+"""Bootstrap confidence intervals for spread comparisons.
+
+The paper reports spreads as ``mean +/- std`` over the query workload;
+a percentile bootstrap adds distribution-free confidence intervals for
+the mean and — more usefully — for the *ratio* between two methods'
+means (e.g. "offline IC reaches 89% (86–92%) of offline TIC"), which is
+how EXPERIMENTS.md quantifies the Figure 8 gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import resolve_rng
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """A point estimate with a percentile-bootstrap interval.
+
+    Attributes
+    ----------
+    estimate:
+        The statistic on the original sample.
+    lower / upper:
+        Interval endpoints at the requested confidence level.
+    confidence:
+        The confidence level used (e.g. 0.95).
+    """
+
+    estimate: float
+    lower: float
+    upper: float
+    confidence: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+
+def bootstrap_mean(
+    sample,
+    *,
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    seed=None,
+) -> BootstrapInterval:
+    """Percentile-bootstrap CI for a sample mean."""
+    data = np.asarray(sample, dtype=np.float64)
+    if data.ndim != 1 or data.size < 2:
+        raise ValueError(
+            f"need a 1-D sample with >= 2 observations, got shape {data.shape}"
+        )
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if num_resamples < 10:
+        raise ValueError(
+            f"num_resamples must be >= 10, got {num_resamples}"
+        )
+    rng = resolve_rng(seed)
+    indices = rng.integers(0, data.size, size=(num_resamples, data.size))
+    means = data[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapInterval(
+        estimate=float(data.mean()),
+        lower=float(np.quantile(means, alpha)),
+        upper=float(np.quantile(means, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def bootstrap_mean_ratio(
+    numerator,
+    denominator,
+    *,
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    seed=None,
+) -> BootstrapInterval:
+    """Percentile-bootstrap CI for ``mean(numerator) / mean(denominator)``.
+
+    The samples must be *paired* (one value per workload query for each
+    method); resampling is done over query indices so the pairing is
+    preserved.
+    """
+    num = np.asarray(numerator, dtype=np.float64)
+    den = np.asarray(denominator, dtype=np.float64)
+    if num.shape != den.shape or num.ndim != 1 or num.size < 2:
+        raise ValueError(
+            f"need paired 1-D samples with >= 2 observations, got "
+            f"{num.shape} and {den.shape}"
+        )
+    if np.mean(den) == 0.0:
+        raise ValueError("denominator mean is zero; ratio undefined")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = resolve_rng(seed)
+    indices = rng.integers(0, num.size, size=(num_resamples, num.size))
+    num_means = num[indices].mean(axis=1)
+    den_means = den[indices].mean(axis=1)
+    valid = den_means != 0.0
+    ratios = num_means[valid] / den_means[valid]
+    if ratios.size < 10:
+        raise ValueError(
+            "too many degenerate resamples (denominator mean zero)"
+        )
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapInterval(
+        estimate=float(num.mean() / den.mean()),
+        lower=float(np.quantile(ratios, alpha)),
+        upper=float(np.quantile(ratios, 1.0 - alpha)),
+        confidence=confidence,
+    )

@@ -1,0 +1,73 @@
+"""Accuracy metrics used across the paper's tables.
+
+Tables 2 and 3 report the Root Mean Square Error between a method's
+expected spreads and the offline-TIC ground truth, plus its normalized
+version (NRMSE).  Figure 4 reports a correlation coefficient between
+KL divergences and Kendall-tau distances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rmse(predicted, truth) -> float:
+    """Root mean square error between matched vectors."""
+    p = np.asarray(predicted, dtype=np.float64)
+    t = np.asarray(truth, dtype=np.float64)
+    if p.shape != t.shape or p.ndim != 1:
+        raise ValueError(f"shape mismatch: {p.shape} vs {t.shape}")
+    if p.size == 0:
+        raise ValueError("cannot compute RMSE of empty vectors")
+    return float(np.sqrt(np.mean((p - t) ** 2)))
+
+
+def nrmse(predicted, truth) -> float:
+    """RMSE normalized by the mean of the ground truth.
+
+    Matches the paper's usage: Table 2 divides by the offline-TIC mean
+    spread, so NRMSE < 3% reads "spreads within a few percent".
+    """
+    t = np.asarray(truth, dtype=np.float64)
+    denominator = float(np.mean(t))
+    if denominator == 0.0:
+        raise ValueError("ground truth mean is zero; NRMSE undefined")
+    return rmse(predicted, truth) / abs(denominator)
+
+
+def pearson_correlation(x, y) -> float:
+    """Pearson product-moment correlation of two samples."""
+    x_arr = np.asarray(x, dtype=np.float64)
+    y_arr = np.asarray(y, dtype=np.float64)
+    if x_arr.shape != y_arr.shape or x_arr.ndim != 1:
+        raise ValueError(f"shape mismatch: {x_arr.shape} vs {y_arr.shape}")
+    if x_arr.size < 2:
+        raise ValueError("need at least 2 observations")
+    x_c = x_arr - x_arr.mean()
+    y_c = y_arr - y_arr.mean()
+    denom = np.sqrt(np.sum(x_c**2) * np.sum(y_c**2))
+    if denom == 0.0:
+        raise ValueError("constant sample; correlation undefined")
+    return float(np.sum(x_c * y_c) / denom)
+
+
+def spearman_correlation(x, y) -> float:
+    """Spearman rank correlation (Pearson on average ranks)."""
+    x_arr = np.asarray(x, dtype=np.float64)
+    y_arr = np.asarray(y, dtype=np.float64)
+    return pearson_correlation(_average_ranks(x_arr), _average_ranks(y_arr))
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    """Ranks starting at 1, ties receiving the average of their span."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=np.float64)
+    sorted_values = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    return ranks

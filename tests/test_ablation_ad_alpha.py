@@ -1,0 +1,29 @@
+"""Tests for the AD-alpha ablation."""
+
+import pytest
+
+from repro.experiments import ablations, get_context
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ablations.run_ad_alpha(
+        get_context("test"), alphas=(0.05, 0.4, 0.8), num_queries=12
+    )
+
+
+class TestADAlphaAblation:
+    def test_leaves_monotone_in_alpha(self, result):
+        leaves = [result.mean_leaves[a] for a in result.alphas]
+        assert all(a <= b + 1e-9 for a, b in zip(leaves, leaves[1:]))
+
+    def test_computations_track_leaves(self, result):
+        comps = [result.mean_computations[a] for a in result.alphas]
+        assert all(a <= b + 1e-9 for a, b in zip(comps, comps[1:]))
+
+    def test_recall_bounds(self, result):
+        for value in result.recall_at_10.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_render(self, result):
+        assert "ad_alpha" in result.render()

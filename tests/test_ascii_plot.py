@@ -1,0 +1,82 @@
+"""Tests for the terminal scatter renderer and figure plot hooks."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig3_index_selection,
+    fig4_distance_correlation,
+    fig9_tradeoff,
+    get_context,
+)
+from repro.experiments.ascii_plot import ascii_scatter
+
+
+class TestAsciiScatter:
+    def test_basic_render(self):
+        rng = np.random.default_rng(1)
+        text = ascii_scatter(
+            rng.random(200), rng.random(200), title="cloud"
+        )
+        assert "cloud" in text
+        assert "^" in text and ">" in text
+        # Density characters appear.
+        assert any(ch in text for ch in ".:+*#")
+
+    def test_markers_drawn(self):
+        text = ascii_scatter(
+            [0.0, 1.0],
+            [0.0, 1.0],
+            markers={"best": ([0.5], [0.5])},
+        )
+        assert "B" in text
+        assert "markers: B=best" in text
+
+    def test_extreme_points_on_raster(self):
+        text = ascii_scatter([0.0, 10.0], [0.0, 5.0], width=20, height=6)
+        lines = [line for line in text.splitlines() if line.startswith("      |")]
+        assert len(lines) == 6
+        assert all(len(line) == 7 + 20 for line in lines)
+
+    def test_constant_data(self):
+        text = ascii_scatter([1.0, 1.0], [2.0, 2.0])
+        assert text  # no division-by-zero on degenerate spans
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            ascii_scatter([], [])
+        with pytest.raises(ValueError):
+            ascii_scatter([1.0], [1.0], width=2)
+
+    def test_markers_only(self):
+        text = ascii_scatter(
+            [], [], markers={"a": ([1.0], [2.0]), "b": ([3.0], [4.0])}
+        )
+        assert "A" in text and "B" in text
+
+
+class TestFigurePlotHooks:
+    @pytest.fixture(scope="class")
+    def context(self):
+        return get_context("test")
+
+    def test_fig3_plot(self, context):
+        result = fig3_index_selection.run(context, num_eval_samples=30)
+        plot = result.render_plot()
+        assert "ILR-1" in plot
+        assert "X" in plot
+
+    def test_fig4_plot(self, context):
+        result = fig4_distance_correlation.run(context, num_pairs=100)
+        plot = result.render_plot()
+        assert "Pearson" in plot
+        assert "KL divergence" in plot
+
+    def test_fig9_plot(self, context):
+        result = fig9_tradeoff.run(context)
+        plot = result.render_plot()
+        assert "query time" in plot
+        # Every method has a marker initial.
+        assert "I" in plot  # INFLEX

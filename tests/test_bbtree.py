@@ -1,0 +1,315 @@
+"""Tests for the Bregman ball tree: construction, projection, searches."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bbtree import (
+    BBTree,
+    can_prune,
+    exact_nearest_neighbors,
+    inflex_search,
+    leaf_limited_search,
+    project_to_ball,
+    similar_enough,
+)
+from repro.divergence import KLDivergence, SquaredEuclidean
+from repro.simplex import kl_divergence_matrix, sample_uniform_simplex
+
+
+@pytest.fixture(scope="module")
+def tree_and_points():
+    points = sample_uniform_simplex(300, 6, seed=61)
+    tree = BBTree(points, seed=62)
+    return tree, points
+
+
+class TestConstruction:
+    def test_all_points_in_exactly_one_leaf(self, tree_and_points):
+        tree, points = tree_and_points
+        seen: list[int] = []
+        for leaf in tree.leaves():
+            seen.extend(leaf.point_ids.tolist())
+        assert sorted(seen) == list(range(points.shape[0]))
+
+    def test_balls_cover_their_subtrees(self, tree_and_points):
+        tree, points = tree_and_points
+        div = tree.divergence
+
+        def check(node):
+            ids = []
+
+            def collect(n):
+                if n.is_leaf:
+                    ids.extend(n.point_ids.tolist())
+                else:
+                    for child in n.children:
+                        collect(child)
+
+            collect(node)
+            divs = div.divergence_to_point(points[ids], node.center)
+            assert divs.max() <= node.radius + 1e-9
+            for child in node.children:
+                check(child)
+
+        check(tree.root)
+
+    def test_leaf_size_respected(self):
+        points = sample_uniform_simplex(100, 4, seed=63)
+        tree = BBTree(points, leaf_size=10, seed=64)
+        assert all(
+            leaf.point_ids.size <= 10 or leaf is tree.root
+            for leaf in tree.leaves()
+        )
+
+    def test_fixed_branching(self):
+        points = sample_uniform_simplex(64, 3, seed=65)
+        tree = BBTree(points, branching=2, leaf_size=8, seed=66)
+        def check(node):
+            if not node.is_leaf:
+                assert len(node.children) <= 2
+                for child in node.children:
+                    check(child)
+        check(tree.root)
+
+    def test_single_point_tree(self):
+        tree = BBTree(np.array([[0.5, 0.5]]), seed=67)
+        assert tree.num_leaves() == 1
+        assert tree.root.is_leaf
+
+    def test_duplicate_points_terminate(self):
+        points = np.tile(np.array([[0.25, 0.75]]), (40, 1))
+        tree = BBTree(points, leaf_size=8, seed=68)
+        assert tree.num_points == 40  # construction must terminate
+
+    def test_other_divergences_supported(self):
+        points = np.random.default_rng(69).uniform(0.1, 1.0, (50, 3))
+        tree = BBTree(points, divergence=SquaredEuclidean(), seed=70)
+        result = exact_nearest_neighbors(tree, points[7], 1)
+        assert result.indices[0] == 7
+
+    def test_invalid_args(self):
+        points = sample_uniform_simplex(10, 3, seed=71)
+        with pytest.raises(ValueError):
+            BBTree(np.empty((0, 3)))
+        with pytest.raises(ValueError):
+            BBTree(points, leaf_size=0)
+        with pytest.raises(ValueError):
+            BBTree(points, max_branch=1)
+        with pytest.raises(ValueError):
+            BBTree(points, branching=1)
+
+
+class TestProjection:
+    def test_query_inside_ball(self):
+        div = KLDivergence()
+        center = np.array([0.5, 0.5])
+        result = project_to_ball(div, center, 1.0, np.array([0.45, 0.55]))
+        assert result.inside
+        assert result.min_divergence == 0.0
+
+    def test_projection_bounds_brute_force(self):
+        div = KLDivergence()
+        rng = np.random.default_rng(72)
+        for _ in range(10):
+            center = rng.dirichlet(np.ones(4))
+            radius = 0.05
+            query = rng.dirichlet(np.ones(4))
+            if div.divergence(query, center) <= radius:
+                continue
+            result = project_to_ball(div, center, radius, query)
+            # Brute force: the min over random in-ball points can never
+            # be *smaller* than ~the projection (projection is optimal).
+            samples = rng.dirichlet(np.ones(4) * 5, size=4000)
+            in_ball = samples[
+                div.divergence_to_point(samples, center) <= radius
+            ]
+            if in_ball.shape[0] == 0:
+                continue
+            brute = div.divergence_to_point(in_ball, query).min()
+            assert result.min_divergence <= brute + 1e-3
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            project_to_ball(
+                KLDivergence(), np.array([0.5, 0.5]), -1.0, np.array([0.5, 0.5])
+            )
+
+    def test_can_prune_consistency(self):
+        div = KLDivergence()
+        center = np.array([0.8, 0.1, 0.1])
+        query = np.array([0.1, 0.1, 0.8])
+        distance = div.divergence(center, query)
+        # Far threshold: prunable; tiny threshold: not prunable.
+        assert can_prune(div, center, 0.01, query, distance * 2) is False
+        assert can_prune(div, center, 0.01, query, distance * 0.1) is True
+
+    def test_can_prune_query_inside(self):
+        div = KLDivergence()
+        center = np.array([0.5, 0.5])
+        assert not can_prune(div, center, 5.0, np.array([0.4, 0.6]), 0.5)
+
+    def test_can_prune_zero_threshold(self):
+        div = KLDivergence()
+        assert not can_prune(
+            div, np.array([0.5, 0.5]), 0.1, np.array([0.9, 0.1]), 0.0
+        )
+
+
+class TestExactSearch:
+    def test_matches_brute_force(self, tree_and_points):
+        tree, points = tree_and_points
+        rng = np.random.default_rng(73)
+        for _ in range(10):
+            query = rng.dirichlet(np.ones(points.shape[1]))
+            result = exact_nearest_neighbors(tree, query, 8)
+            brute = np.argsort(kl_divergence_matrix(points, query))[:8]
+            assert set(result.indices.tolist()) == set(brute.tolist())
+
+    def test_divergences_sorted(self, tree_and_points):
+        tree, _ = tree_and_points
+        query = sample_uniform_simplex(1, 6, seed=74)[0]
+        result = exact_nearest_neighbors(tree, query, 5)
+        assert np.all(np.diff(result.divergences) >= -1e-12)
+
+    def test_k_bounds(self, tree_and_points):
+        tree, _ = tree_and_points
+        query = sample_uniform_simplex(1, 6, seed=75)[0]
+        with pytest.raises(ValueError):
+            exact_nearest_neighbors(tree, query, 0)
+        with pytest.raises(ValueError):
+            exact_nearest_neighbors(tree, query, tree.num_points + 1)
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_property_exactness(self, seed):
+        points = sample_uniform_simplex(80, 4, seed=seed)
+        tree = BBTree(points, seed=seed + 1, leaf_size=8)
+        query = sample_uniform_simplex(1, 4, seed=seed + 2)[0]
+        result = exact_nearest_neighbors(tree, query, 3)
+        brute = np.argsort(kl_divergence_matrix(points, query))[:3]
+        assert set(result.indices.tolist()) == set(brute.tolist())
+
+
+class TestLeafLimitedSearch:
+    def test_recall_improves_with_leaves(self, tree_and_points):
+        tree, points = tree_and_points
+        queries = sample_uniform_simplex(15, 6, seed=76)
+        recalls = []
+        for budget in (1, tree.num_leaves()):
+            hits = 0
+            for query in queries:
+                result = leaf_limited_search(
+                    tree, query, 5, max_leaves=budget
+                )
+                true5 = set(
+                    np.argsort(kl_divergence_matrix(points, query))[
+                        :5
+                    ].tolist()
+                )
+                hits += len(set(result.indices.tolist()) & true5)
+            recalls.append(hits / (5 * len(queries)))
+        assert recalls[-1] >= recalls[0]
+        assert recalls[-1] == pytest.approx(1.0)
+
+    def test_stats_leaf_budget(self, tree_and_points):
+        tree, _ = tree_and_points
+        query = sample_uniform_simplex(1, 6, seed=77)[0]
+        result = leaf_limited_search(tree, query, 5, max_leaves=3)
+        assert result.stats.leaves_visited <= 3
+
+    def test_invalid_args(self, tree_and_points):
+        tree, _ = tree_and_points
+        query = sample_uniform_simplex(1, 6, seed=78)[0]
+        with pytest.raises(ValueError):
+            leaf_limited_search(tree, query, 5, max_leaves=0)
+        with pytest.raises(ValueError):
+            leaf_limited_search(tree, query, 0)
+
+
+class TestInflexSearch:
+    def test_epsilon_exact_match(self, tree_and_points):
+        tree, points = tree_and_points
+        result = inflex_search(tree, points[123])
+        assert result.stats.epsilon_match
+        assert result.indices.tolist() == [123]
+
+    def test_returns_sorted_neighbors(self, tree_and_points):
+        tree, _ = tree_and_points
+        query = sample_uniform_simplex(1, 6, seed=79)[0]
+        result = inflex_search(tree, query)
+        assert np.all(np.diff(result.divergences) >= -1e-12)
+        assert len(result) > 0
+
+    def test_max_leaves_respected(self, tree_and_points):
+        tree, _ = tree_and_points
+        query = sample_uniform_simplex(1, 6, seed=80)[0]
+        result = inflex_search(tree, query, max_leaves=2, use_ad_test=False)
+        assert result.stats.leaves_visited <= 2
+
+    def test_ad_test_stops_earlier_on_average(self, tree_and_points):
+        tree, _ = tree_and_points
+        queries = sample_uniform_simplex(20, 6, seed=81)
+        with_ad = np.mean(
+            [
+                inflex_search(tree, q, max_leaves=5).stats.leaves_visited
+                for q in queries
+            ]
+        )
+        without_ad = np.mean(
+            [
+                inflex_search(
+                    tree, q, max_leaves=5, use_ad_test=False
+                ).stats.leaves_visited
+                for q in queries
+            ]
+        )
+        assert with_ad <= without_ad
+
+    def test_invalid_args(self, tree_and_points):
+        tree, _ = tree_and_points
+        query = sample_uniform_simplex(1, 6, seed=82)[0]
+        with pytest.raises(ValueError):
+            inflex_search(tree, query, max_leaves=0)
+        with pytest.raises(ValueError):
+            inflex_search(tree, query, epsilon=-1.0)
+
+    def test_search_result_top(self, tree_and_points):
+        tree, _ = tree_and_points
+        query = sample_uniform_simplex(1, 6, seed=83)[0]
+        result = inflex_search(tree, query, use_ad_test=False)
+        top = result.top(3)
+        assert len(top) == min(3, len(result))
+        with pytest.raises(ValueError):
+            result.top(-1)
+
+
+class TestSimilarEnough:
+    def test_small_population_not_similar(self):
+        points = sample_uniform_simplex(3, 4, seed=84)
+        query = sample_uniform_simplex(1, 4, seed=85)[0]
+        assert not similar_enough(points, query)
+
+    def test_tight_cluster_around_query_is_similar(self):
+        rng = np.random.default_rng(86)
+        query = np.array([0.4, 0.3, 0.3])
+        cloud = np.clip(query + rng.normal(0, 0.02, (30, 3)), 1e-4, None)
+        cloud /= cloud.sum(axis=1, keepdims=True)
+        assert similar_enough(cloud, query, alpha=0.05)
+
+    def test_bimodal_cloud_not_similar(self):
+        rng = np.random.default_rng(87)
+        a = np.clip(
+            np.array([0.9, 0.05, 0.05]) + rng.normal(0, 0.01, (25, 3)),
+            1e-4,
+            None,
+        )
+        b = np.clip(
+            np.array([0.05, 0.05, 0.9]) + rng.normal(0, 0.01, (25, 3)),
+            1e-4,
+            None,
+        )
+        cloud = np.vstack([a, b])
+        cloud /= cloud.sum(axis=1, keepdims=True)
+        query = np.array([1 / 3, 1 / 3, 1 / 3])
+        assert not similar_enough(cloud, query, alpha=0.05)

@@ -1,0 +1,66 @@
+"""bb-tree searches under non-KL Bregman divergences.
+
+The tree is written against the BregmanDivergence interface; these
+tests exercise the full search stack under squared Euclidean and
+Itakura--Saito geometry to keep that genericity honest.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bbtree import (
+    BBTree,
+    exact_nearest_neighbors,
+    inflex_search,
+    leaf_limited_search,
+    range_search,
+)
+from repro.divergence import ItakuraSaito, SquaredEuclidean
+
+
+@pytest.fixture(scope="module", params=["sqeuclidean", "itakura-saito"])
+def tree_points(request):
+    rng = np.random.default_rng(31)
+    points = rng.uniform(0.1, 2.0, size=(220, 4))
+    divergence = (
+        SquaredEuclidean()
+        if request.param == "sqeuclidean"
+        else ItakuraSaito()
+    )
+    tree = BBTree(points, divergence=divergence, seed=32, leaf_size=12)
+    return tree, points, divergence
+
+
+class TestGenericDivergenceSearch:
+    def test_exact_matches_brute_force(self, tree_points):
+        tree, points, divergence = tree_points
+        rng = np.random.default_rng(33)
+        for _ in range(5):
+            query = rng.uniform(0.2, 1.8, 4)
+            result = exact_nearest_neighbors(tree, query, 5)
+            brute = np.argsort(
+                divergence.divergence_to_point(points, query)
+            )[:5]
+            assert set(result.indices.tolist()) == set(brute.tolist())
+
+    def test_leaf_limited_subset_of_points(self, tree_points):
+        tree, points, _ = tree_points
+        query = np.full(4, 1.0)
+        result = leaf_limited_search(tree, query, 5, max_leaves=2)
+        assert len(result) == 5
+        assert all(0 <= i < points.shape[0] for i in result.indices)
+
+    def test_inflex_search_runs(self, tree_points):
+        tree, points, _ = tree_points
+        result = inflex_search(tree, points[13])
+        assert result.stats.epsilon_match
+        assert result.indices.tolist() == [13]
+
+    def test_range_search_matches_brute_force(self, tree_points):
+        tree, points, divergence = tree_points
+        query = np.full(4, 1.0)
+        radius = 0.4
+        result = range_search(tree, query, radius)
+        divs = divergence.divergence_to_point(points, query)
+        expected = set(np.flatnonzero(divs <= radius).tolist())
+        assert set(result.indices.tolist()) == expected

@@ -1,0 +1,196 @@
+"""Tests for the resumable builder and sequential spread estimation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import InflexConfig, InflexIndex, ResumableBuilder
+from repro.propagation import estimate_spread, estimate_spread_sequential
+
+
+@pytest.fixture
+def build_config():
+    return InflexConfig(
+        num_index_points=6,
+        num_dirichlet_samples=300,
+        seed_list_length=4,
+        ris_num_sets=300,
+        knn=3,
+        seed=81,
+    )
+
+
+class TestResumableBuilder:
+    def test_complete_build_matches_direct(
+        self, small_dataset, build_config, tmp_path
+    ):
+        builder = ResumableBuilder(
+            small_dataset.graph,
+            small_dataset.item_topics,
+            build_config,
+            tmp_path / "ckpt",
+        )
+        index = builder.run()
+        assert index is not None
+        direct = InflexIndex.build(
+            small_dataset.graph, small_dataset.item_topics, build_config
+        )
+        assert np.allclose(index.index_points, direct.index_points)
+        for a, b in zip(index.seed_lists, direct.seed_lists):
+            assert a.nodes == b.nodes
+
+    def test_interrupted_build_resumes(
+        self, small_dataset, build_config, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        builder = ResumableBuilder(
+            small_dataset.graph,
+            small_dataset.item_topics,
+            build_config,
+            ckpt,
+        )
+        # First session: only 2 items.
+        partial = builder.run(max_items=2)
+        assert partial is None
+        assert builder.completed_count() == 2
+        # "Restart": a fresh builder over the same checkpoint dir.
+        resumed = ResumableBuilder(
+            small_dataset.graph,
+            small_dataset.item_topics,
+            build_config,
+            ckpt,
+        )
+        index = resumed.run()
+        assert index is not None
+        assert index.num_index_points == build_config.num_index_points
+        # Identical to an uninterrupted build.
+        direct = InflexIndex.build(
+            small_dataset.graph, small_dataset.item_topics, build_config
+        )
+        for a, b in zip(index.seed_lists, direct.seed_lists):
+            assert a.nodes == b.nodes
+
+    def test_config_mismatch_rejected(
+        self, small_dataset, build_config, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        ResumableBuilder(
+            small_dataset.graph,
+            small_dataset.item_topics,
+            build_config,
+            ckpt,
+        ).run(max_items=1)
+        other = InflexConfig(
+            num_index_points=8,
+            num_dirichlet_samples=300,
+            seed_list_length=4,
+            ris_num_sets=300,
+            knn=3,
+            seed=81,
+        )
+        builder = ResumableBuilder(
+            small_dataset.graph, small_dataset.item_topics, other, ckpt
+        )
+        with pytest.raises(ValueError):
+            builder.run(max_items=1)
+
+    def test_progress_callback(self, small_dataset, build_config, tmp_path):
+        calls = []
+        ResumableBuilder(
+            small_dataset.graph,
+            small_dataset.item_topics,
+            build_config,
+            tmp_path / "ckpt",
+        ).run(progress=lambda done, total: calls.append((done, total)))
+        assert calls[-1] == (6, 6)
+
+    def test_corrupt_checkpoint_is_not_silent(
+        self, small_dataset, build_config, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        builder = ResumableBuilder(
+            small_dataset.graph,
+            small_dataset.item_topics,
+            build_config,
+            ckpt,
+        )
+        builder.run(max_items=1)
+        # Corrupt the first checkpoint: resuming should raise, not
+        # quietly produce a broken index.
+        (ckpt / "seeds_00000.json").write_text("{ not json")
+        resumed = ResumableBuilder(
+            small_dataset.graph,
+            small_dataset.item_topics,
+            build_config,
+            ckpt,
+        )
+        with pytest.raises(json.JSONDecodeError):
+            resumed.run()
+
+
+class TestSequentialSpread:
+    def test_matches_fixed_budget(self, small_graph):
+        gamma = np.full(small_graph.num_topics, 1.0 / small_graph.num_topics)
+        seeds = [0, 3, 7]
+        sequential = estimate_spread_sequential(
+            small_graph, gamma, seeds, relative_halfwidth=0.05, seed=1
+        )
+        fixed = estimate_spread(
+            small_graph, gamma, seeds, num_simulations=4000, seed=2
+        )
+        assert sequential.mean == pytest.approx(fixed.mean, rel=0.15)
+
+    def test_stops_early_on_low_variance(self, small_graph):
+        gamma = np.full(small_graph.num_topics, 1.0 / small_graph.num_topics)
+        # Isolated behavior: a seed set whose spread is nearly
+        # deterministic stops at one batch.
+        loose = estimate_spread_sequential(
+            small_graph,
+            gamma,
+            list(range(20)),
+            relative_halfwidth=0.2,
+            batch_size=50,
+            seed=3,
+        )
+        tight = estimate_spread_sequential(
+            small_graph,
+            gamma,
+            list(range(20)),
+            relative_halfwidth=0.01,
+            batch_size=50,
+            max_simulations=2000,
+            seed=3,
+        )
+        assert loose.num_simulations <= tight.num_simulations
+
+    def test_empty_seed_set(self, small_graph):
+        gamma = np.full(small_graph.num_topics, 1.0 / small_graph.num_topics)
+        estimate = estimate_spread_sequential(small_graph, gamma, [], seed=4)
+        assert estimate.mean == 0.0
+
+    def test_respects_max_simulations(self, small_graph):
+        gamma = np.full(small_graph.num_topics, 1.0 / small_graph.num_topics)
+        estimate = estimate_spread_sequential(
+            small_graph,
+            gamma,
+            [0],
+            relative_halfwidth=0.001,
+            batch_size=100,
+            max_simulations=300,
+            seed=5,
+        )
+        assert estimate.num_simulations <= 300
+
+    def test_validation(self, small_graph):
+        gamma = np.full(small_graph.num_topics, 1.0 / small_graph.num_topics)
+        with pytest.raises(ValueError):
+            estimate_spread_sequential(
+                small_graph, gamma, [0], relative_halfwidth=0.0
+            )
+        with pytest.raises(ValueError):
+            estimate_spread_sequential(small_graph, gamma, [0], batch_size=1)
+        with pytest.raises(ValueError):
+            estimate_spread_sequential(
+                small_graph, gamma, [0], batch_size=100, max_simulations=50
+            )

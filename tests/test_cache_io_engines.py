@@ -1,0 +1,140 @@
+"""Tests for the query cache, catalog I/O, and engine equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.core import CachedIndex
+from repro.datasets import (
+    load_catalog_csv,
+    load_catalog_jsonl,
+    save_catalog_csv,
+    save_catalog_jsonl,
+)
+from repro.errors import InvalidDistributionError
+from repro.experiments import engine_equivalence, get_context
+
+
+class TestCachedIndex:
+    def test_hit_on_repeat(self, small_index, small_workload):
+        cached = CachedIndex(small_index)
+        gamma = small_workload.items[0]
+        first = cached.query(gamma, 5)
+        second = cached.query(gamma, 5)
+        assert second is first
+        assert cached.hits == 1 and cached.misses == 1
+        assert cached.hit_rate == pytest.approx(0.5)
+
+    def test_rounding_collapses_near_queries(self, small_index, small_workload):
+        cached = CachedIndex(small_index, decimals=2)
+        gamma = small_workload.items[1]
+        jittered = gamma + 1e-5
+        jittered /= jittered.sum()
+        cached.query(gamma, 5)
+        cached.query(jittered, 5)
+        assert cached.hits == 1
+
+    def test_distinct_k_and_strategy_not_shared(self, small_index, small_workload):
+        cached = CachedIndex(small_index)
+        gamma = small_workload.items[2]
+        cached.query(gamma, 5)
+        cached.query(gamma, 6)
+        cached.query(gamma, 5, strategy="approx-knn")
+        assert cached.misses == 3
+
+    def test_lru_eviction(self, small_index, small_workload):
+        cached = CachedIndex(small_index, max_entries=2)
+        for gamma in small_workload.items[:3]:
+            cached.query(gamma, 4)
+        assert len(cached) == 2
+        # Oldest entry evicted: querying it again misses.
+        cached.query(small_workload.items[0], 4)
+        assert cached.misses == 4
+
+    def test_clear(self, small_index, small_workload):
+        cached = CachedIndex(small_index)
+        cached.query(small_workload.items[0], 4)
+        cached.clear()
+        assert len(cached) == 0
+        assert cached.hits == 0 and cached.misses == 0
+
+    def test_matches_uncached_answers(self, small_index, small_workload):
+        cached = CachedIndex(small_index)
+        gamma = small_workload.items[3]
+        assert (
+            cached.query(gamma, 5).seeds.nodes
+            == small_index.query(gamma, 5).seeds.nodes
+        )
+
+    def test_validation(self, small_index):
+        with pytest.raises(ValueError):
+            CachedIndex(small_index, max_entries=0)
+        with pytest.raises(ValueError):
+            CachedIndex(small_index, decimals=0)
+
+
+class TestCatalogIO:
+    @pytest.fixture
+    def catalog(self, small_dataset):
+        return small_dataset.item_topics[:10]
+
+    def test_csv_round_trip(self, catalog, tmp_path):
+        path = tmp_path / "catalog.csv"
+        save_catalog_csv(catalog, path)
+        loaded = load_catalog_csv(path)
+        assert np.allclose(loaded, catalog, atol=1e-9)
+
+    def test_csv_without_header(self, catalog, tmp_path):
+        path = tmp_path / "catalog.csv"
+        save_catalog_csv(catalog, path, header=False)
+        loaded = load_catalog_csv(path)
+        assert loaded.shape == catalog.shape
+
+    def test_csv_normalizes_drift(self, tmp_path):
+        path = tmp_path / "drift.csv"
+        path.write_text("0.5001,0.5001\n0.3,0.7\n")
+        loaded = load_catalog_csv(path)
+        assert np.allclose(loaded.sum(axis=1), 1.0)
+
+    def test_csv_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("topic_0,topic_1\n")
+        with pytest.raises(InvalidDistributionError):
+            load_catalog_csv(path)
+
+    def test_jsonl_round_trip(self, catalog, tmp_path):
+        path = tmp_path / "catalog.jsonl"
+        ids = [f"movie-{i}" for i in range(catalog.shape[0])]
+        save_catalog_jsonl(catalog, path, item_ids=ids)
+        loaded_ids, loaded = load_catalog_jsonl(path)
+        assert loaded_ids == ids
+        assert np.allclose(loaded, catalog, atol=1e-9)
+
+    def test_jsonl_missing_topics_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"item_id": 1}\n')
+        with pytest.raises(InvalidDistributionError):
+            load_catalog_jsonl(path)
+
+    def test_jsonl_id_count_validated(self, catalog, tmp_path):
+        with pytest.raises(ValueError):
+            save_catalog_jsonl(
+                catalog, tmp_path / "x.jsonl", item_ids=[1]
+            )
+
+
+class TestEngineEquivalence:
+    def test_engines_agree(self):
+        context = get_context("test")
+        result = engine_equivalence.run(
+            context, num_items=3, k=6, num_snapshots=120
+        )
+        # The DESIGN.md substitution claim: rankings close, spreads
+        # indistinguishable within a few percent.
+        assert result.mean_distance < 0.35
+        assert result.spread_ratio == pytest.approx(1.0, abs=0.1)
+        assert "Engine equivalence" in result.render()
+
+    def test_validation(self):
+        context = get_context("test")
+        with pytest.raises(ValueError):
+            engine_equivalence.run(context, num_items=0)

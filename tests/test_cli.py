@@ -1,0 +1,172 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def data_dir(tmp_path_factory):
+    """A tiny generated dataset directory."""
+    path = tmp_path_factory.mktemp("cli-data")
+    code = main(
+        [
+            "generate",
+            "--out",
+            str(path),
+            "--nodes",
+            "120",
+            "--topics",
+            "3",
+            "--items",
+            "40",
+            "--seed",
+            "1",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def index_path(data_dir, tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli-index") / "index.npz"
+    code = main(
+        [
+            "build",
+            "--data",
+            str(data_dir),
+            "--out",
+            str(out),
+            "--index-points",
+            "8",
+            "--dirichlet-samples",
+            "400",
+            "--seed-list-length",
+            "6",
+            "--ris-sets",
+            "400",
+            "--seed",
+            "2",
+        ]
+    )
+    assert code == 0
+    return out
+
+
+class TestGenerate:
+    def test_artifacts_exist(self, data_dir):
+        assert (data_dir / "graph.npz").exists()
+        assert (data_dir / "catalog.npy").exists()
+        catalog = np.load(data_dir / "catalog.npy")
+        assert catalog.shape == (40, 3)
+
+    def test_with_log(self, tmp_path):
+        code = main(
+            [
+                "generate",
+                "--out",
+                str(tmp_path),
+                "--nodes",
+                "60",
+                "--topics",
+                "2",
+                "--items",
+                "10",
+                "--with-log",
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "log.txt").exists()
+
+
+class TestBuildAndQuery:
+    def test_query_by_gamma(self, data_dir, index_path, capsys):
+        code = main(
+            [
+                "query",
+                "--data",
+                str(data_dir),
+                "--index",
+                str(index_path),
+                "--gamma",
+                "0.6,0.3,0.1",
+                "--k",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "seeds (ranked):" in out
+        assert "ms" in out
+
+    def test_query_by_item(self, data_dir, index_path, capsys):
+        code = main(
+            [
+                "query",
+                "--data",
+                str(data_dir),
+                "--index",
+                str(index_path),
+                "--item",
+                "3",
+                "--k",
+                "3",
+                "--strategy",
+                "approx-knn",
+            ]
+        )
+        assert code == 0
+        assert "approx-knn" in capsys.readouterr().out
+
+    def test_gamma_normalized(self, data_dir, index_path, capsys):
+        code = main(
+            [
+                "query",
+                "--data",
+                str(data_dir),
+                "--index",
+                str(index_path),
+                "--gamma",
+                "6,3,1",  # unnormalized: CLI normalizes
+                "--k",
+                "2",
+            ]
+        )
+        assert code == 0
+
+
+class TestExperimentCommand:
+    def test_runs_fig4(self, capsys):
+        code = main(["experiment", "fig4", "--scale", "test"])
+        assert code == 0
+        assert "Pearson" in capsys.readouterr().out
+
+
+class TestAutosizeCommand:
+    def test_runs(self, data_dir, capsys):
+        code = main(
+            [
+                "autosize",
+                "--data",
+                str(data_dir),
+                "--sizes",
+                "4",
+                "8",
+            ]
+        )
+        assert code == 0
+        assert "Auto-sizing" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_requires_gamma_or_item(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--data", "x", "--index", "y"]
+            )

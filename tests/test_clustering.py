@@ -1,0 +1,167 @@
+"""Tests for Bregman K-means++ and G-means."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    bregman_kmeans,
+    cluster_is_gaussian,
+    gmeans,
+    kmeanspp_seeding,
+    learn_branching_factor,
+)
+from repro.divergence import KLDivergence, SquaredEuclidean
+from repro.simplex import sample_uniform_simplex
+
+
+def _three_blobs(seed=0, spread=0.02, per_blob=40):
+    rng = np.random.default_rng(seed)
+    centers = np.array(
+        [[0.8, 0.1, 0.1], [0.1, 0.8, 0.1], [0.1, 0.1, 0.8]]
+    )
+    points = []
+    labels = []
+    for i, center in enumerate(centers):
+        blob = center + rng.normal(0, spread, (per_blob, 3))
+        blob = np.clip(blob, 1e-4, None)
+        blob /= blob.sum(axis=1, keepdims=True)
+        points.append(blob)
+        labels.extend([i] * per_blob)
+    return np.vstack(points), np.asarray(labels)
+
+
+class TestSeeding:
+    def test_returns_distinct_indices(self):
+        pts = sample_uniform_simplex(50, 4, seed=1)
+        idx = kmeanspp_seeding(pts, 5, KLDivergence(), seed=2)
+        assert len(set(idx.tolist())) == 5
+
+    def test_k_bounds(self):
+        pts = sample_uniform_simplex(5, 3, seed=3)
+        with pytest.raises(ValueError):
+            kmeanspp_seeding(pts, 6, KLDivergence())
+        with pytest.raises(ValueError):
+            kmeanspp_seeding(pts, 0, KLDivergence())
+
+    def test_duplicate_points_handled(self):
+        pts = np.tile(np.array([[0.5, 0.5]]), (10, 1))
+        idx = kmeanspp_seeding(pts, 3, SquaredEuclidean(), seed=4)
+        assert len(set(idx.tolist())) == 3
+
+
+class TestBregmanKMeans:
+    @pytest.mark.parametrize(
+        "divergence", [KLDivergence(), SquaredEuclidean()]
+    )
+    def test_recovers_blobs(self, divergence):
+        pts, truth = _three_blobs(seed=5)
+        result = bregman_kmeans(pts, 3, divergence, seed=6, n_init=3)
+        # Each true blob should map to a single predicted cluster.
+        for blob in range(3):
+            labels = result.labels[truth == blob]
+            assert len(set(labels.tolist())) == 1
+
+    def test_inertia_decreases_with_k(self):
+        pts = sample_uniform_simplex(120, 4, seed=7)
+        div = KLDivergence()
+        inertia = [
+            bregman_kmeans(pts, k, div, seed=8, n_init=2).inertia
+            for k in (2, 4, 8, 16)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(inertia, inertia[1:]))
+
+    def test_labels_match_nearest_centroid(self):
+        pts = sample_uniform_simplex(60, 3, seed=9)
+        div = KLDivergence()
+        result = bregman_kmeans(pts, 4, div, seed=10)
+        for i, point in enumerate(pts):
+            divs = [
+                div.divergence(point, centroid)
+                for centroid in result.centroids
+            ]
+            assert result.labels[i] == int(np.argmin(divs))
+
+    def test_k_equals_n(self):
+        pts = sample_uniform_simplex(6, 3, seed=11)
+        result = bregman_kmeans(pts, 6, KLDivergence(), seed=12)
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_deterministic_with_seed(self):
+        pts = sample_uniform_simplex(40, 3, seed=13)
+        a = bregman_kmeans(pts, 3, KLDivergence(), seed=14)
+        b = bregman_kmeans(pts, 3, KLDivergence(), seed=14)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_invalid_input(self):
+        with pytest.raises(ValueError):
+            bregman_kmeans(np.empty((0, 3)), 2, KLDivergence())
+        with pytest.raises(ValueError):
+            bregman_kmeans(
+                sample_uniform_simplex(5, 3, seed=1),
+                2,
+                KLDivergence(),
+                n_init=0,
+            )
+
+
+class TestGMeans:
+    def test_single_gaussian_stays_one_cluster(self):
+        rng = np.random.default_rng(15)
+        pts = rng.normal(0, 1, (200, 2))
+        result = gmeans(pts, SquaredEuclidean(), seed=16)
+        assert result.num_clusters == 1
+
+    def test_separated_blobs_split(self):
+        pts, _ = _three_blobs(seed=17, per_blob=60)
+        result = gmeans(
+            pts, SquaredEuclidean(), alpha=0.001, seed=18, max_clusters=8
+        )
+        assert result.num_clusters >= 2
+
+    def test_max_clusters_respected(self):
+        pts, _ = _three_blobs(seed=19)
+        result = gmeans(
+            pts, SquaredEuclidean(), alpha=0.1, seed=20, max_clusters=2
+        )
+        assert result.num_clusters <= 2
+
+    def test_cluster_is_gaussian_on_gaussian(self):
+        rng = np.random.default_rng(21)
+        pts = rng.normal(5, 1, (300, 3))
+        assert cluster_is_gaussian(
+            pts, SquaredEuclidean(), alpha=0.0001, seed=22
+        )
+
+    def test_cluster_is_gaussian_on_two_blobs(self):
+        rng = np.random.default_rng(23)
+        pts = np.vstack(
+            [rng.normal(-5, 0.3, (150, 2)), rng.normal(5, 0.3, (150, 2))]
+        )
+        assert not cluster_is_gaussian(
+            pts, SquaredEuclidean(), alpha=0.0001, seed=24
+        )
+
+    def test_tiny_cluster_treated_gaussian(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        assert cluster_is_gaussian(pts, SquaredEuclidean(), alpha=0.05)
+
+
+class TestLearnBranchingFactor:
+    def test_returns_at_least_two(self):
+        pts = sample_uniform_simplex(100, 3, seed=25)
+        result = learn_branching_factor(pts, KLDivergence(), seed=26)
+        assert result.num_clusters >= 2
+
+    def test_rejects_singleton(self):
+        with pytest.raises(ValueError):
+            learn_branching_factor(
+                np.array([[0.5, 0.5]]), KLDivergence(), seed=27
+            )
+
+    def test_covers_all_points(self):
+        pts = sample_uniform_simplex(80, 4, seed=28)
+        result = learn_branching_factor(pts, KLDivergence(), seed=29)
+        assert result.labels.shape == (80,)
+        assert set(result.labels.tolist()) == set(
+            range(result.num_clusters)
+        )

@@ -1,0 +1,88 @@
+"""Concurrent read-only querying and the new CLI subcommands."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.cli import main
+
+
+class TestConcurrentQueries:
+    def test_threaded_queries_match_serial(self, small_index, small_workload):
+        """The index is read-only at query time; concurrent queries must
+        give exactly the serial answers."""
+        gammas = list(small_workload.items)
+        expected = [
+            small_index.query(gamma, 5).seeds.nodes for gamma in gammas
+        ]
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            actual = list(
+                pool.map(
+                    lambda gamma: small_index.query(gamma, 5).seeds.nodes,
+                    gammas,
+                )
+            )
+        assert actual == expected
+
+    def test_threaded_mixed_strategies(self, small_index, small_workload):
+        strategies = ["inflex", "approx-knn", "exact-knn"] * 3
+        gammas = [small_workload.items[i % 5] for i in range(9)]
+
+        def work(pair):
+            gamma, strategy = pair
+            return small_index.query(gamma, 4, strategy=strategy).seeds.nodes
+
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            results = list(pool.map(work, zip(gammas, strategies)))
+        for (gamma, strategy), nodes in zip(
+            zip(gammas, strategies), results
+        ):
+            assert (
+                small_index.query(gamma, 4, strategy=strategy).seeds.nodes
+                == nodes
+            )
+
+
+class TestNewCLICommands:
+    @pytest.fixture(scope="class")
+    def data_dir(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli2-data")
+        assert (
+            main(
+                [
+                    "generate",
+                    "--out",
+                    str(path),
+                    "--nodes",
+                    "100",
+                    "--topics",
+                    "3",
+                    "--items",
+                    "30",
+                ]
+            )
+            == 0
+        )
+        return path
+
+    def test_summarize(self, data_dir, capsys):
+        assert main(["summarize", "--data", str(data_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Graph summary" in out
+        assert "branching factor" in out
+
+    def test_run_all_subset(self, tmp_path, capsys):
+        code = main(
+            [
+                "run-all",
+                "--out",
+                str(tmp_path / "results"),
+                "--scale",
+                "test",
+                "--only",
+                "fig4_distance_correlation",
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "results" / "INDEX.txt").exists()
+        assert "results written" in capsys.readouterr().out

@@ -1,0 +1,123 @@
+"""Tests for the synthetic Flixster stand-in and query workloads."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    FlixsterLikeDataset,
+    generate_flixster_like,
+    generate_query_workload,
+)
+from repro.simplex import is_distribution
+
+
+class TestFlixsterLike:
+    def test_shapes(self):
+        ds = generate_flixster_like(
+            num_nodes=150, num_topics=5, num_items=40, seed=1
+        )
+        assert ds.graph.num_nodes == 150
+        assert ds.graph.num_topics == 5
+        assert ds.item_topics.shape == (40, 5)
+        assert ds.num_items == 40
+        assert ds.num_topics == 5
+        assert ds.log is None
+
+    def test_catalog_rows_are_distributions(self):
+        ds = generate_flixster_like(
+            num_nodes=100, num_topics=4, num_items=30, seed=2
+        )
+        for row in ds.item_topics:
+            assert is_distribution(row)
+            assert np.all(row > 0)
+
+    def test_with_log(self):
+        ds = generate_flixster_like(
+            num_nodes=120,
+            num_topics=4,
+            num_items=15,
+            with_log=True,
+            seed=3,
+        )
+        assert ds.log is not None
+        assert ds.log.num_items == 15
+        assert ds.log.num_nodes == 120
+
+    def test_deterministic(self):
+        a = generate_flixster_like(
+            num_nodes=80, num_topics=3, num_items=20, seed=4
+        )
+        b = generate_flixster_like(
+            num_nodes=80, num_topics=3, num_items=20, seed=4
+        )
+        assert np.allclose(a.item_topics, b.item_topics)
+        assert np.array_equal(a.graph.indices, b.graph.indices)
+
+    def test_too_few_items_rejected(self):
+        with pytest.raises(ValueError):
+            generate_flixster_like(num_items=1)
+
+    def test_catalog_is_sparse_mixture(self):
+        # Low concentration => most items dominated by few topics.
+        ds = generate_flixster_like(
+            num_nodes=100, num_topics=8, num_items=200, seed=5
+        )
+        max_mass = ds.item_topics.max(axis=1)
+        assert np.median(max_mass) > 0.4
+
+
+class TestQueryWorkload:
+    def test_split(self, small_dataset):
+        workload = generate_query_workload(
+            small_dataset.item_topics, 20, seed=6
+        )
+        assert workload.num_queries == 20
+        assert workload.kinds.count("data-driven") == 10
+        assert workload.kinds.count("uniform") == 10
+        assert workload.subset("data-driven").shape == (
+            10,
+            small_dataset.num_topics,
+        )
+
+    def test_all_rows_valid(self, small_dataset):
+        workload = generate_query_workload(
+            small_dataset.item_topics, 15, seed=7
+        )
+        for row in workload.items:
+            assert is_distribution(row)
+
+    def test_custom_fraction(self, small_dataset):
+        workload = generate_query_workload(
+            small_dataset.item_topics,
+            10,
+            data_driven_fraction=1.0,
+            seed=8,
+        )
+        assert workload.kinds.count("uniform") == 0
+
+    def test_data_driven_closer_to_catalog_mode(self, small_dataset):
+        # Data-driven queries should look like catalog items more often
+        # than uniform ones do: compare max-topic-mass distributions.
+        workload = generate_query_workload(
+            small_dataset.item_topics, 60, seed=9
+        )
+        dd = workload.subset("data-driven").max(axis=1).mean()
+        uni = workload.subset("uniform").max(axis=1).mean()
+        catalog = small_dataset.item_topics.max(axis=1).mean()
+        assert abs(dd - catalog) < abs(uni - catalog)
+
+    def test_invalid_args(self, small_dataset):
+        with pytest.raises(ValueError):
+            generate_query_workload(small_dataset.item_topics, 0)
+        with pytest.raises(ValueError):
+            generate_query_workload(
+                small_dataset.item_topics, 5, data_driven_fraction=1.5
+            )
+
+    def test_kind_label_validation(self):
+        from repro.datasets.workloads import QueryWorkload
+
+        with pytest.raises(ValueError):
+            QueryWorkload(
+                items=np.array([[0.5, 0.5]]), kinds=("a", "b")
+            )

@@ -1,0 +1,120 @@
+"""Determinism snapshots: same seed, same outputs — across the stack.
+
+A reproduction repository lives and dies by replayability.  These tests
+rebuild major artifacts twice with identical seeds and assert byte-level
+equality, plus time-window behavior of the EM trial extraction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import InflexConfig, InflexIndex
+from repro.datasets import generate_flixster_like, generate_query_workload
+from repro.graph import interest_topic_graph
+from repro.learning import TICLearner, generate_propagation_log
+from repro.learning.propagation_log import ItemTrace, PropagationLog
+
+
+class TestDatasetDeterminism:
+    def test_full_dataset_identical(self):
+        a = generate_flixster_like(
+            num_nodes=150, num_topics=4, num_items=60, with_log=True, seed=5
+        )
+        b = generate_flixster_like(
+            num_nodes=150, num_topics=4, num_items=60, with_log=True, seed=5
+        )
+        assert np.array_equal(a.graph.indices, b.graph.indices)
+        assert np.array_equal(a.graph.probabilities, b.graph.probabilities)
+        assert np.array_equal(a.item_topics, b.item_topics)
+        for trace_a, trace_b in zip(a.log, b.log):
+            assert np.array_equal(trace_a.nodes, trace_b.nodes)
+            assert np.array_equal(trace_a.times, trace_b.times)
+
+    def test_workload_identical(self):
+        catalog = generate_flixster_like(
+            num_nodes=100, num_topics=3, num_items=50, seed=6
+        ).item_topics
+        a = generate_query_workload(catalog, 12, seed=7)
+        b = generate_query_workload(catalog, 12, seed=7)
+        assert np.array_equal(a.items, b.items)
+        assert a.kinds == b.kinds
+
+
+class TestIndexDeterminism:
+    def test_build_twice_identical(self, small_dataset):
+        config = InflexConfig(
+            num_index_points=8,
+            num_dirichlet_samples=400,
+            seed_list_length=5,
+            ris_num_sets=400,
+            knn=4,
+            seed=11,
+        )
+        a = InflexIndex.build(
+            small_dataset.graph, small_dataset.item_topics, config
+        )
+        b = InflexIndex.build(
+            small_dataset.graph, small_dataset.item_topics, config
+        )
+        assert np.array_equal(a.index_points, b.index_points)
+        for list_a, list_b in zip(a.seed_lists, b.seed_lists):
+            assert list_a.nodes == list_b.nodes
+        gamma = small_dataset.item_topics[0]
+        assert (
+            a.query(gamma, 4).seeds.nodes == b.query(gamma, 4).seeds.nodes
+        )
+
+
+class TestLearnerDeterminism:
+    def test_fit_twice_identical(self):
+        graph = interest_topic_graph(
+            80, 3, topics_per_node=1, base_strength=0.25, seed=21
+        )
+        items = np.random.default_rng(22).dirichlet(np.ones(3), size=40)
+        log = generate_propagation_log(graph, items, seed=23)
+        a = TICLearner(graph, 3, max_iter=8, seed=24).fit(log)
+        b = TICLearner(graph, 3, max_iter=8, seed=24).fit(log)
+        assert np.array_equal(a.probabilities, b.probabilities)
+        assert np.array_equal(a.item_topics, b.item_topics)
+        assert a.history == b.history
+
+
+class TestTimeWindow:
+    def _log_with_delay(self, delay: int) -> PropagationLog:
+        # Node 0 activates at t=0, node 1 at t=delay.
+        return PropagationLog(
+            2,
+            (ItemTrace(0, np.array([0, 1]), np.array([0, delay])),),
+        )
+
+    def _graph(self):
+        from repro.graph import TopicGraph
+
+        return TopicGraph.from_arcs(
+            2, np.array([[0, 1]]), np.array([[0.5]])
+        )
+
+    def test_within_window_counts_as_positive(self):
+        graph = self._graph()
+        learner = TICLearner(graph, 1, time_window=3, seed=1)
+        trials = learner._extract_trials(self._log_with_delay(2))
+        assert trials[0].positive_arcs.size == 1
+
+    def test_beyond_window_not_attributed(self):
+        graph = self._graph()
+        learner = TICLearner(graph, 1, time_window=3, seed=1)
+        trials = learner._extract_trials(self._log_with_delay(10))
+        assert trials[0].positive_arcs.size == 0
+        # ... and it is not a negative trial either: the head DID
+        # activate, just not attributably.
+        assert trials[0].negative_arcs.size == 0
+
+    def test_none_window_accepts_any_delay(self):
+        graph = self._graph()
+        learner = TICLearner(graph, 1, seed=1)
+        trials = learner._extract_trials(self._log_with_delay(10))
+        assert trials[0].positive_arcs.size == 1
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            TICLearner(self._graph(), 1, time_window=0)

@@ -1,0 +1,39 @@
+"""Tests for the query-drift and densification study."""
+
+import pytest
+
+from repro.experiments import drift, get_context
+
+
+@pytest.fixture(scope="module")
+def result():
+    return drift.run(
+        get_context("test"), levels=(0.0, 0.8), num_queries=4
+    )
+
+
+class TestDrift:
+    def test_structure(self, result):
+        assert set(result.static_distance) == {0.0, 0.8}
+        for mapping in (
+            result.static_coverage,
+            result.static_distance,
+            result.densified_distance,
+        ):
+            assert all(v >= 0.0 for v in mapping.values())
+        assert "drift" in result.render()
+
+    def test_densification_helps_under_drift(self, result):
+        # Where the static index struggles most (the drifted stream),
+        # densifying at the drift region must not hurt and should help.
+        assert (
+            result.densified_distance[0.8]
+            <= result.static_distance[0.8] + 0.05
+        )
+
+    def test_validation(self):
+        context = get_context("test")
+        with pytest.raises(ValueError):
+            drift.run(context, levels=(1.5,))
+        with pytest.raises(ValueError):
+            drift.run(context, levels=())

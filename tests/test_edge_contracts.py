@@ -1,0 +1,90 @@
+"""Edge-of-contract tests: behaviors at the boundaries of the API.
+
+Documents (and pins) what happens in the corner cases a downstream
+user will eventually hit: k larger than anything precomputed, epsilon
+hits with large k, single-node graphs, one-topic graphs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import InflexConfig, InflexIndex
+from repro.graph import TopicGraph
+from repro.im import SeedList
+from repro.propagation import estimate_spread, simulate_item_cascade
+from repro.simplex import sample_uniform_simplex
+
+
+class TestLargeK:
+    def test_epsilon_match_with_k_beyond_list(self, small_index):
+        # An epsilon hit returns the matched list's prefix; when k
+        # exceeds the precomputed length the answer is simply shorter —
+        # the documented contract (retrieve more neighbors for more).
+        point = small_index.index_points[3]
+        ell = small_index.config.seed_list_length
+        answer = small_index.query(point, ell + 10)
+        assert answer.epsilon_match
+        assert len(answer.seeds) == ell
+
+    def test_aggregated_k_capped_by_union(self, small_index):
+        gamma = sample_uniform_simplex(
+            1, small_index.graph.num_topics, seed=1
+        )[0]
+        answer = small_index.query(gamma, 10**6, strategy="approx-knn")
+        union = set()
+        for i in answer.neighbor_ids:
+            union |= set(small_index.seed_lists[i].nodes)
+        assert len(answer.seeds) == len(union)
+
+
+class TestDegenerateGraphs:
+    def test_single_topic_graph(self):
+        arcs = [(0, 1), (1, 2)]
+        graph = TopicGraph.from_arcs(
+            3, np.asarray(arcs), np.full((2, 1), 0.5)
+        )
+        active = simulate_item_cascade(graph, [1.0], [0], rng=1)
+        assert active[0]
+        estimate = estimate_spread(
+            graph, [1.0], [0], num_simulations=200, seed=2
+        )
+        assert 1.0 <= estimate.mean <= 3.0
+
+    def test_single_node_graph_spread(self):
+        graph = TopicGraph.from_arcs(
+            1, np.empty((0, 2)), np.empty((0, 2))
+        )
+        estimate = estimate_spread(
+            graph, [0.5, 0.5], [0], num_simulations=10, seed=3
+        )
+        assert estimate.mean == 1.0
+
+    def test_index_on_arcless_graph(self):
+        # A graph with nodes but no arcs: every seed list is padding,
+        # and queries still satisfy the contract.
+        graph = TopicGraph.from_arcs(
+            5, np.empty((0, 2)), np.empty((0, 3))
+        )
+        catalog = np.random.default_rng(4).dirichlet(np.ones(3), size=20)
+        config = InflexConfig(
+            num_index_points=3,
+            num_dirichlet_samples=100,
+            seed_list_length=2,
+            ris_num_sets=20,
+            knn=2,
+            seed=5,
+        )
+        index = InflexIndex.build(graph, catalog, config)
+        answer = index.query(catalog[0], 2)
+        assert len(answer.seeds) == 2
+
+
+class TestSeedListEdge:
+    def test_empty_seed_list(self):
+        empty = SeedList(())
+        assert len(empty) == 0
+        assert empty.top(3).nodes == ()
+        assert empty.estimated_spread == 0.0
+
+    def test_top_zero(self):
+        assert SeedList((1, 2)).top(0).nodes == ()

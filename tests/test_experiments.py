@@ -1,0 +1,243 @@
+"""Integration tests: every table/figure experiment runs at TEST scale
+and reproduces the paper's qualitative shape."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig3_index_selection,
+    fig4_distance_correlation,
+    fig5_retrieval_recall,
+    fig6_accuracy,
+    fig7_runtime,
+    fig8_spread,
+    fig9_tradeoff,
+    get_context,
+    table1_aggregation,
+    table3_spread_by_k,
+)
+from repro.experiments.presets import PRESETS, TEST
+
+
+@pytest.fixture(scope="module")
+def context():
+    return get_context("test")
+
+
+class TestPresets:
+    def test_registry(self):
+        assert {"test", "demo", "paper-shape"} <= set(PRESETS)
+
+    def test_scaled_override(self):
+        scaled = TEST.scaled(num_queries=3)
+        assert scaled.num_queries == 3
+        assert scaled.num_nodes == TEST.num_nodes
+
+    def test_config_derivation(self):
+        config = TEST.config()
+        assert config.num_index_points == TEST.num_index_points
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(KeyError):
+            get_context("bogus")
+
+
+class TestContext:
+    def test_ground_truth_prefix_consistency(self, context):
+        full = context.ground_truth(0)
+        short = context.ground_truth(0, 5)
+        assert short.nodes == full.nodes[:5]
+
+    def test_ground_truth_cached(self, context):
+        a = context.ground_truth(1)
+        b = context.ground_truth(1)
+        assert a is b
+
+    def test_spread_deterministic(self, context):
+        gamma = context.workload.items[0]
+        seeds = context.ground_truth(0, 5)
+        a = context.spread(gamma, seeds, seed_offset=1).mean
+        b = context.spread(gamma, seeds, seed_offset=1).mean
+        assert a == b
+
+
+class TestFig3:
+    def test_pipeline_covers_at_least_as_well_as_uniform(self, context):
+        result = fig3_index_selection.run(context, num_eval_samples=60)
+        inflex = result.coverage["dirichlet+kmeans++ (INFLEX)"]
+        uniform = result.coverage["uniform simplex (space-based)"]
+        assert inflex < uniform
+        assert result.ilr_index.shape == (
+            context.index.num_index_points,
+            context.scale.num_topics - 1,
+        )
+        assert "Figure 3" in result.render()
+
+
+class TestFig4:
+    def test_positive_correlation(self, context):
+        result = fig4_distance_correlation.run(context, num_pairs=250)
+        assert result.pearson > 0.2
+        assert result.spearman > 0.2
+        centers, means = result.binned_means(5)
+        # Trend: farthest bin has larger Kendall-tau than nearest bin.
+        assert means[-1] > means[0]
+        assert "Pearson" in result.render()
+
+
+class TestFig5:
+    def test_recall_monotone_in_leaves(self, context):
+        result = fig5_retrieval_recall.run(context, num_queries=15)
+        for k in result.k_values:
+            series = [
+                result.recall[(k, leaves)] for leaves in result.leaf_budgets
+            ]
+            assert all(
+                later >= earlier - 1e-9
+                for earlier, later in zip(series, series[1:])
+            )
+            # Full budget should retrieve most of the true neighbors.
+            assert series[-1] >= 0.6
+
+    def test_ad_cheaper_than_full_budget(self, context):
+        result = fig5_retrieval_recall.run(context, num_queries=15)
+        assert result.ad_mean_computations <= result.fixed_mean_computations[
+            max(result.leaf_budgets)
+        ]
+        assert 1.0 <= result.ad_mean_leaves <= max(result.leaf_budgets)
+        assert "Figure 5" in result.render()
+
+
+class TestTable1:
+    def test_weighted_beats_unweighted(self, context):
+        result = table1_aggregation.run(context)
+        means = result.method_means()
+        assert means["borda_w"] <= means["borda"] + 1e-9
+        assert means["copeland_w"] <= means["copeland"] + 1e-9
+
+    def test_copeland_w_competitive(self, context):
+        # The paper's winner: weighted Copeland should be the best (or
+        # within noise of the best) aggregation method.
+        result = table1_aggregation.run(context)
+        means = result.method_means()
+        best = min(means.values())
+        assert means["copeland_w"] <= best + 0.02
+        assert "Table 1" in result.render()
+
+
+class TestFig6:
+    def test_inflex_beats_approx_ad(self, context):
+        result = fig6_accuracy.run(context)
+        means = result.strategy_means()
+        assert means["inflex"] <= means["approx-ad"] + 1e-9
+
+    def test_exact_knn_is_best_or_tied(self, context):
+        result = fig6_accuracy.run(context)
+        means = result.strategy_means()
+        assert means["exact-knn"] <= min(means.values()) + 0.02
+
+    def test_paired_comparison_api(self, context):
+        result = fig6_accuracy.run(context)
+        k = result.k_values[0]
+        test = result.compare("inflex", "approx-ad", k)
+        assert 0.0 <= test.p_value <= 1.0
+        assert "Figure 6" in result.render()
+
+
+class TestFig7:
+    def test_all_queries_fast(self, context):
+        result = fig7_runtime.run(context)
+        # Every strategy answers in milliseconds (paper: < 30 ms).
+        assert all(v < 50.0 for v in result.mean_total_ms.values())
+        assert "Figure 7" in result.render()
+
+    def test_selection_speeds_up_aggregation(self, context):
+        result = fig7_runtime.run(context)
+        assert (
+            result.mean_aggregation_ms["approx-knn-sel"]
+            <= result.mean_aggregation_ms["approx-knn"] + 1e-6
+        )
+
+
+class TestFig8Table2:
+    @pytest.fixture(scope="class")
+    def spread_result(self, context):
+        return fig8_spread.run(context)
+
+    def test_method_ordering(self, spread_result):
+        tic = spread_result.mean_spread("offline TIC")
+        inflex = spread_result.mean_spread("INFLEX")
+        ic = spread_result.mean_spread("offline IC")
+        random = spread_result.mean_spread("random")
+        # The paper's headline ordering.
+        assert random < ic < tic
+        assert inflex > ic
+        # INFLEX within a modest margin of the ground truth.
+        assert inflex >= 0.85 * tic
+
+    def test_topic_blind_clearly_worse(self, spread_result):
+        tic = spread_result.mean_spread("offline TIC")
+        ic = spread_result.mean_spread("offline IC")
+        assert ic <= 0.9 * tic
+
+    def test_nrmse_ordering(self, spread_result):
+        _, inflex_nrmse = spread_result.error_metrics("INFLEX")
+        _, random_nrmse = spread_result.error_metrics("random")
+        assert inflex_nrmse < random_nrmse
+        assert "NRMSE" in spread_result.render()
+
+
+class TestTable3:
+    def test_rows_and_accuracy(self, context):
+        result = table3_spread_by_k.run(context)
+        for k in result.k_values:
+            inflex_mean, _, offline_mean, _, _, nrmse = result.row(k)
+            assert inflex_mean > 0
+            assert nrmse < 0.5
+            assert inflex_mean <= offline_mean * 1.25
+        assert "Table 3" in result.render()
+
+
+class TestFig9:
+    def test_points_and_frontier(self, context):
+        result = fig9_tradeoff.run(context)
+        assert set(result.points) == {
+            "exactKNN",
+            "INFLEX",
+            "approxKNN",
+            "approxAD",
+            "approxKNN+Sel",
+        }
+        frontier = result.frontier()
+        assert len(frontier) >= 1
+        assert "Figure 9" in result.render()
+
+
+class TestAblations:
+    def test_kl_side(self, context):
+        result = ablations.run_kl_side(context)
+        assert set(result.distances) == {
+            "right (paper)",
+            "left",
+            "symmetrized",
+        }
+        assert all(0 <= v <= 1 for v in result.distances.values())
+        assert "sidedness" in result.render()
+
+    def test_selection_threshold(self, context):
+        result = ablations.run_selection_threshold(
+            context, thresholds=(0.001, 0.05)
+        )
+        # A tighter threshold triggers the stop earlier and keeps fewer
+        # lists; a larger threshold is harder to trigger and keeps more.
+        assert (
+            result.mean_lists_kept[0.001]
+            <= result.mean_lists_kept[0.05] + 1e-9
+        )
+        assert "threshold" in result.render()
+
+    def test_index_size(self, context):
+        result = ablations.run_index_size(context, sizes=(6, 18))
+        assert result.mean_distance[18] <= result.mean_distance[6] + 0.1
+        assert "index size" in result.render()

@@ -1,0 +1,59 @@
+"""Tests for answer provenance explanations."""
+
+import numpy as np
+import pytest
+
+from repro.core import explain_answer
+
+
+class TestExplainAnswer:
+    @pytest.fixture(scope="class")
+    def explanation(self, small_index, small_workload):
+        answer = small_index.query(small_workload.items[0], 6)
+        return answer, explain_answer(small_index, answer)
+
+    def test_covers_every_seed(self, explanation):
+        answer, result = explanation
+        assert [e.node for e in result.seeds] == list(answer.seeds)
+        assert [e.final_rank for e in result.seeds] == list(
+            range(len(answer.seeds))
+        )
+
+    def test_support_bounds(self, explanation):
+        answer, result = explanation
+        for e in result.seeds:
+            assert 0 <= e.supporting_lists <= answer.num_neighbors_used
+            assert 0.0 <= e.support_weight <= 1.0 + 1e-9
+            if e.supporting_lists:
+                assert np.isfinite(e.mean_rank_in_lists)
+
+    def test_top_seed_well_supported(self, explanation):
+        _, result = explanation
+        top = result.seeds[0]
+        # The consensus winner must appear in at least one list, and a
+        # strongly weighted one at that.
+        assert top.supporting_lists >= 1
+        assert top.support_weight > 0.0
+
+    def test_for_node_lookup(self, explanation):
+        answer, result = explanation
+        node = answer.seeds[2]
+        assert result.for_node(node).final_rank == 2
+        with pytest.raises(KeyError):
+            result.for_node(10**9)
+
+    def test_render(self, explanation):
+        _, result = explanation
+        text = result.render()
+        assert "provenance" in text
+        assert "lists vouching" in text
+
+    def test_epsilon_match_explanation(self, small_index):
+        point = small_index.index_points[4]
+        answer = small_index.query(point, 5)
+        assert answer.epsilon_match
+        result = explain_answer(small_index, answer)
+        # All seeds come from the single matched list.
+        for e in result.seeds:
+            assert e.supporting_lists == 1
+            assert e.support_weight == pytest.approx(1.0)

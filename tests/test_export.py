@@ -1,0 +1,86 @@
+"""Tests for experiment-result export (JSON/CSV) and memory footprint."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments import (
+    export_json,
+    export_series_csv,
+    fig4_distance_correlation,
+    get_context,
+    result_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    return fig4_distance_correlation.run(get_context("test"), num_pairs=60)
+
+
+class TestResultToDict:
+    def test_dataclass_converted(self, fig4_result):
+        data = result_to_dict(fig4_result)
+        assert isinstance(data["pearson"], float)
+        assert isinstance(data["divergences"], list)
+
+    def test_tuple_keys_joined(self):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Dummy:
+            values: dict
+
+        data = result_to_dict(Dummy(values={("a", 1): 2.0}))
+        assert data["values"] == {"a|1": 2.0}
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(TypeError):
+            result_to_dict({"not": "a dataclass"})
+
+
+class TestExportJson:
+    def test_round_trip(self, fig4_result, tmp_path):
+        path = tmp_path / "fig4.json"
+        export_json(fig4_result, path)
+        with path.open() as handle:
+            data = json.load(handle)
+        assert data["pearson"] == pytest.approx(fig4_result.pearson)
+        assert len(data["divergences"]) == len(fig4_result.divergences)
+
+
+class TestExportSeriesCsv:
+    def test_csv_structure(self, tmp_path):
+        path = tmp_path / "series.csv"
+        export_series_csv(
+            "k", [1, 2, 3], {"a": [0.1, 0.2, 0.3], "b": [1, 2, 3]}, path
+        )
+        with path.open(newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["k", "a", "b"]
+        assert rows[2] == ["2", "0.2", "2"]
+
+    def test_length_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_series_csv(
+                "k", [1, 2], {"a": [0.1]}, tmp_path / "bad.csv"
+            )
+
+
+class TestMemoryFootprint:
+    def test_paper_formula(self, small_index):
+        z = small_index.graph.num_topics
+        ell = small_index.config.seed_list_length
+        expected = ((z - 1) * 8 + ell * 4) * small_index.num_index_points
+        assert small_index.memory_footprint() == expected
+
+    def test_grows_with_points(self, small_index):
+        from repro.im import SeedList
+
+        gamma = small_index.index_points[0] * 0.5 + 0.5 / len(
+            small_index.index_points[0]
+        )
+        gamma = gamma / gamma.sum()
+        grown = small_index.with_added_point(gamma, SeedList((1, 2, 3)))
+        assert grown.memory_footprint() > small_index.memory_footprint()

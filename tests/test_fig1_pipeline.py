@@ -1,0 +1,41 @@
+"""Tests for the Figure-1 end-to-end pipeline experiment."""
+
+import pytest
+
+from repro.experiments import fig1_pipeline
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig1_pipeline.run(
+        num_nodes=180,
+        num_topics=3,
+        num_items=200,
+        num_queries=4,
+        k=6,
+        seed=9,
+    )
+
+
+class TestFig1Pipeline:
+    def test_recovery_better_than_chance(self, result):
+        assert result.gamma_recovery > 0.0
+        assert result.probability_recovery > 0.0
+
+    def test_both_indexes_beat_random(self, result):
+        assert result.spread_true_params > result.spread_random
+        assert result.spread_learned_params > result.spread_random
+
+    def test_learning_cost_bounded(self, result):
+        # The learned-parameter index loses some spread to estimation
+        # error, but stays within a sane band of the truth-built one.
+        assert 0.3 <= result.learned_vs_true_ratio <= 1.3
+
+    def test_render(self, result):
+        text = result.render()
+        assert "learned / truth ratio" in text
+        assert "Figure-1" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fig1_pipeline.run(num_queries=0)

@@ -1,0 +1,143 @@
+"""Tests for graph generators and graph I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidGraphError
+from repro.graph import (
+    community_topic_graph,
+    erdos_renyi_topic_graph,
+    interest_topic_graph,
+    load_arc_list,
+    load_graph,
+    power_law_topic_graph,
+    save_arc_list,
+    save_graph,
+)
+
+GENERATORS = [
+    lambda seed: interest_topic_graph(150, 4, seed=seed),
+    lambda seed: community_topic_graph(150, 4, seed=seed),
+    lambda seed: power_law_topic_graph(150, 4, seed=seed),
+    lambda seed: erdos_renyi_topic_graph(
+        150, 4, arc_probability=0.05, seed=seed
+    ),
+]
+
+
+@pytest.mark.parametrize("factory", GENERATORS)
+class TestGeneratorContracts:
+    def test_valid_graph(self, factory):
+        g = factory(1)
+        assert g.num_nodes == 150
+        assert g.num_topics == 4
+        assert g.num_arcs > 0
+        assert g.probabilities.min() >= 0.0
+        assert g.probabilities.max() <= 0.8
+
+    def test_deterministic(self, factory):
+        a = factory(7)
+        b = factory(7)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.allclose(a.probabilities, b.probabilities)
+
+    def test_different_seeds_differ(self, factory):
+        a = factory(1)
+        b = factory(2)
+        assert a.num_arcs != b.num_arcs or not np.array_equal(
+            a.indices, b.indices
+        )
+
+    def test_no_self_loops(self, factory):
+        g = factory(3)
+        arcs = g.arcs()
+        assert np.all(arcs[:, 0] != arcs[:, 1])
+
+    def test_no_duplicate_arcs(self, factory):
+        g = factory(4)
+        arcs = g.arcs()
+        codes = arcs[:, 0] * g.num_nodes + arcs[:, 1]
+        assert np.unique(codes).size == codes.size
+
+
+class TestInterestGraphSpecifics:
+    def test_interest_structure(self):
+        g = interest_topic_graph(
+            200, 5, topics_per_node=1, off_topic_ratio=0.02, seed=5
+        )
+        # Every arc should have exactly one strong topic when
+        # topics_per_node=1 (strong = clearly above the off-topic tier).
+        probs = g.probabilities
+        nonzero = probs[probs.sum(axis=1) > 0]
+        strong_counts = (
+            nonzero > 0.5 * nonzero.max(axis=1, keepdims=True)
+        ).sum(axis=1)
+        assert np.all(strong_counts == 1)
+
+    def test_degree_heavy_tail(self):
+        g = interest_topic_graph(500, 4, seed=6)
+        degrees = g.out_degree()
+        assert degrees.max() > 5 * degrees.mean()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            interest_topic_graph(1, 3)
+        with pytest.raises(ValueError):
+            interest_topic_graph(10, 3, topics_per_node=5)
+        with pytest.raises(ValueError):
+            interest_topic_graph(10, 3, off_topic_ratio=1.5)
+        with pytest.raises(ValueError):
+            interest_topic_graph(10, 3, degree_sigma=-1.0)
+
+
+class TestCommunityGraphSpecifics:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            community_topic_graph(10, 3, intra_community_fraction=1.4)
+        with pytest.raises(ValueError):
+            community_topic_graph(10, 3, topic_focus=1.0)
+        with pytest.raises(ValueError):
+            community_topic_graph(1, 3)
+
+
+class TestErdosRenyiSpecifics:
+    def test_arc_probability_validation(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_topic_graph(10, 2, arc_probability=2.0)
+
+    def test_density_tracks_parameter(self):
+        g = erdos_renyi_topic_graph(200, 2, arc_probability=0.1, seed=8)
+        expected = 0.1 * 200 * 199
+        assert abs(g.num_arcs - expected) < 0.2 * expected
+
+
+class TestGraphIO:
+    def test_npz_round_trip(self, tmp_path, small_graph):
+        path = tmp_path / "graph.npz"
+        save_graph(small_graph, path)
+        loaded = load_graph(path)
+        assert loaded.num_nodes == small_graph.num_nodes
+        assert np.array_equal(loaded.indices, small_graph.indices)
+        assert np.allclose(loaded.probabilities, small_graph.probabilities)
+
+    def test_arc_list_round_trip(self, tmp_path, tiny_graph):
+        path = tmp_path / "graph.txt"
+        save_arc_list(tiny_graph, path)
+        loaded = load_arc_list(path)
+        assert loaded.num_nodes == tiny_graph.num_nodes
+        assert np.array_equal(loaded.indices, tiny_graph.indices)
+        assert np.allclose(
+            loaded.probabilities, tiny_graph.probabilities, atol=1e-9
+        )
+
+    def test_arc_list_field_count_validated(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# nodes=2 topics=2\n0 1 0.5\n")
+        with pytest.raises(InvalidGraphError):
+            load_arc_list(path)
+
+    def test_empty_arc_list_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nodes=3 topics=2\n")
+        with pytest.raises(InvalidGraphError):
+            load_arc_list(path)

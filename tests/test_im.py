@@ -1,0 +1,219 @@
+"""Tests for the influence-maximization algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.im import (
+    SeedList,
+    celf_seed_selection,
+    celfpp_seed_selection,
+    degree_seeds,
+    greedy_seed_selection,
+    pagerank_seeds,
+    random_seeds,
+    ris_influence_maximization,
+    ris_seed_selection,
+    sample_rr_sets,
+    weighted_degree_seeds,
+)
+from repro.propagation import SnapshotSpread, estimate_spread
+
+
+class TestSeedList:
+    def test_basic(self):
+        sl = SeedList((3, 1, 2), (5.0, 2.0, 1.0), algorithm="x")
+        assert len(sl) == 3
+        assert sl[0] == 3
+        assert 1 in sl
+        assert sl.rank_of(2) == 2
+        assert sl.rank_of(99) is None
+        assert sl.estimated_spread == pytest.approx(8.0)
+
+    def test_top(self):
+        sl = SeedList((3, 1, 2), (5.0, 2.0, 1.0))
+        top = sl.top(2)
+        assert top.nodes == (3, 1)
+        assert top.marginal_gains == (5.0, 2.0)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            SeedList((1, 1, 2))
+
+    def test_gain_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SeedList((1, 2), (1.0,))
+
+    def test_iteration_order(self):
+        sl = SeedList((5, 3, 9))
+        assert list(sl) == [5, 3, 9]
+
+    def test_as_array(self):
+        sl = SeedList((5, 3))
+        arr = sl.as_array()
+        assert arr.dtype == np.int64
+        assert arr.tolist() == [5, 3]
+
+
+class TestGreedyFamilyEquivalence:
+    """Greedy, CELF and CELF++ must return the same seeds when run on
+    the same deterministic (snapshot) spread oracle — CELF/CELF++ are
+    exact optimizations, not approximations."""
+
+    @pytest.fixture(scope="class")
+    def oracle(self, small_graph):
+        gamma = np.full(
+            small_graph.num_topics, 1.0 / small_graph.num_topics
+        )
+        return SnapshotSpread(
+            small_graph, gamma, num_snapshots=60, seed=21
+        )
+
+    def test_all_agree(self, oracle, small_graph):
+        n = small_graph.num_nodes
+        greedy = greedy_seed_selection(oracle, n, 4)
+        celf = celf_seed_selection(oracle, n, 4)
+        celfpp = celfpp_seed_selection(oracle, n, 4)
+        assert greedy.nodes == celf.nodes == celfpp.nodes
+        assert np.allclose(greedy.marginal_gains, celf.marginal_gains)
+        assert np.allclose(greedy.marginal_gains, celfpp.marginal_gains)
+
+    def test_gains_nonincreasing(self, oracle, small_graph):
+        result = celf_seed_selection(oracle, small_graph.num_nodes, 5)
+        gains = result.marginal_gains
+        assert all(a >= b - 1e-9 for a, b in zip(gains, gains[1:]))
+
+    def test_k_zero(self, oracle, small_graph):
+        assert len(celf_seed_selection(oracle, small_graph.num_nodes, 0)) == 0
+        assert (
+            len(celfpp_seed_selection(oracle, small_graph.num_nodes, 0)) == 0
+        )
+
+    def test_k_too_large_rejected(self, oracle):
+        with pytest.raises(ValueError):
+            greedy_seed_selection(oracle, 5, 6)
+        with pytest.raises(ValueError):
+            celf_seed_selection(oracle, 5, 6)
+        with pytest.raises(ValueError):
+            celfpp_seed_selection(oracle, 5, 6)
+
+    def test_candidate_restriction(self, oracle, small_graph):
+        pool = [0, 1, 2, 3, 4]
+        result = celf_seed_selection(
+            oracle, small_graph.num_nodes, 3, candidates=pool
+        )
+        assert set(result.nodes) <= set(pool)
+
+
+class TestRIS:
+    def test_rr_sets_contain_root(self, small_graph):
+        gamma = np.full(
+            small_graph.num_topics, 1.0 / small_graph.num_topics
+        )
+        collection = sample_rr_sets(small_graph, gamma, 50, seed=22)
+        assert collection.num_sets == 50
+        for rr in collection.sets:
+            assert rr.size >= 1
+
+    def test_spread_estimate_unbiased_vs_mc(self, small_graph):
+        gamma = np.zeros(small_graph.num_topics)
+        gamma[0] = 1.0
+        collection = sample_rr_sets(small_graph, gamma, 6000, seed=23)
+        seeds = [0, 1, 2]
+        ris_est = collection.spread_estimate(seeds)
+        mc_est = estimate_spread(
+            small_graph, gamma, seeds, num_simulations=3000, seed=24
+        ).mean
+        assert ris_est == pytest.approx(mc_est, rel=0.2, abs=1.0)
+
+    def test_selection_beats_random(self, small_graph):
+        gamma = np.zeros(small_graph.num_topics)
+        gamma[0] = 1.0
+        result = ris_influence_maximization(
+            small_graph, gamma, 5, num_sets=3000, seed=25
+        )
+        random = random_seeds(small_graph.num_nodes, 5, seed=26)
+        s_ris = estimate_spread(
+            small_graph, gamma, result.nodes, num_simulations=500, seed=27
+        ).mean
+        s_rand = estimate_spread(
+            small_graph, gamma, random.nodes, num_simulations=500, seed=27
+        ).mean
+        assert s_ris > s_rand
+
+    def test_gains_nonincreasing(self, small_graph):
+        gamma = np.full(
+            small_graph.num_topics, 1.0 / small_graph.num_topics
+        )
+        result = ris_influence_maximization(
+            small_graph, gamma, 8, num_sets=2000, seed=28
+        )
+        gains = result.marginal_gains
+        assert all(a >= b - 1e-9 for a, b in zip(gains, gains[1:]))
+
+    def test_pads_when_rr_sets_exhausted(self, tiny_graph):
+        gamma = np.array([1.0, 0.0])
+        collection = sample_rr_sets(tiny_graph, gamma, 5, seed=29)
+        result = ris_seed_selection(collection, tiny_graph.num_nodes)
+        assert len(result) == tiny_graph.num_nodes
+        assert len(set(result.nodes)) == tiny_graph.num_nodes
+
+    def test_invalid_args(self, small_graph):
+        gamma = np.full(
+            small_graph.num_topics, 1.0 / small_graph.num_topics
+        )
+        with pytest.raises(ValueError):
+            sample_rr_sets(small_graph, gamma, 0)
+        collection = sample_rr_sets(small_graph, gamma, 10, seed=30)
+        with pytest.raises(ValueError):
+            ris_seed_selection(collection, -1)
+
+    def test_deterministic(self, small_graph):
+        gamma = np.full(
+            small_graph.num_topics, 1.0 / small_graph.num_topics
+        )
+        a = ris_influence_maximization(
+            small_graph, gamma, 5, num_sets=500, seed=31
+        )
+        b = ris_influence_maximization(
+            small_graph, gamma, 5, num_sets=500, seed=31
+        )
+        assert a.nodes == b.nodes
+
+
+class TestHeuristics:
+    def test_random_seeds_distinct(self):
+        result = random_seeds(100, 10, seed=32)
+        assert len(set(result.nodes)) == 10
+
+    def test_random_seeds_bounds(self):
+        with pytest.raises(ValueError):
+            random_seeds(5, 6)
+
+    def test_degree_seeds_order(self, small_graph):
+        result = degree_seeds(small_graph, 5)
+        degrees = small_graph.out_degree()
+        returned = [degrees[v] for v in result.nodes]
+        assert all(a >= b for a, b in zip(returned, returned[1:]))
+        assert returned[0] == degrees.max()
+
+    def test_weighted_degree_topic_sensitivity(self, small_graph):
+        gamma_a = np.zeros(small_graph.num_topics)
+        gamma_a[0] = 1.0
+        gamma_b = np.zeros(small_graph.num_topics)
+        gamma_b[1] = 1.0
+        top_a = weighted_degree_seeds(small_graph, gamma_a, 10).nodes
+        top_b = weighted_degree_seeds(small_graph, gamma_b, 10).nodes
+        # Topic-aware ranking should differ across topics on an
+        # interest-structured graph.
+        assert top_a != top_b
+
+    def test_pagerank_seeds(self, small_graph):
+        result = pagerank_seeds(small_graph, 5)
+        assert len(result) == 5
+        assert len(set(result.nodes)) == 5
+
+    def test_pagerank_validation(self, small_graph):
+        with pytest.raises(ValueError):
+            pagerank_seeds(small_graph, 5, damping=1.5)
+        with pytest.raises(ValueError):
+            pagerank_seeds(small_graph, small_graph.num_nodes + 1)

@@ -1,0 +1,121 @@
+"""End-to-end integration tests across subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    InflexConfig,
+    InflexIndex,
+    load_index,
+    offline_tic_seed_list,
+    save_index,
+)
+from repro.datasets import generate_flixster_like, generate_query_workload
+from repro.learning import TICLearner
+from repro.propagation import estimate_spread
+from repro.ranking import kendall_tau_top
+
+
+class TestFigureOnePipeline:
+    """The paper's Figure 1: log -> learning -> index -> query."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        data = generate_flixster_like(
+            num_nodes=200,
+            num_topics=3,
+            num_items=150,
+            topics_per_node=1,
+            base_strength=0.2,
+            with_log=True,
+            seeds_per_item=6,
+            seed=71,
+        )
+        learner = TICLearner(data.graph, 3, max_iter=20, seed=72)
+        learned = learner.fit(
+            data.log, init_item_topics="trace-clustering"
+        )
+        learned_graph = learned.to_graph(data.graph)
+        index = InflexIndex.build(
+            learned_graph,
+            learned.item_topics,
+            InflexConfig(
+                num_index_points=12,
+                num_dirichlet_samples=600,
+                seed_list_length=8,
+                ris_num_sets=800,
+                knn=4,
+                seed=73,
+            ),
+        )
+        return data, learned, index
+
+    def test_index_built_on_learned_parameters(self, pipeline):
+        data, learned, index = pipeline
+        assert index.num_index_points == 12
+        assert index.graph.num_topics == 3
+
+    def test_query_beats_random_under_true_process(self, pipeline):
+        data, learned, index = pipeline
+        gamma = data.item_topics[0]
+        answer = index.query(gamma, 6)
+        targeted = estimate_spread(
+            data.graph, gamma, list(answer.seeds),
+            num_simulations=200, seed=74,
+        ).mean
+        rng = np.random.default_rng(75)
+        random_spreads = [
+            estimate_spread(
+                data.graph,
+                gamma,
+                rng.choice(data.graph.num_nodes, 6, replace=False),
+                num_simulations=200,
+                seed=74,
+            ).mean
+            for _ in range(5)
+        ]
+        assert targeted > np.mean(random_spreads)
+
+
+class TestIndexVsOfflineAgreement:
+    def test_answers_close_to_offline(self, small_index, small_dataset):
+        workload = generate_query_workload(
+            small_dataset.item_topics, 6, data_driven_fraction=1.0, seed=76
+        )
+        distances = []
+        for gamma in workload.items:
+            answer = small_index.query(gamma, 8)
+            offline = offline_tic_seed_list(
+                small_dataset.graph, gamma, 8, ris_num_sets=4000, seed=77
+            )
+            distances.append(kendall_tau_top(answer.seeds, offline))
+        # Mean distance comfortably below the disjoint-lists worst case;
+        # on data-driven queries the index should be informative.
+        assert np.mean(distances) < 0.55
+
+    def test_answer_spread_close_to_offline(self, small_index, small_dataset):
+        gamma = small_dataset.item_topics[3]
+        answer = small_index.query(gamma, 8)
+        offline = offline_tic_seed_list(
+            small_dataset.graph, gamma, 8, ris_num_sets=4000, seed=78
+        )
+        s_index = estimate_spread(
+            small_dataset.graph, gamma, list(answer.seeds),
+            num_simulations=300, seed=79,
+        ).mean
+        s_offline = estimate_spread(
+            small_dataset.graph, gamma, list(offline),
+            num_simulations=300, seed=79,
+        ).mean
+        assert s_index >= 0.7 * s_offline
+
+
+class TestPersistenceAcrossPipeline:
+    def test_save_query_load_query(self, small_index, small_dataset, tmp_path):
+        gamma = small_dataset.item_topics[5]
+        before = small_index.query(gamma, 5).seeds.nodes
+        path = tmp_path / "idx.npz"
+        save_index(small_index, path)
+        reloaded = load_index(path, small_dataset.graph)
+        after = reloaded.query(gamma, 5).seeds.nodes
+        assert before == after

@@ -1,0 +1,164 @@
+"""Tests for Kendall-tau distances (full and top-list)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ranking import (
+    kendall_tau_full,
+    kendall_tau_top,
+    mean_kendall_tau_top,
+)
+
+permutations_of_5 = st.permutations(list(range(5)))
+
+top_lists = st.lists(
+    st.integers(min_value=0, max_value=12), min_size=1, max_size=6, unique=True
+)
+
+
+class TestKendallFull:
+    def test_identity(self):
+        assert kendall_tau_full([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_reversal(self):
+        assert kendall_tau_full([1, 2, 3, 4], [4, 3, 2, 1]) == 1.0
+
+    def test_single_swap(self):
+        # One adjacent transposition = 1 of C(3,2)=3 possible inversions.
+        assert kendall_tau_full([1, 2, 3], [2, 1, 3]) == pytest.approx(1 / 3)
+
+    def test_unnormalized_counts_inversions(self):
+        assert kendall_tau_full(
+            [1, 2, 3, 4], [4, 3, 2, 1], normalized=False
+        ) == 6
+
+    def test_different_domains_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau_full([1, 2], [1, 3])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau_full([1, 1], [1, 2])
+
+    def test_trivial_lists(self):
+        assert kendall_tau_full([7], [7]) == 0.0
+
+    @given(permutations_of_5, permutations_of_5)
+    @settings(max_examples=60)
+    def test_property_symmetry(self, a, b):
+        assert kendall_tau_full(a, b) == pytest.approx(
+            kendall_tau_full(b, a)
+        )
+
+    @given(permutations_of_5, permutations_of_5)
+    @settings(max_examples=60)
+    def test_property_bounds_and_identity(self, a, b):
+        value = kendall_tau_full(a, b)
+        assert 0.0 <= value <= 1.0
+        if list(a) == list(b):
+            assert value == 0.0
+
+    @given(permutations_of_5)
+    @settings(max_examples=30)
+    def test_property_matches_bruteforce(self, a):
+        b = list(range(5))
+        expected = sum(
+            1
+            for i, j in itertools.combinations(range(5), 2)
+            if (a.index(i) - a.index(j)) * (b.index(i) - b.index(j)) < 0
+        )
+        assert kendall_tau_full(a, b, normalized=False) == expected
+
+
+class TestKendallTop:
+    def test_identical(self):
+        assert kendall_tau_top([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_disjoint_is_max(self):
+        assert kendall_tau_top([1, 2, 3], [4, 5, 6]) == pytest.approx(1.0)
+
+    def test_paper_normalization(self):
+        # Max disagreements for equal-length lists: l^2 + l(l-1)p.
+        ell, p = 4, 0.5
+        raw = kendall_tau_top(
+            [1, 2, 3, 4], [5, 6, 7, 8], p=p, normalized=False
+        )
+        assert raw == pytest.approx(ell * ell + ell * (ell - 1) * p)
+
+    def test_case2_penalty(self):
+        # Lists [a, b] and [b]: within list 1, a < b but list 2
+        # implicitly ranks b ahead of a -> 1 disagreement on pair (a,b).
+        raw = kendall_tau_top([1, 2], [2], normalized=False)
+        assert raw == pytest.approx(1.0)
+
+    def test_case2_agreement(self):
+        # Lists [a, b] and [a]: consistent -> pair (a,b) costs 0; but
+        # pair contributions of absent-b... only pair is (1,2): agree.
+        raw = kendall_tau_top([1, 2], [1], normalized=False)
+        assert raw == pytest.approx(0.0)
+
+    def test_case4_penalty_scales_with_p(self):
+        # Pair (1,2) appears only in the first list; pair counts p.
+        for p in (0.0, 0.5, 1.0):
+            raw = kendall_tau_top([1, 2], [3], p=p, normalized=False)
+            # pairs: (1,2): case 4 -> p; (1,3): case 3 -> 1; (2,3): 1.
+            assert raw == pytest.approx(p + 2.0)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            kendall_tau_top([1], [2], p=1.5)
+
+    def test_reversal_of_same_set(self):
+        # All 3 pairs reversed = 3 disagreements over max 9 + 3 = 12.
+        assert kendall_tau_top([1, 2, 3], [3, 2, 1]) == pytest.approx(
+            3.0 / 12.0
+        )
+
+    @given(top_lists, top_lists)
+    @settings(max_examples=80)
+    def test_property_symmetry(self, a, b):
+        assert kendall_tau_top(a, b) == pytest.approx(kendall_tau_top(b, a))
+
+    @given(top_lists, top_lists)
+    @settings(max_examples=80)
+    def test_property_bounds(self, a, b):
+        value = kendall_tau_top(a, b)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+    @given(top_lists)
+    @settings(max_examples=40)
+    def test_property_identity(self, a):
+        assert kendall_tau_top(a, a) == 0.0
+
+    def test_accepts_seed_lists(self, small_index):
+        lists = small_index.seed_lists
+        assert kendall_tau_top(lists[0], lists[0]) == 0.0
+        assert kendall_tau_top(lists[0], lists[1]) >= 0.0
+
+
+class TestMeanKendall:
+    def test_weighted_mean(self):
+        candidate = [1, 2, 3]
+        rankings = [[1, 2, 3], [3, 2, 1]]
+        d_far = kendall_tau_top(candidate, rankings[1])
+        unweighted = mean_kendall_tau_top(candidate, rankings)
+        assert unweighted == pytest.approx(d_far / 2)
+        weighted = mean_kendall_tau_top(
+            candidate, rankings, weights=[1.0, 0.0]
+        )
+        assert weighted == 0.0
+
+    def test_empty_rankings_rejected(self):
+        with pytest.raises(ValueError):
+            mean_kendall_tau_top([1], [])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            mean_kendall_tau_top([1], [[1]], weights=[-1.0])
+
+    def test_weight_count_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_kendall_tau_top([1], [[1], [2]], weights=[1.0])

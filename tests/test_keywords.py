@@ -1,0 +1,111 @@
+"""Tests for the keyword-to-topic front-end."""
+
+import numpy as np
+import pytest
+
+from repro.core import KeywordTopicMapper
+from repro.errors import QueryError
+from repro.simplex import is_distribution
+
+
+@pytest.fixture
+def mapper():
+    return KeywordTopicMapper.from_topic_labels(
+        {"action": 0, "romance": 1, "comedy": 2, "thriller": 0},
+        num_topics=4,
+        focus=0.85,
+    )
+
+
+class TestConstruction:
+    def test_from_labels(self, mapper):
+        assert mapper.num_topics == 4
+        assert "action" in mapper
+        assert "ACTION" in mapper  # case-insensitive
+        assert mapper.vocabulary == (
+            "action",
+            "comedy",
+            "romance",
+            "thriller",
+        )
+
+    def test_explicit_lexicon(self):
+        mapper = KeywordTopicMapper(
+            {"a": [0.7, 0.3], "b": [0.2, 0.8]}, background_weight=0.0
+        )
+        gamma = mapper.gamma_for(["a"])
+        assert np.allclose(gamma, [0.7, 0.3])
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            KeywordTopicMapper({"a": [0.5, 0.5], "b": [1.0, 0.0, 0.0]})
+
+    def test_empty_lexicon_rejected(self):
+        with pytest.raises(ValueError):
+            KeywordTopicMapper({})
+
+    def test_bad_background_rejected(self):
+        with pytest.raises(ValueError):
+            KeywordTopicMapper({"a": [1.0, 0.0]}, background_weight=1.0)
+
+    def test_label_bounds(self):
+        with pytest.raises(ValueError):
+            KeywordTopicMapper.from_topic_labels({"x": 9}, num_topics=3)
+        with pytest.raises(ValueError):
+            KeywordTopicMapper.from_topic_labels(
+                {"x": 0}, num_topics=3, focus=0.0
+            )
+
+
+class TestGammaFor:
+    def test_output_is_distribution(self, mapper):
+        gamma = mapper.gamma_for(["action", "romance"])
+        assert is_distribution(gamma)
+        assert np.all(gamma > 0)  # full support via background
+
+    def test_dominant_topic(self, mapper):
+        gamma = mapper.gamma_for(["action"])
+        assert gamma.argmax() == 0
+        gamma = mapper.gamma_for(["romance"])
+        assert gamma.argmax() == 1
+
+    def test_weights_shift_mixture(self, mapper):
+        toward_action = mapper.gamma_for(
+            ["action", "romance"], weights=[5.0, 1.0]
+        )
+        toward_romance = mapper.gamma_for(
+            ["action", "romance"], weights=[1.0, 5.0]
+        )
+        assert toward_action[0] > toward_romance[0]
+        assert toward_romance[1] > toward_action[1]
+
+    def test_synonym_topics_accumulate(self, mapper):
+        # "action" and "thriller" share topic 0.
+        gamma = mapper.gamma_for(["action", "thriller"])
+        assert gamma[0] > 0.7
+
+    def test_unknown_keyword_rejected(self, mapper):
+        with pytest.raises(QueryError) as info:
+            mapper.gamma_for(["action", "western"])
+        assert "western" in str(info.value)
+
+    def test_empty_keywords_rejected(self, mapper):
+        with pytest.raises(QueryError):
+            mapper.gamma_for([])
+
+    def test_weight_validation(self, mapper):
+        with pytest.raises(QueryError):
+            mapper.gamma_for(["action"], weights=[1.0, 2.0])
+        with pytest.raises(QueryError):
+            mapper.gamma_for(["action"], weights=[-1.0])
+
+
+class TestEndToEnd:
+    def test_keyword_query_against_index(self, small_index, small_dataset):
+        mapper = KeywordTopicMapper.from_topic_labels(
+            {f"genre-{z}": z for z in range(small_dataset.num_topics)},
+            num_topics=small_dataset.num_topics,
+        )
+        gamma = mapper.gamma_for(["genre-0", "genre-1"], weights=[3.0, 1.0])
+        answer = small_index.query(gamma, 5)
+        assert len(answer.seeds) == 5

@@ -1,0 +1,236 @@
+"""Tests for propagation logs and the TIC EM learner."""
+
+import numpy as np
+import pytest
+
+from repro.graph import interest_topic_graph
+from repro.learning import (
+    ItemTrace,
+    PropagationLog,
+    TICLearner,
+    generate_propagation_log,
+    held_out_log_likelihood_curve,
+    match_topics,
+    parameter_recovery_correlation,
+)
+
+
+class TestItemTrace:
+    def test_sorted_by_time(self):
+        trace = ItemTrace(0, np.array([5, 3, 7]), np.array([2, 0, 1]))
+        assert trace.nodes.tolist() == [3, 7, 5]
+        assert trace.times.tolist() == [0, 1, 2]
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            ItemTrace(0, np.array([1, 1]), np.array([0, 1]))
+
+    def test_dense_times(self):
+        trace = ItemTrace(0, np.array([2, 0]), np.array([3, 1]))
+        dense = trace.activation_times(4)
+        assert dense.tolist() == [1, -1, 3, -1]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ItemTrace(0, np.array([1, 2]), np.array([0]))
+
+
+class TestPropagationLog:
+    def test_counts(self):
+        traces = (
+            ItemTrace(0, np.array([0, 1]), np.array([0, 1])),
+            ItemTrace(1, np.array([2]), np.array([0])),
+        )
+        log = PropagationLog(5, traces)
+        assert log.num_items == 2
+        assert log.total_activations == 3
+
+    def test_node_range_validated(self):
+        with pytest.raises(ValueError):
+            PropagationLog(
+                2, (ItemTrace(0, np.array([5]), np.array([0])),)
+            )
+
+    def test_save_load_round_trip(self, tmp_path):
+        traces = (
+            ItemTrace(0, np.array([0, 3]), np.array([0, 2])),
+            ItemTrace(1, np.array([1]), np.array([0])),
+        )
+        log = PropagationLog(5, traces)
+        path = tmp_path / "log.txt"
+        log.save(path)
+        loaded = PropagationLog.load(path)
+        assert loaded.num_nodes == 5
+        assert loaded.num_items == 2
+        assert loaded[0].nodes.tolist() == [0, 3]
+        assert loaded[1].times.tolist() == [0]
+
+
+class TestGenerateLog:
+    def test_generates_traces_for_all_items(self, small_graph):
+        items = np.random.default_rng(1).dirichlet(
+            np.ones(small_graph.num_topics), size=10
+        )
+        log = generate_propagation_log(
+            small_graph, items, seeds_per_item=3, seed=2
+        )
+        assert log.num_items == 10
+        assert all(trace.num_activations >= 1 for trace in log)
+
+    def test_deterministic(self, small_graph):
+        items = np.random.default_rng(3).dirichlet(
+            np.ones(small_graph.num_topics), size=5
+        )
+        a = generate_propagation_log(small_graph, items, seed=4)
+        b = generate_propagation_log(small_graph, items, seed=4)
+        assert all(
+            np.array_equal(x.nodes, y.nodes) for x, y in zip(a, b)
+        )
+
+    def test_invalid_args(self, small_graph):
+        items = np.ones((3, small_graph.num_topics)) / small_graph.num_topics
+        with pytest.raises(ValueError):
+            generate_propagation_log(small_graph, items, seeds_per_item=0)
+        with pytest.raises(ValueError):
+            generate_propagation_log(
+                small_graph, items, cascades_per_item=0
+            )
+
+
+@pytest.fixture(scope="module")
+def em_setup():
+    """Graph + log generated from known ground-truth parameters."""
+    graph = interest_topic_graph(
+        120, 3, topics_per_node=1, base_strength=0.3, seed=41
+    )
+    rng = np.random.default_rng(42)
+    item_topics = rng.dirichlet(np.full(3, 0.3), size=200)
+    log = generate_propagation_log(
+        graph, item_topics, seeds_per_item=6, seed=43
+    )
+    return graph, item_topics, log
+
+
+class TestTICLearner:
+    def test_log_likelihood_nondecreasing(self, em_setup):
+        graph, _, log = em_setup
+        learner = TICLearner(graph, 3, max_iter=15, seed=44)
+        result = learner.fit(log)
+        held_out_log_likelihood_curve(result.history)  # raises on decrease
+
+    def test_probabilities_in_unit_interval(self, em_setup):
+        graph, _, log = em_setup
+        result = TICLearner(graph, 3, max_iter=10, seed=45).fit(log)
+        assert result.probabilities.min() >= 0.0
+        assert result.probabilities.max() <= 1.0
+        assert np.allclose(result.item_topics.sum(axis=1), 1.0)
+        assert np.all(result.item_topics > 0)
+
+    def test_truth_initialization_is_stable(self, em_setup):
+        graph, item_topics, log = em_setup
+        learner = TICLearner(graph, 3, max_iter=25, seed=46)
+        result = learner.fit(
+            log,
+            init_probabilities=graph.probabilities,
+            init_item_topics=item_topics,
+        )
+        corr = parameter_recovery_correlation(
+            result.item_topics, item_topics
+        )
+        assert corr > 0.6
+
+    def test_trace_clustering_beats_nothing(self, em_setup):
+        graph, item_topics, log = em_setup
+        learner = TICLearner(graph, 3, max_iter=25, seed=47)
+        result = learner.fit(log, init_item_topics="trace-clustering")
+        corr = parameter_recovery_correlation(
+            result.item_topics, item_topics
+        )
+        # Better than chance by a clear margin.
+        assert corr > 0.2
+
+    def test_unknown_init_string_rejected(self, em_setup):
+        graph, _, log = em_setup
+        learner = TICLearner(graph, 3, seed=48)
+        with pytest.raises(ValueError):
+            learner.fit(log, init_item_topics="bogus")
+
+    def test_init_shape_validated(self, em_setup):
+        graph, _, log = em_setup
+        learner = TICLearner(graph, 3, seed=49)
+        with pytest.raises(ValueError):
+            learner.fit(log, init_probabilities=np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            learner.fit(log, init_item_topics=np.ones((2, 3)))
+
+    def test_log_likelihood_api(self, em_setup):
+        graph, item_topics, log = em_setup
+        learner = TICLearner(graph, 3, max_iter=5, seed=50)
+        result = learner.fit(log)
+        ll = learner.log_likelihood(
+            log, result.probabilities, result.item_topics
+        )
+        assert ll == pytest.approx(result.log_likelihood, rel=0.05)
+
+    def test_infer_item_topics(self, em_setup):
+        graph, item_topics, log = em_setup
+        learner = TICLearner(graph, 3, max_iter=20, seed=51)
+        result = learner.fit(
+            log,
+            init_probabilities=graph.probabilities,
+            init_item_topics=item_topics,
+        )
+        inferred = learner.infer_item_topics(result, log)
+        assert inferred.shape == (log.num_items, 3)
+        assert np.allclose(inferred.sum(axis=1), 1.0)
+
+    def test_to_graph(self, em_setup):
+        graph, _, log = em_setup
+        result = TICLearner(graph, 3, max_iter=3, seed=52).fit(log)
+        learned = result.to_graph(graph)
+        assert learned.num_arcs == graph.num_arcs
+        assert learned.num_topics == 3
+
+    def test_parameter_validation(self, em_setup):
+        graph, _, _ = em_setup
+        with pytest.raises(ValueError):
+            TICLearner(graph, 0)
+        with pytest.raises(ValueError):
+            TICLearner(graph, 2, max_iter=0)
+        with pytest.raises(ValueError):
+            TICLearner(graph, 2, smoothing=0.0)
+        with pytest.raises(ValueError):
+            TICLearner(graph, 2, prior_mean=1.5)
+
+    def test_node_count_mismatch_rejected(self, em_setup, tiny_graph):
+        _, _, log = em_setup
+        learner = TICLearner(tiny_graph, 2, seed=53)
+        with pytest.raises(ValueError):
+            learner.fit(log)
+
+    def test_empty_log_rejected(self, em_setup):
+        graph, _, _ = em_setup
+        learner = TICLearner(graph, 2, seed=54)
+        with pytest.raises(ValueError):
+            learner.fit(PropagationLog(graph.num_nodes, ()))
+
+
+class TestEvaluationHelpers:
+    def test_match_topics_identity(self):
+        mat = np.random.default_rng(55).dirichlet(np.ones(4), size=50)
+        perm = match_topics(mat, mat)
+        assert perm.tolist() == [0, 1, 2, 3]
+
+    def test_match_topics_permutation(self):
+        mat = np.random.default_rng(56).dirichlet(np.ones(3), size=60)
+        shuffled = mat[:, [2, 0, 1]]
+        perm = match_topics(shuffled, mat)
+        assert np.allclose(shuffled[:, perm], mat)
+
+    def test_match_topics_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            match_topics(np.ones((3, 2)), np.ones((3, 3)))
+
+    def test_curve_raises_on_decrease(self):
+        with pytest.raises(ValueError):
+            held_out_log_likelihood_curve([-10.0, -5.0, -7.0])

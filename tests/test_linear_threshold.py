@@ -1,0 +1,152 @@
+"""Tests for the topic-aware Linear Threshold substrate."""
+
+import numpy as np
+import pytest
+
+from repro.graph import TopicGraph
+from repro.im import random_seeds
+from repro.propagation import (
+    estimate_lt_spread,
+    lt_influence_maximization,
+    normalize_lt_weights,
+    sample_lt_rr_sets,
+    simulate_lt_cascade,
+    validate_lt_weights,
+)
+
+
+def _lt_chain(weight: float) -> TopicGraph:
+    """0 -> 1 -> 2 -> 3 with a single in-arc of weight ``weight`` each."""
+    arcs = [(0, 1), (1, 2), (2, 3)]
+    probs = np.full((3, 1), weight)
+    return TopicGraph.from_arcs(4, np.asarray(arcs), probs)
+
+
+class TestWeightNormalization:
+    def test_valid_graph_untouched(self):
+        g = _lt_chain(0.6)
+        normalized = normalize_lt_weights(g)
+        assert np.allclose(normalized.probabilities, g.probabilities)
+
+    def test_overweight_node_rescaled(self):
+        # Node 2 has two in-arcs of 0.8 each: sum 1.6 -> rescale to 1.0.
+        arcs = [(0, 2), (1, 2)]
+        probs = np.full((2, 1), 0.8)
+        g = TopicGraph.from_arcs(3, np.asarray(arcs), probs)
+        assert not validate_lt_weights(g)
+        normalized = normalize_lt_weights(g)
+        assert validate_lt_weights(normalized)
+        assert np.allclose(normalized.probabilities.sum(), 1.0)
+
+    def test_per_topic_normalization(self):
+        arcs = [(0, 2), (1, 2)]
+        probs = np.array([[0.9, 0.1], [0.9, 0.2]])
+        normalized = normalize_lt_weights(
+            TopicGraph.from_arcs(3, np.asarray(arcs), probs)
+        )
+        sums = normalized.probabilities.sum(axis=0)
+        assert sums[0] == pytest.approx(1.0)
+        assert sums[1] == pytest.approx(0.3)  # was already valid
+
+
+class TestLTSimulation:
+    def test_weight_one_chain_fully_activates(self):
+        g = _lt_chain(1.0)
+        active = simulate_lt_cascade(g, [1.0], [0], rng=0)
+        assert active.all()
+
+    def test_zero_weight_only_seeds(self):
+        g = _lt_chain(0.0)
+        active = simulate_lt_cascade(g, [1.0], [0], rng=0)
+        assert active.tolist() == [True, False, False, False]
+
+    def test_empty_seeds(self):
+        g = _lt_chain(1.0)
+        assert not simulate_lt_cascade(g, [1.0], [], rng=0).any()
+
+    def test_activation_probability_matches_weight(self):
+        # P[1 activates | 0 seeded] = P[theta_1 <= w] = w.
+        w = 0.3
+        g = _lt_chain(w)
+        rng = np.random.default_rng(1)
+        hits = sum(
+            simulate_lt_cascade(g, [1.0], [0], rng)[1] for _ in range(4000)
+        )
+        assert hits / 4000 == pytest.approx(w, abs=0.03)
+
+    def test_threshold_accumulation(self):
+        # Two in-arcs of 0.5 each: both parents active => always fires.
+        arcs = [(0, 2), (1, 2)]
+        probs = np.full((2, 1), 0.5)
+        g = TopicGraph.from_arcs(3, np.asarray(arcs), probs)
+        rng = np.random.default_rng(2)
+        hits = sum(
+            simulate_lt_cascade(g, [1.0], [0, 1], rng)[2]
+            for _ in range(500)
+        )
+        assert hits >= 497  # theta in (0, 1]: weight 1.0 >= theta a.s.
+
+    def test_topic_mixture(self):
+        arcs = [(0, 1)]
+        probs = np.array([[0.8, 0.0]])
+        g = TopicGraph.from_arcs(2, np.asarray(arcs), probs)
+        rng = np.random.default_rng(3)
+        gamma = np.array([0.5, 0.5])  # mixture weight = 0.4
+        hits = sum(
+            simulate_lt_cascade(g, gamma, [0], rng)[1] for _ in range(4000)
+        )
+        assert hits / 4000 == pytest.approx(0.4, abs=0.03)
+
+
+class TestLTSpreadAndRIS:
+    @pytest.fixture(scope="class")
+    def lt_graph(self, small_graph):
+        return normalize_lt_weights(small_graph)
+
+    def test_spread_estimate_contract(self, lt_graph):
+        gamma = np.full(lt_graph.num_topics, 1.0 / lt_graph.num_topics)
+        estimate = estimate_lt_spread(
+            lt_graph, gamma, [0, 1], num_simulations=100, seed=4
+        )
+        assert estimate.mean >= 2.0
+        with pytest.raises(ValueError):
+            estimate_lt_spread(lt_graph, gamma, [0], num_simulations=0)
+
+    def test_rr_estimate_matches_monte_carlo(self, lt_graph):
+        gamma = np.zeros(lt_graph.num_topics)
+        gamma[0] = 1.0
+        seeds = [0, 1, 2]
+        collection = sample_lt_rr_sets(lt_graph, gamma, 8000, seed=5)
+        ris_estimate = collection.spread_estimate(seeds)
+        mc_estimate = estimate_lt_spread(
+            lt_graph, gamma, seeds, num_simulations=4000, seed=6
+        ).mean
+        assert ris_estimate == pytest.approx(mc_estimate, rel=0.2, abs=1.0)
+
+    def test_selection_beats_random(self, lt_graph):
+        gamma = np.zeros(lt_graph.num_topics)
+        gamma[0] = 1.0
+        chosen = lt_influence_maximization(
+            lt_graph, gamma, 5, num_sets=4000, seed=7
+        )
+        rnd = random_seeds(lt_graph.num_nodes, 5, seed=8)
+        s_chosen = estimate_lt_spread(
+            lt_graph, gamma, chosen.nodes, num_simulations=500, seed=9
+        ).mean
+        s_rnd = estimate_lt_spread(
+            lt_graph, gamma, rnd.nodes, num_simulations=500, seed=9
+        ).mean
+        assert s_chosen > s_rnd
+
+    def test_invalid_weights_rejected(self, small_graph):
+        # The raw generated graph typically violates the LT constraint.
+        arcs = [(0, 2), (1, 2)]
+        probs = np.full((2, 1), 0.9)
+        bad = TopicGraph.from_arcs(3, np.asarray(arcs), probs)
+        with pytest.raises(ValueError):
+            lt_influence_maximization(bad, [1.0], 1, num_sets=10)
+
+    def test_rr_args_validated(self, lt_graph):
+        gamma = np.full(lt_graph.num_topics, 1.0 / lt_graph.num_topics)
+        with pytest.raises(ValueError):
+            sample_lt_rr_sets(lt_graph, gamma, 0)

@@ -1,0 +1,89 @@
+"""Small-surface coverage: dataclass properties, reprs, and edge paths
+not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.core import CachedIndex, compare_positionings
+from repro.core.query import QueryTiming
+from repro.bbtree.projection import ProjectionResult
+from repro.propagation import SpreadEstimate
+from repro.rng import spawn_rngs
+from repro.stats import BootstrapInterval
+
+
+class TestQueryTiming:
+    def test_total_sums_phases(self):
+        timing = QueryTiming(search=0.1, selection=0.02, aggregation=0.03)
+        assert timing.total == pytest.approx(0.15)
+
+    def test_defaults_zero(self):
+        assert QueryTiming().total == 0.0
+
+
+class TestSpreadEstimate:
+    def test_standard_error(self):
+        estimate = SpreadEstimate(mean=10.0, std=2.0, num_simulations=4)
+        assert estimate.standard_error == pytest.approx(1.0)
+
+    def test_single_simulation_infinite_error(self):
+        estimate = SpreadEstimate(mean=10.0, std=0.0, num_simulations=1)
+        assert estimate.standard_error == float("inf")
+
+
+class TestProjectionResult:
+    def test_fields(self):
+        result = ProjectionResult(
+            min_divergence=0.5, iterations=10, inside=False
+        )
+        assert result.min_divergence == 0.5
+        assert not result.inside
+
+
+class TestBootstrapInterval:
+    def test_contains_and_width(self):
+        interval = BootstrapInterval(
+            estimate=1.0, lower=0.8, upper=1.3, confidence=0.95
+        )
+        assert 1.0 in interval
+        assert 0.5 not in interval
+        assert interval.width == pytest.approx(0.5)
+
+
+class TestSpawnRngsSeedSequence:
+    def test_seed_sequence_input(self):
+        seq = np.random.SeedSequence(42)
+        children = spawn_rngs(seq, 2)
+        assert len(children) == 2
+        a = children[0].random(3)
+        children2 = spawn_rngs(np.random.SeedSequence(42), 2)
+        assert np.allclose(a, children2[0].random(3))
+
+
+class TestCachedIndexEmpty:
+    def test_hit_rate_before_any_query(self, small_index):
+        cached = CachedIndex(small_index)
+        assert cached.hit_rate == 0.0
+        assert len(cached) == 0
+
+
+class TestWhatIfOverlapEdge:
+    def test_overlap_of_identical_candidates(self, small_index, small_dataset):
+        gamma = small_dataset.item_topics[0]
+        report = compare_positionings(
+            small_index,
+            {"a": gamma, "b": gamma},
+            3,
+            num_simulations=10,
+            seed=1,
+        )
+        assert report.seed_overlap("a", "b") == pytest.approx(1.0)
+
+
+class TestReprs:
+    def test_core_reprs_are_informative(self, small_index, small_graph):
+        assert "InflexIndex" in repr(small_index)
+        assert "TopicGraph" in repr(small_graph)
+        assert "BBTree" in repr(small_index.tree)
+        seed_list = small_index.seed_lists[0]
+        assert "SeedList" in repr(seed_list)

@@ -1,0 +1,179 @@
+"""Tests for cascade simulation and spread estimation."""
+
+import numpy as np
+import pytest
+
+from repro.graph import TopicGraph
+from repro.propagation import (
+    MonteCarloSpread,
+    SnapshotSpread,
+    estimate_spread,
+    simulate_cascade,
+    simulate_item_cascade,
+    simulate_item_cascade_trace,
+)
+
+
+def _chain_graph(p: float, num_topics: int = 1) -> TopicGraph:
+    """0 -> 1 -> 2 -> 3 with uniform probability p on every topic."""
+    arcs = [(0, 1), (1, 2), (2, 3)]
+    probs = np.full((3, num_topics), p)
+    return TopicGraph.from_arcs(4, np.asarray(arcs), probs)
+
+
+class TestSimulateCascade:
+    def test_deterministic_chain_full_activation(self):
+        g = _chain_graph(1.0)
+        active = simulate_item_cascade(g, [1.0], [0], rng=0)
+        assert active.all()
+
+    def test_zero_probability_only_seeds(self):
+        g = _chain_graph(0.0)
+        active = simulate_item_cascade(g, [1.0], [0], rng=0)
+        assert active.tolist() == [True, False, False, False]
+
+    def test_empty_seed_set(self):
+        g = _chain_graph(1.0)
+        active = simulate_item_cascade(g, [1.0], [], rng=0)
+        assert not active.any()
+
+    def test_all_seeds(self):
+        g = _chain_graph(0.0)
+        active = simulate_item_cascade(g, [1.0], [0, 1, 2, 3], rng=0)
+        assert active.all()
+
+    def test_seeds_always_active(self, small_graph):
+        gamma = np.full(small_graph.num_topics, 1.0 / small_graph.num_topics)
+        active = simulate_item_cascade(small_graph, gamma, [3, 7], rng=1)
+        assert active[3] and active[7]
+
+    def test_monotone_in_probability(self, small_graph):
+        # Same RNG seed, scaled probabilities: coupling means more
+        # activations with higher probabilities on average.
+        gamma = np.full(small_graph.num_topics, 1.0 / small_graph.num_topics)
+        low = np.mean(
+            [
+                simulate_item_cascade(small_graph, gamma, [0], rng=i).sum()
+                for i in range(100)
+            ]
+        )
+        boosted = TopicGraph(
+            small_graph.num_nodes,
+            small_graph.indptr,
+            small_graph.indices,
+            np.clip(small_graph.probabilities * 2.0, 0, 1),
+        )
+        high = np.mean(
+            [
+                simulate_item_cascade(boosted, gamma, [0], rng=i).sum()
+                for i in range(100)
+            ]
+        )
+        assert high >= low
+
+    def test_respects_reachability(self):
+        # Node 3 is unreachable from node 1 in the chain.
+        g = _chain_graph(1.0)
+        active = simulate_cascade(
+            g.indptr, g.indices, g.item_probabilities([1.0]), [2], rng=0
+        )
+        assert not active[0] and not active[1]
+        assert active[2] and active[3]
+
+
+class TestCascadeTrace:
+    def test_times_and_activators(self):
+        g = _chain_graph(1.0)
+        trace = simulate_item_cascade_trace(g, [1.0], [0], rng=0)
+        assert trace.activation_time.tolist() == [0, 1, 2, 3]
+        assert trace.activator.tolist() == [-1, 0, 1, 2]
+        assert trace.size == 4
+
+    def test_inactive_nodes_marked(self):
+        g = _chain_graph(0.0)
+        trace = simulate_item_cascade_trace(g, [1.0], [1], rng=0)
+        assert trace.activation_time[0] == -1
+        assert trace.activator[2] == -1
+
+    def test_matches_mask_semantics(self, small_graph):
+        gamma = np.full(small_graph.num_topics, 1.0 / small_graph.num_topics)
+        trace = simulate_item_cascade_trace(small_graph, gamma, [0, 5], rng=2)
+        assert trace.size == trace.active.sum()
+        assert np.all((trace.activation_time >= 0) == trace.active)
+
+
+class TestSpreadEstimation:
+    def test_chain_expected_value(self):
+        # Chain with p: E[spread from node 0] = 1 + p + p^2 + p^3.
+        p = 0.5
+        g = _chain_graph(p)
+        estimate = estimate_spread(
+            g, [1.0], [0], num_simulations=8000, seed=3
+        )
+        expected = 1 + p + p**2 + p**3
+        assert estimate.mean == pytest.approx(expected, abs=0.05)
+
+    def test_monotone_in_seed_set(self, small_graph):
+        gamma = np.full(small_graph.num_topics, 1.0 / small_graph.num_topics)
+        est = MonteCarloSpread(
+            small_graph, gamma, num_simulations=300, seed=4
+        )
+        small = est.estimate([0])
+        large = MonteCarloSpread(
+            small_graph, gamma, num_simulations=300, seed=4
+        ).estimate([0, 1, 2])
+        assert large >= small
+
+    def test_standard_error(self):
+        g = _chain_graph(0.5)
+        estimate = estimate_spread(g, [1.0], [0], num_simulations=100, seed=5)
+        assert estimate.standard_error > 0
+        assert estimate.num_simulations == 100
+
+    def test_invalid_simulation_count(self):
+        g = _chain_graph(0.5)
+        with pytest.raises(ValueError):
+            MonteCarloSpread(g, [1.0], num_simulations=0)
+
+
+class TestSnapshotSpread:
+    def test_matches_monte_carlo(self, small_graph):
+        gamma = np.full(small_graph.num_topics, 1.0 / small_graph.num_topics)
+        snap = SnapshotSpread(
+            small_graph, gamma, num_snapshots=600, seed=6
+        )
+        mc = MonteCarloSpread(
+            small_graph, gamma, num_simulations=600, seed=7
+        )
+        seeds = [0, 3, 9]
+        assert snap.estimate(seeds) == pytest.approx(
+            mc.estimate(seeds), rel=0.15
+        )
+
+    def test_deterministic_given_snapshots(self, small_graph):
+        gamma = np.full(small_graph.num_topics, 1.0 / small_graph.num_topics)
+        snap = SnapshotSpread(small_graph, gamma, num_snapshots=50, seed=8)
+        assert snap.estimate([1, 2]) == snap.estimate([1, 2])
+
+    def test_monotone_submodular_on_snapshots(self, small_graph):
+        # Exact monotonicity and submodularity hold per snapshot set.
+        gamma = np.full(small_graph.num_topics, 1.0 / small_graph.num_topics)
+        snap = SnapshotSpread(small_graph, gamma, num_snapshots=40, seed=9)
+        s_empty = snap.estimate([])
+        s_a = snap.estimate([0])
+        s_ab = snap.estimate([0, 1])
+        s_b = snap.estimate([1])
+        assert s_empty == 0.0
+        assert s_a <= s_ab + 1e-12
+        # Submodularity: gain of adding 1 to {} >= gain of adding 1 to {0}.
+        assert (s_b - s_empty) >= (s_ab - s_a) - 1e-9
+
+    def test_duplicate_seeds_collapse(self, small_graph):
+        gamma = np.full(small_graph.num_topics, 1.0 / small_graph.num_topics)
+        snap = SnapshotSpread(small_graph, gamma, num_snapshots=30, seed=10)
+        assert snap.estimate([4, 4, 4]) == snap.estimate([4])
+
+    def test_invalid_snapshot_count(self, small_graph):
+        gamma = np.full(small_graph.num_topics, 1.0 / small_graph.num_topics)
+        with pytest.raises(ValueError):
+            SnapshotSpread(small_graph, gamma, num_snapshots=0)

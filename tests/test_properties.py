@@ -1,0 +1,191 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Deep invariants across subsystem boundaries: cascade coupling, CSR
+round trips, aggregation sanity, and the weighting pipeline.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aggregation import aggregate_seed_lists
+from repro.graph import TopicGraph
+from repro.im import SeedList
+from repro.propagation import simulate_cascade
+from repro.ranking import (
+    borda_aggregation,
+    copeland_aggregation,
+    importance_weights,
+    kendall_tau_top,
+)
+from repro.simplex import kl_divergence, sample_uniform_simplex
+
+
+# ----------------------------------------------------------------------
+# Graph strategies
+# ----------------------------------------------------------------------
+@st.composite
+def random_topic_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    z = draw(st.integers(min_value=1, max_value=4))
+    max_arcs = n * (n - 1)
+    m = draw(st.integers(min_value=0, max_value=min(max_arcs, 25)))
+    pairs = [(u, v) for u in range(n) for v in range(n) if u != v]
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    chosen = rng.choice(len(pairs), size=m, replace=False) if m else []
+    arcs = np.asarray([pairs[i] for i in chosen], dtype=np.int64).reshape(
+        m, 2
+    )
+    probs = rng.uniform(0.0, 1.0, size=(m, z))
+    return TopicGraph.from_arcs(n, arcs, probs)
+
+
+class TestGraphProperties:
+    @given(random_topic_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_arc_list_round_trip(self, graph):
+        rebuilt = TopicGraph.from_arcs(
+            graph.num_nodes, graph.arcs(), graph.probabilities
+        )
+        assert np.array_equal(rebuilt.indptr, graph.indptr)
+        assert np.array_equal(rebuilt.indices, graph.indices)
+        assert np.allclose(rebuilt.probabilities, graph.probabilities)
+
+    @given(random_topic_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_degree_sums_match(self, graph):
+        assert graph.out_degree().sum() == graph.num_arcs
+        assert graph.in_degree().sum() == graph.num_arcs
+
+    @given(random_topic_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_item_probabilities_convexity(self, graph):
+        z = graph.num_topics
+        gamma = np.full(z, 1.0 / z)
+        mixed = graph.item_probabilities(gamma)
+        if graph.num_arcs:
+            per_topic = graph.probabilities
+            assert np.all(mixed <= per_topic.max(axis=1) + 1e-12)
+            assert np.all(mixed >= per_topic.min(axis=1) - 1e-12)
+
+
+class TestCascadeProperties:
+    @given(random_topic_graphs(), st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_seeds_always_active_and_reachability_bound(self, graph, seed):
+        rng = np.random.default_rng(seed)
+        z = graph.num_topics
+        gamma = np.full(z, 1.0 / z)
+        probs = graph.item_probabilities(gamma)
+        seeds = [0]
+        active = simulate_cascade(
+            graph.indptr, graph.indices, probs, seeds, rng
+        )
+        assert active[0]
+        # Activated nodes must be graph-reachable from the seed set.
+        reachable = {0}
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            for nxt in graph.successors(node):
+                if int(nxt) not in reachable:
+                    reachable.add(int(nxt))
+                    frontier.append(int(nxt))
+        assert set(np.flatnonzero(active).tolist()) <= reachable
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_probability_coupling_monotonicity(self, seed):
+        # With identical RNG streams, doubling all probabilities can
+        # only grow the activation set (the simulation consumes the
+        # same number of coins per frontier expansion, so the coupled
+        # comparison holds wave by wave on a chain).
+        arcs = [(i, i + 1) for i in range(6)]
+        rng_low = np.random.default_rng(seed)
+        rng_high = np.random.default_rng(seed)
+        low = TopicGraph.from_arcs(
+            7, np.asarray(arcs), np.full((6, 1), 0.3)
+        )
+        high = TopicGraph.from_arcs(
+            7, np.asarray(arcs), np.full((6, 1), 0.6)
+        )
+        active_low = simulate_cascade(
+            low.indptr, low.indices, low.item_probabilities([1.0]),
+            [0], rng_low,
+        )
+        active_high = simulate_cascade(
+            high.indptr, high.indices, high.item_probabilities([1.0]),
+            [0], rng_high,
+        )
+        assert active_high.sum() >= active_low.sum()
+
+
+class TestAggregationProperties:
+    lists_strategy = st.lists(
+        st.permutations([1, 2, 3, 4, 5]).map(lambda p: list(p)[:3]),
+        min_size=2,
+        max_size=5,
+    )
+
+    @given(lists_strategy)
+    @settings(max_examples=40)
+    def test_unanimity(self, lists):
+        # If every list is identical, aggregation returns it.
+        same = [lists[0]] * len(lists)
+        for aggregate in (borda_aggregation, copeland_aggregation):
+            assert aggregate(same, None)[: len(lists[0])] == lists[0]
+
+    @given(lists_strategy)
+    @settings(max_examples=40)
+    def test_aggregate_distance_no_worse_than_worst_input(self, lists):
+        seed_lists = [SeedList(tuple(ranking)) for ranking in lists]
+        result = aggregate_seed_lists(seed_lists, 3)
+        distances = [
+            np.mean(
+                [kendall_tau_top(other, candidate) for other in lists]
+            )
+            for candidate in lists
+        ]
+        result_distance = np.mean(
+            [kendall_tau_top(other, list(result)) for other in lists]
+        )
+        assert result_distance <= max(distances) + 1e-9
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=5.0),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=40)
+    def test_weight_pipeline_order_preserving(self, divergences):
+        ordered = np.sort(np.asarray(divergences))
+        weights = importance_weights(ordered, 6)
+        # Larger divergence never gets a larger weight.
+        assert np.all(np.diff(weights) <= 1e-12)
+
+    @given(st.data())
+    @settings(max_examples=30)
+    def test_kendall_triangle_like_bound(self, data):
+        # Not a metric, but the normalized top-list distance respects
+        # d(a, c) <= d(a, b) + d(b, c) + 1 trivially and, empirically
+        # for same-length lists over a small universe, the real
+        # triangle inequality; validate the weaker containment bound
+        # d(a, c) <= 1 always.
+        perm = st.permutations([1, 2, 3, 4])
+        a = list(data.draw(perm))[:3]
+        c = list(data.draw(perm))[:3]
+        assert kendall_tau_top(a, c) <= 1.0
+
+
+class TestSimplexProperties:
+    @given(st.integers(0, 5000))
+    @settings(max_examples=40)
+    def test_kl_positivity_unless_equal(self, seed):
+        pts = sample_uniform_simplex(2, 4, seed=seed)
+        d = kl_divergence(pts[0], pts[1])
+        if np.allclose(pts[0], pts[1]):
+            assert d == pytest.approx(0.0, abs=1e-9)
+        else:
+            assert d > 0

@@ -1,0 +1,243 @@
+"""Tests for Borda, Copeland, MC4, Local Kemenization and weights."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ranking import (
+    borda_aggregation,
+    borda_scores,
+    brute_force_kemeny,
+    copeland_aggregation,
+    copeland_scores,
+    importance_weights,
+    local_kemenization,
+    mc4_aggregation,
+    mean_kendall_tau_top,
+    pairwise_preference_matrix,
+    select_neighbors,
+)
+
+AGGREGATORS = [borda_aggregation, copeland_aggregation, mc4_aggregation]
+
+ranking_lists = st.lists(
+    st.permutations([0, 1, 2, 3]).map(list), min_size=1, max_size=5
+)
+
+
+@pytest.mark.parametrize("aggregate", AGGREGATORS)
+class TestAggregatorContracts:
+    def test_unanimous_input_preserved(self, aggregate):
+        lists = [[3, 1, 2]] * 4
+        assert aggregate(lists, 3) == [3, 1, 2]
+
+    def test_output_is_subset_of_union(self, aggregate):
+        lists = [[1, 2], [3, 4], [5, 1]]
+        result = aggregate(lists, None)
+        assert set(result) == {1, 2, 3, 4, 5}
+        assert len(result) == len(set(result))
+
+    def test_k_truncation(self, aggregate):
+        lists = [[1, 2, 3], [2, 3, 1]]
+        assert len(aggregate(lists, 2)) == 2
+
+    def test_negative_k_rejected(self, aggregate):
+        with pytest.raises(ValueError):
+            aggregate([[1, 2]], -1)
+
+    def test_empty_input_rejected(self, aggregate):
+        with pytest.raises(ValueError):
+            aggregate([], 3)
+
+    def test_weight_shifts_outcome(self, aggregate):
+        lists = [[1, 2, 3], [3, 2, 1]]
+        toward_first = aggregate(lists, None, weights=[10.0, 0.1])
+        toward_second = aggregate(lists, None, weights=[0.1, 10.0])
+        assert toward_first[0] == 1
+        assert toward_second[0] == 3
+
+    @given(ranking_lists)
+    @settings(max_examples=40)
+    def test_property_permutation_of_lists_invariant(self, aggregate, lists):
+        forward = aggregate(lists, None)
+        backward = aggregate(list(reversed(lists)), None)
+        assert forward == backward
+
+
+class TestBordaSpecifics:
+    def test_scores_formula(self):
+        # Single list [a, b]: with ell=2 -> a: 2, b: 1.
+        scores = borda_scores([[10, 20]])
+        assert scores[10] == pytest.approx(2.0)
+        assert scores[20] == pytest.approx(1.0)
+
+    def test_absent_node_gets_nothing(self):
+        scores = borda_scores([[1, 2], [3]])
+        # node 3 appears once at rank 0 of a length-1 list with ell=2.
+        assert scores[3] == pytest.approx(2.0)
+        assert scores[1] == pytest.approx(2.0)
+
+    def test_explicit_ell(self):
+        scores = borda_scores([[5]], ell=10)
+        assert scores[5] == pytest.approx(10.0)
+
+    def test_bad_ell(self):
+        with pytest.raises(ValueError):
+            borda_scores([[1]], ell=0)
+
+    def test_tie_breaks_to_lower_id(self):
+        result = borda_aggregation([[2, 1], [1, 2]], None)
+        assert result == [1, 2]
+
+
+class TestCopelandSpecifics:
+    def test_pairwise_matrix(self):
+        matrix, universe = pairwise_preference_matrix([[1, 2], [2, 1]])
+        assert universe == [1, 2]
+        assert matrix[0, 1] == pytest.approx(1.0)
+        assert matrix[1, 0] == pytest.approx(1.0)
+
+    def test_majority_wins(self):
+        lists = [[1, 2], [1, 2], [2, 1]]
+        scores = copeland_scores(lists)
+        assert scores[1] > scores[2]
+
+    def test_present_beats_absent(self):
+        lists = [[1], [1], [2]]
+        scores = copeland_scores(lists)
+        assert scores[1] > scores[2]
+
+    def test_weighted_majority(self):
+        lists = [[1, 2], [2, 1]]
+        scores = copeland_scores(lists, weights=[1.0, 3.0])
+        assert scores[2] > scores[1]
+
+
+class TestLocalKemenization:
+    def test_never_worsens_objective(self):
+        rng = np.random.default_rng(1)
+        for _ in range(15):
+            lists = [
+                rng.permutation(6).tolist() for _ in range(4)
+            ]
+            initial = rng.permutation(6).tolist()
+            refined = local_kemenization(initial, lists)
+            assert sorted(refined) == sorted(initial)
+            before = mean_kendall_tau_top(initial, lists)
+            after = mean_kendall_tau_top(refined, lists)
+            assert after <= before + 1e-12
+
+    def test_locally_optimal(self):
+        rng = np.random.default_rng(2)
+        lists = [rng.permutation(5).tolist() for _ in range(3)]
+        refined = local_kemenization(list(range(5)), lists)
+        base = mean_kendall_tau_top(refined, lists)
+        for i in range(4):
+            swapped = list(refined)
+            swapped[i], swapped[i + 1] = swapped[i + 1], swapped[i]
+            assert mean_kendall_tau_top(swapped, lists) >= base - 1e-12
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            local_kemenization([1, 1], [[1, 2]])
+
+    def test_unanimous_preference_respected(self):
+        refined = local_kemenization([2, 1], [[1, 2], [1, 2]])
+        assert refined == [1, 2]
+
+
+class TestBruteForceKemeny:
+    def test_matches_unanimity(self):
+        assert brute_force_kemeny([[1, 2, 3]] * 3) == [1, 2, 3]
+
+    def test_optimal_on_small_instance(self):
+        lists = [[1, 2, 3], [2, 1, 3], [1, 3, 2]]
+        best = brute_force_kemeny(lists)
+        best_value = mean_kendall_tau_top(best, lists)
+        # Borda + LK should reach (or tie) the optimum on easy cases.
+        approx = local_kemenization(
+            borda_aggregation(lists, None), lists
+        )
+        assert mean_kendall_tau_top(approx, lists) <= best_value + 1e-9
+
+    def test_size_guard(self):
+        big = [list(range(12))]
+        with pytest.raises(ValueError):
+            brute_force_kemeny(big)
+
+    def test_aggregators_close_to_optimum(self):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            lists = [rng.permutation(5).tolist() for _ in range(3)]
+            optimum = mean_kendall_tau_top(
+                brute_force_kemeny(lists), lists
+            )
+            for aggregate in AGGREGATORS:
+                candidate = local_kemenization(
+                    aggregate(lists, None), lists
+                )
+                value = mean_kendall_tau_top(candidate, lists)
+                # Well within the known factor-5 Borda guarantee; in
+                # practice these instances come out near-optimal.
+                assert value <= 5 * optimum + 1e-9
+
+
+class TestImportanceWeights:
+    def test_range_and_endpoints(self):
+        weights = importance_weights([0.0, 1e9], 5, kl_max=2.0)
+        assert weights[0] == pytest.approx(1.0)
+        assert weights[1] == pytest.approx(0.0)
+
+    def test_monotone_decreasing(self):
+        divs = np.linspace(0, 3, 20)
+        weights = importance_weights(divs, 5)
+        assert np.all(np.diff(weights) <= 1e-12)
+
+    def test_negative_divergence_rejected(self):
+        with pytest.raises(ValueError):
+            importance_weights([-0.1], 5)
+
+    def test_bad_kl_max_rejected(self):
+        with pytest.raises(ValueError):
+            importance_weights([0.1], 5, kl_max=0.0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10.0),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=50)
+    def test_property_in_unit_interval(self, divs):
+        weights = importance_weights(divs, 8)
+        assert np.all(weights >= 0.0)
+        assert np.all(weights <= 1.0)
+
+
+class TestSelectNeighbors:
+    def test_keeps_all_equal_weights(self):
+        assert select_neighbors(np.full(6, 0.8)) == 6
+
+    def test_prunes_weight_cliff(self):
+        weights = np.array([0.9, 0.9, 0.9, 0.01])
+        assert select_neighbors(weights) == 3
+
+    def test_min_neighbors(self):
+        weights = np.array([0.9, 0.001, 0.0005])
+        assert select_neighbors(weights, min_neighbors=2) >= 2
+
+    def test_requires_sorted(self):
+        with pytest.raises(ValueError):
+            select_neighbors(np.array([0.1, 0.9]))
+
+    def test_requires_positive_threshold(self):
+        with pytest.raises(ValueError):
+            select_neighbors(np.array([0.5]), threshold=0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            select_neighbors(np.array([]))
+
+    def test_all_zero_weights_keep_all(self):
+        assert select_neighbors(np.zeros(4)) == 4

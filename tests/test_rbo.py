@@ -1,0 +1,95 @@
+"""Tests for rank-biased overlap and overlap@k."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ranking import overlap_at_k, rank_biased_overlap
+
+top_lists = st.lists(
+    st.integers(min_value=0, max_value=15),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+
+class TestRBO:
+    def test_identical_is_one(self):
+        assert rank_biased_overlap([1, 2, 3], [1, 2, 3]) == pytest.approx(
+            1.0
+        )
+
+    def test_disjoint_near_zero(self):
+        value = rank_biased_overlap(
+            [1, 2, 3], [4, 5, 6], extrapolate=False
+        )
+        assert value == pytest.approx(0.0, abs=1e-12)
+
+    def test_top_weighted(self):
+        base = list(range(10))
+        # Swap at the top vs swap at the bottom of the list.
+        top_swap = [1, 0] + base[2:]
+        bottom_swap = base[:8] + [9, 8]
+        assert rank_biased_overlap(base, top_swap) < rank_biased_overlap(
+            base, bottom_swap
+        )
+
+    def test_persistence_effect(self):
+        a = list(range(8))
+        b = [0, 1, 2, 7, 6, 5, 4, 3]
+        shallow = rank_biased_overlap(a, b, p=0.5)  # top-heavy
+        deep = rank_biased_overlap(a, b, p=0.95)
+        # Agreement is perfect at the top: the top-heavy weighting
+        # scores higher.
+        assert shallow > deep
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rank_biased_overlap([1], [1], p=1.0)
+        with pytest.raises(ValueError):
+            rank_biased_overlap([1, 1], [1, 2])
+        with pytest.raises(ValueError):
+            rank_biased_overlap([], [1])
+
+    @given(top_lists, top_lists)
+    @settings(max_examples=60)
+    def test_property_bounds_and_symmetry(self, a, b):
+        value = rank_biased_overlap(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(rank_biased_overlap(b, a))
+
+    @given(top_lists)
+    @settings(max_examples=30)
+    def test_property_self_similarity(self, a):
+        assert rank_biased_overlap(a, a) == pytest.approx(1.0)
+
+    def test_agrees_in_direction_with_kendall(self, small_index):
+        from repro.ranking import kendall_tau_top
+
+        lists = small_index.seed_lists
+        base = lists[0]
+        rng = np.random.default_rng(1)
+        pairs = [(base, lists[i]) for i in rng.integers(1, len(lists), 6)]
+        kendalls = [kendall_tau_top(a, b) for a, b in pairs]
+        rbos = [rank_biased_overlap(a, b) for a, b in pairs]
+        # Distances and similarities should anti-correlate.
+        corr = np.corrcoef(kendalls, rbos)[0, 1]
+        assert corr < 0.2
+
+
+class TestOverlapAtK:
+    def test_full_overlap(self):
+        assert overlap_at_k([1, 2, 3], [3, 2, 1], 3) == 1.0
+
+    def test_partial(self):
+        assert overlap_at_k([1, 2, 3, 4], [1, 2, 9, 9], 4) == pytest.approx(
+            0.5
+        )
+
+    def test_short_lists(self):
+        assert overlap_at_k([1], [1], 5) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            overlap_at_k([1], [1], 0)

@@ -1,0 +1,41 @@
+"""Tests for the ASCII reporting helpers."""
+
+from repro.experiments import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["beta", 2.25]],
+            title="My table",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My table"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "alpha" in text and "1.500" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_large_floats_compact(self):
+        text = format_table(["x"], [[123456.789]])
+        assert "123456.8" in text
+
+    def test_mixed_types(self):
+        text = format_table(["k", "v"], [[5, "hello"]])
+        assert "5" in text and "hello" in text
+
+
+class TestFormatSeries:
+    def test_series_columns(self):
+        text = format_series(
+            "k",
+            [1, 2],
+            {"method-a": [0.1, 0.2], "method-b": [0.3, 0.4]},
+        )
+        assert "method-a" in text
+        assert "method-b" in text
+        assert "0.100" in text
+        assert "0.400" in text

@@ -1,0 +1,46 @@
+"""Tests for the RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.rng import resolve_rng, spawn_rngs
+
+
+def test_resolve_rng_from_int_is_deterministic():
+    a = resolve_rng(42).random(5)
+    b = resolve_rng(42).random(5)
+    assert np.allclose(a, b)
+
+
+def test_resolve_rng_passthrough_generator():
+    gen = np.random.default_rng(1)
+    assert resolve_rng(gen) is gen
+
+
+def test_resolve_rng_none_gives_generator():
+    assert isinstance(resolve_rng(None), np.random.Generator)
+
+
+def test_spawn_rngs_independent_streams():
+    children = spawn_rngs(7, 3)
+    draws = [child.random(4) for child in children]
+    assert not np.allclose(draws[0], draws[1])
+    assert not np.allclose(draws[1], draws[2])
+
+
+def test_spawn_rngs_deterministic():
+    a = [g.random(3) for g in spawn_rngs(5, 2)]
+    b = [g.random(3) for g in spawn_rngs(5, 2)]
+    for x, y in zip(a, b):
+        assert np.allclose(x, y)
+
+
+def test_spawn_rngs_negative_count_rejected():
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)
+
+
+def test_spawn_rngs_from_generator():
+    gen = np.random.default_rng(3)
+    children = spawn_rngs(gen, 2)
+    assert len(children) == 2

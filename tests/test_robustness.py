@@ -1,0 +1,50 @@
+"""Tests for the robustness studies."""
+
+import pytest
+
+from repro.experiments import get_context, robustness
+
+
+@pytest.fixture(scope="module")
+def context():
+    return get_context("test")
+
+
+class TestParameterNoise:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return robustness.run_parameter_noise(
+            context, sigmas=(0.0, 0.5, 1.5), num_queries=6
+        )
+
+    def test_structure(self, result):
+        assert set(result.mean_distance) == {0.0, 0.5, 1.5}
+        assert all(
+            0.0 <= v <= 1.0 for v in result.mean_distance.values()
+        )
+        assert "parameter noise" in result.render()
+
+    def test_noise_does_not_improve(self, result):
+        # Heavy noise should be at least as bad as no noise (small
+        # fluctuations allowed at test scale).
+        assert (
+            result.mean_distance[1.5]
+            >= result.mean_distance[0.0] - 0.08
+        )
+
+
+class TestSparseCatalog:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return robustness.run_sparse_catalog(context)
+
+    def test_pipeline_covers_better(self, result):
+        # The Section-3.1 claim: resampling through the Dirichlet
+        # covers out-of-clump queries at least as well as raw clumped
+        # catalog items.
+        assert result.pipeline_coverage <= result.catalog_coverage + 0.02
+
+    def test_render(self, result):
+        text = result.render()
+        assert "sparse" in text
+        assert "pipeline advantage" in text

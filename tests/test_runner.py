@@ -1,0 +1,67 @@
+"""Tests for the run-everything experiment runner."""
+
+import json
+
+import pytest
+
+from repro.experiments import get_context
+from repro.experiments.runner import EXPERIMENTS, run_all
+
+
+@pytest.fixture(scope="module")
+def context():
+    return get_context("test")
+
+
+class TestRunAll:
+    def test_subset_writes_artifacts(self, context, tmp_path):
+        results = run_all(
+            context,
+            tmp_path,
+            only=("fig4_distance_correlation", "workload_split"),
+        )
+        assert set(results) == {
+            "fig4_distance_correlation",
+            "workload_split",
+        }
+        assert (tmp_path / "fig4_distance_correlation.txt").exists()
+        data = json.loads(
+            (tmp_path / "fig4_distance_correlation.json").read_text()
+        )
+        assert "pearson" in data
+        index = (tmp_path / "INDEX.txt").read_text()
+        assert "workload_split" in index
+
+    def test_progress_callback(self, context, tmp_path):
+        seen = []
+        run_all(
+            context,
+            tmp_path,
+            only=("fig4_distance_correlation",),
+            progress=lambda name, done, total: seen.append(
+                (name, done, total)
+            ),
+        )
+        assert seen == [("fig4_distance_correlation", 1, 1)]
+
+    def test_unknown_name_rejected(self, context, tmp_path):
+        with pytest.raises(KeyError):
+            run_all(context, tmp_path, only=("bogus",))
+
+    def test_registry_complete(self):
+        # Every paper table/figure plus the text analyses are present.
+        expected = {
+            "fig3_index_selection",
+            "fig4_distance_correlation",
+            "fig5_retrieval_recall",
+            "table1_aggregation",
+            "fig6_accuracy",
+            "fig7_runtime",
+            "fig8_spread",
+            "table3_spread_by_k",
+            "fig9_tradeoff",
+            "significance",
+            "workload_split",
+            "latency",
+        }
+        assert expected <= set(EXPERIMENTS)

@@ -1,0 +1,124 @@
+"""Tests for the scaling/break-even analysis and topic-count selection,
+plus a randomized CELF++-vs-greedy equivalence sweep."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import get_context, scaling
+from repro.graph import interest_topic_graph
+from repro.im import (
+    celfpp_seed_selection,
+    greedy_seed_selection,
+)
+from repro.learning import (
+    generate_propagation_log,
+    select_num_topics,
+)
+from repro.learning.model_selection import _split_log
+from repro.learning.propagation_log import PropagationLog
+from repro.propagation import SnapshotSpread
+from repro.rng import resolve_rng
+
+
+class TestScalingAnalysis:
+    @pytest.fixture(scope="class")
+    def result(self):
+        context = get_context("test")
+        return scaling.run(
+            context,
+            sizes=(6, 12),
+            num_offline_queries=2,
+            num_index_queries=5,
+        )
+
+    def test_structure(self, result):
+        assert result.offline_seconds_per_query > 0
+        assert set(result.build_seconds) == {6, 12}
+        assert all(v > 0 for v in result.query_ms.values())
+        assert "break-even" in result.render()
+
+    def test_breakeven_positive_when_index_faster(self, result):
+        for h in result.sizes:
+            if result.query_ms[h] / 1000 < result.offline_seconds_per_query:
+                assert result.breakeven_queries(h) > 0
+
+    def test_validation(self):
+        context = get_context("test")
+        with pytest.raises(ValueError):
+            scaling.run(context, num_offline_queries=0)
+
+
+class TestTopicSelection:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        graph = interest_topic_graph(
+            120, 3, topics_per_node=1, base_strength=0.25, seed=61
+        )
+        rng = np.random.default_rng(62)
+        items = rng.dirichlet(np.full(3, 0.3), size=120)
+        log = generate_propagation_log(
+            graph, items, seeds_per_item=6, seed=63
+        )
+        return graph, log
+
+    def test_selects_a_candidate(self, setup):
+        graph, log = setup
+        result = select_num_topics(
+            graph, log, candidates=(1, 3), max_iter=10, seed=64
+        )
+        assert result.chosen in (1, 3)
+        assert set(result.holdout_log_likelihood) == {1, 3}
+        assert "chosen" in result.render()
+
+    def test_multi_topic_beats_single_on_topical_data(self, setup):
+        graph, log = setup
+        result = select_num_topics(
+            graph, log, candidates=(1, 3), max_iter=15, seed=65
+        )
+        # Data generated from a 3-topic process: the 1-topic model
+        # should not win the held-out comparison.
+        assert result.holdout_log_likelihood[3] >= (
+            result.holdout_log_likelihood[1]
+        )
+
+    def test_split_is_partition(self, setup):
+        _, log = setup
+        train, holdout = _split_log(log, 0.25, resolve_rng(66))
+        assert train.num_items + holdout.num_items == log.num_items
+        train_ids = {t.item_id for t in train}
+        holdout_ids = {t.item_id for t in holdout}
+        assert not train_ids & holdout_ids
+
+    def test_validation(self, setup):
+        graph, log = setup
+        with pytest.raises(ValueError):
+            select_num_topics(graph, log, candidates=())
+        with pytest.raises(ValueError):
+            select_num_topics(graph, log, holdout_fraction=1.5)
+        tiny = PropagationLog(graph.num_nodes, tuple(log)[:1])
+        with pytest.raises(ValueError):
+            select_num_topics(graph, tiny, candidates=(2,))
+
+
+class TestCelfppEquivalenceSweep:
+    """Randomized regression: CELF++ must equal plain greedy on many
+    random instances (the lazy bookkeeping has subtle failure modes)."""
+
+    @pytest.mark.parametrize("trial", range(6))
+    def test_matches_greedy(self, trial):
+        graph = interest_topic_graph(
+            60,
+            3,
+            topics_per_node=1,
+            base_strength=0.3,
+            seed=100 + trial,
+        )
+        gamma = np.zeros(3)
+        gamma[trial % 3] = 1.0
+        oracle = SnapshotSpread(
+            graph, gamma, num_snapshots=40, seed=200 + trial
+        )
+        greedy = greedy_seed_selection(oracle, graph.num_nodes, 4)
+        celfpp = celfpp_seed_selection(oracle, graph.num_nodes, 4)
+        assert greedy.nodes == celfpp.nodes
+        assert np.allclose(greedy.marginal_gains, celfpp.marginal_gains)

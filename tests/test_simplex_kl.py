@@ -1,0 +1,93 @@
+"""Tests for the KL divergence functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simplex import (
+    kl_divergence,
+    kl_divergence_matrix,
+    kl_max_bound,
+    sample_uniform_simplex,
+    symmetrized_kl,
+)
+
+distributions = st.integers(min_value=0, max_value=10_000).map(
+    lambda seed: sample_uniform_simplex(2, 5, seed=seed)
+)
+
+
+class TestKLDivergence:
+    def test_identity_is_zero(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_value(self):
+        p = np.array([0.5, 0.5])
+        q = np.array([0.25, 0.75])
+        expected = 0.5 * np.log(2) + 0.5 * np.log(2 / 3)
+        assert kl_divergence(p, q) == pytest.approx(expected, rel=1e-6)
+
+    def test_asymmetry(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([0.5, 0.5])
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+    def test_handles_zeros_via_smoothing(self):
+        value = kl_divergence([1.0, 0.0], [0.0, 1.0])
+        assert np.isfinite(value)
+        assert value > 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            kl_divergence([0.5, 0.5], [0.2, 0.3, 0.5])
+
+    @given(distributions)
+    def test_property_nonnegative(self, pair):
+        assert kl_divergence(pair[0], pair[1]) >= 0.0
+
+
+class TestKLDivergenceMatrix:
+    def test_matches_scalar_version(self):
+        points = sample_uniform_simplex(6, 4, seed=1)
+        q = sample_uniform_simplex(1, 4, seed=2)[0]
+        batch = kl_divergence_matrix(points, q)
+        singles = [kl_divergence(p, q) for p in points]
+        assert np.allclose(batch, singles)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            kl_divergence_matrix(np.ones((2, 3)) / 3, np.ones(4) / 4)
+
+
+class TestSymmetrizedKL:
+    def test_symmetric(self):
+        p = np.array([0.7, 0.3])
+        q = np.array([0.4, 0.6])
+        assert symmetrized_kl(p, q) == pytest.approx(symmetrized_kl(q, p))
+
+    def test_average_of_sides(self):
+        p = np.array([0.7, 0.3])
+        q = np.array([0.4, 0.6])
+        expected = 0.5 * (kl_divergence(p, q) + kl_divergence(q, p))
+        assert symmetrized_kl(p, q) == pytest.approx(expected)
+
+
+class TestKLMaxBound:
+    def test_positive_and_finite(self):
+        bound = kl_max_bound(10)
+        assert np.isfinite(bound)
+        assert bound > 0
+
+    def test_dominates_random_divergences(self):
+        bound = kl_max_bound(5)
+        points = sample_uniform_simplex(50, 5, seed=3)
+        q = sample_uniform_simplex(1, 5, seed=4)[0]
+        assert np.all(kl_divergence_matrix(points, q) <= bound)
+
+    def test_larger_eps_smaller_bound(self):
+        assert kl_max_bound(5, eps=0.05) < kl_max_bound(5, eps=1e-6)
+
+    def test_rejects_single_topic(self):
+        with pytest.raises(ValueError):
+            kl_max_bound(1)

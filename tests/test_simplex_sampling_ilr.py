@@ -1,0 +1,88 @@
+"""Tests for simplex sampling and the ILR transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simplex import (
+    ilr_inverse,
+    ilr_transform,
+    kl_divergence,
+    sample_uniform_simplex,
+)
+
+
+class TestUniformSampling:
+    def test_shape_and_support(self):
+        pts = sample_uniform_simplex(50, 6, seed=1)
+        assert pts.shape == (50, 6)
+        assert np.allclose(pts.sum(axis=1), 1.0)
+        assert np.all(pts >= 0)
+
+    def test_deterministic(self):
+        a = sample_uniform_simplex(10, 3, seed=2)
+        b = sample_uniform_simplex(10, 3, seed=2)
+        assert np.allclose(a, b)
+
+    def test_mean_near_center(self):
+        pts = sample_uniform_simplex(20000, 4, seed=3)
+        assert np.allclose(pts.mean(axis=0), 0.25, atol=0.01)
+
+    def test_zero_samples(self):
+        assert sample_uniform_simplex(0, 3, seed=1).shape == (0, 3)
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError):
+            sample_uniform_simplex(-1, 3)
+        with pytest.raises(ValueError):
+            sample_uniform_simplex(5, 0)
+
+
+class TestILR:
+    def test_shape(self):
+        pts = sample_uniform_simplex(10, 5, seed=4)
+        coords = ilr_transform(pts)
+        assert coords.shape == (10, 4)
+
+    def test_single_vector(self):
+        vec = np.array([0.2, 0.3, 0.5])
+        assert ilr_transform(vec).shape == (2,)
+
+    def test_round_trip(self):
+        pts = sample_uniform_simplex(25, 4, seed=5)
+        back = ilr_inverse(ilr_transform(pts))
+        assert np.allclose(back, pts, atol=1e-8)
+
+    def test_round_trip_single(self):
+        vec = np.array([0.1, 0.2, 0.7])
+        assert np.allclose(ilr_inverse(ilr_transform(vec)), vec, atol=1e-8)
+
+    def test_center_maps_to_origin(self):
+        center = np.full(5, 0.2)
+        assert np.allclose(ilr_transform(center), 0.0, atol=1e-12)
+
+    def test_isometry_of_clr_distances(self):
+        # ILR is an isometry of the Aitchison geometry: Euclidean
+        # distances between ILR images equal Aitchison distances.
+        pts = sample_uniform_simplex(2, 4, seed=6)
+        clr = np.log(pts) - np.log(pts).mean(axis=1, keepdims=True)
+        aitchison = np.linalg.norm(clr[0] - clr[1])
+        coords = ilr_transform(pts)
+        euclid = np.linalg.norm(coords[0] - coords[1])
+        assert euclid == pytest.approx(aitchison, rel=1e-9)
+
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_property_round_trip(self, seed):
+        pts = sample_uniform_simplex(3, 5, seed=seed)
+        assert np.allclose(ilr_inverse(ilr_transform(pts)), pts, atol=1e-7)
+
+
+class TestOrderingConsistency:
+    def test_kl_and_ilr_broadly_agree_on_near_vs_far(self):
+        base = np.array([0.7, 0.1, 0.1, 0.1])
+        near = np.array([0.65, 0.15, 0.1, 0.1])
+        far = np.array([0.05, 0.05, 0.2, 0.7])
+        assert kl_divergence(near, base) < kl_divergence(far, base)
+        d_near = np.linalg.norm(ilr_transform(near) - ilr_transform(base))
+        d_far = np.linalg.norm(ilr_transform(far) - ilr_transform(base))
+        assert d_near < d_far

@@ -1,0 +1,112 @@
+"""Tests for topic-distribution validation and smoothing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidDistributionError
+from repro.simplex import (
+    as_distribution,
+    as_distribution_matrix,
+    is_distribution,
+    smooth,
+    uniform_distribution,
+)
+
+
+class TestIsDistribution:
+    def test_valid(self):
+        assert is_distribution([0.5, 0.25, 0.25])
+
+    def test_negative_entry(self):
+        assert not is_distribution([1.2, -0.2])
+
+    def test_wrong_sum(self):
+        assert not is_distribution([0.5, 0.4])
+
+    def test_nan(self):
+        assert not is_distribution([np.nan, 1.0])
+
+    def test_empty(self):
+        assert not is_distribution([])
+
+    def test_2d_rejected(self):
+        assert not is_distribution([[0.5, 0.5]])
+
+
+class TestAsDistribution:
+    def test_returns_float64(self):
+        arr = as_distribution([1, 0, 0])
+        assert arr.dtype == np.float64
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(InvalidDistributionError):
+            as_distribution([0.7, 0.7])
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidDistributionError):
+            as_distribution([1.5, -0.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidDistributionError):
+            as_distribution([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidDistributionError):
+            as_distribution([[0.5, 0.5]])
+
+    def test_tolerance(self):
+        as_distribution([0.5 + 1e-10, 0.5])  # within tol: ok
+
+
+class TestAsDistributionMatrix:
+    def test_valid(self):
+        mat = as_distribution_matrix([[0.5, 0.5], [1.0, 0.0]])
+        assert mat.shape == (2, 2)
+
+    def test_rejects_bad_row(self):
+        with pytest.raises(InvalidDistributionError) as info:
+            as_distribution_matrix([[0.5, 0.5], [0.9, 0.2]])
+        assert "rows" in str(info.value)
+
+    def test_rejects_1d(self):
+        with pytest.raises(InvalidDistributionError):
+            as_distribution_matrix([0.5, 0.5])
+
+
+class TestSmooth:
+    def test_removes_zeros(self):
+        out = smooth(np.array([1.0, 0.0, 0.0]))
+        assert np.all(out > 0)
+        assert np.isclose(out.sum(), 1.0)
+
+    def test_matrix_rows_normalized(self):
+        out = smooth(np.array([[1.0, 0.0], [0.5, 0.5]]))
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_idempotent_on_interior_points(self):
+        vec = np.array([0.3, 0.3, 0.4])
+        assert np.allclose(smooth(vec), vec)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=2,
+            max_size=10,
+        ).filter(lambda xs: sum(xs) > 1e-6)
+    )
+    def test_property_output_is_distribution(self, values):
+        arr = np.asarray(values)
+        arr = arr / arr.sum()
+        out = smooth(arr)
+        assert np.isclose(out.sum(), 1.0)
+        assert np.all(out > 0)
+
+
+class TestUniformDistribution:
+    def test_values(self):
+        assert np.allclose(uniform_distribution(4), [0.25] * 4)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(InvalidDistributionError):
+            uniform_distribution(0)

@@ -1,0 +1,197 @@
+"""Tests for the exact spread oracle, bootstrap CIs, latency experiment,
+batch build/query APIs."""
+
+import numpy as np
+import pytest
+
+from repro.core import InflexConfig, InflexIndex, offline_seed_lists_batch
+from repro.experiments import get_context, latency
+from repro.graph import TopicGraph
+from repro.propagation import (
+    estimate_spread,
+    exact_activation_probabilities,
+    exact_spread,
+)
+from repro.stats import bootstrap_mean, bootstrap_mean_ratio
+
+
+def _tiny(p: float, num_arcs: int = 3) -> TopicGraph:
+    arcs = [(i, i + 1) for i in range(num_arcs)]
+    probs = np.full((num_arcs, 1), p)
+    return TopicGraph.from_arcs(num_arcs + 1, np.asarray(arcs), probs)
+
+
+class TestExactSpread:
+    def test_chain_closed_form(self):
+        p = 0.4
+        g = _tiny(p)
+        expected = 1 + p + p**2 + p**3
+        assert exact_spread(g, [1.0], [0]) == pytest.approx(expected)
+
+    def test_matches_monte_carlo(self, tiny_graph):
+        gamma = np.array([0.7, 0.3])
+        exact = exact_spread(tiny_graph, gamma, [0])
+        mc = estimate_spread(
+            tiny_graph, gamma, [0], num_simulations=20000, seed=1
+        )
+        assert mc.mean == pytest.approx(exact, abs=4 * mc.standard_error)
+
+    def test_activation_probabilities(self):
+        p = 0.5
+        g = _tiny(p, num_arcs=2)
+        probs = exact_activation_probabilities(g, [1.0], [0])
+        assert probs[0] == pytest.approx(1.0)
+        assert probs[1] == pytest.approx(p)
+        assert probs[2] == pytest.approx(p * p)
+
+    def test_sum_of_marginals_is_spread(self, tiny_graph):
+        gamma = np.array([0.5, 0.5])
+        total = exact_spread(tiny_graph, gamma, [0, 3])
+        marginals = exact_activation_probabilities(tiny_graph, gamma, [0, 3])
+        assert marginals.sum() == pytest.approx(total)
+
+    def test_empty_seeds(self, tiny_graph):
+        assert exact_spread(tiny_graph, [0.5, 0.5], []) == 0.0
+
+    def test_too_many_arcs_rejected(self, small_graph):
+        gamma = np.full(small_graph.num_topics, 1.0 / small_graph.num_topics)
+        with pytest.raises(ValueError):
+            exact_spread(small_graph, gamma, [0])
+
+    def test_invalid_seed_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            exact_spread(tiny_graph, [1.0, 0.0], [99])
+
+
+class TestBootstrap:
+    def test_mean_interval_contains_truth(self):
+        rng = np.random.default_rng(2)
+        covered = 0
+        for i in range(30):
+            sample = rng.normal(5.0, 1.0, 80)
+            interval = bootstrap_mean(sample, seed=i)
+            if 5.0 in interval:
+                covered += 1
+        # ~95% nominal coverage; allow slack for 30 trials.
+        assert covered >= 25
+
+    def test_ratio_interval(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(10.0, 1.0, 100)
+        b = rng.normal(5.0, 1.0, 100)
+        interval = bootstrap_mean_ratio(a, b, seed=4)
+        assert interval.estimate == pytest.approx(
+            a.mean() / b.mean()
+        )
+        assert 2.0 in interval
+        assert interval.width < 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean([1.0])
+        with pytest.raises(ValueError):
+            bootstrap_mean([1.0, 2.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_mean([1.0, 2.0], num_resamples=5)
+        with pytest.raises(ValueError):
+            bootstrap_mean_ratio([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            bootstrap_mean_ratio([1.0, 2.0], [1.0, -1.0])
+
+
+class TestLatencyExperiment:
+    def test_percentiles_ordered(self):
+        context = get_context("test")
+        result = latency.run(context, repeats=1)
+        for strategy in result.samples:
+            p50 = result.percentiles[(strategy, 50)]
+            p90 = result.percentiles[(strategy, 90)]
+            p99 = result.percentiles[(strategy, 99)]
+            assert p50 <= p90 <= p99
+            assert p99 < 100.0  # milliseconds
+        assert "latency" in result.render()
+
+    def test_repeats_validated(self):
+        context = get_context("test")
+        with pytest.raises(ValueError):
+            latency.run(context, repeats=0)
+
+
+class TestBatchAPIs:
+    def test_offline_batch_matches_serial(self, small_dataset):
+        gammas = small_dataset.item_topics[:3]
+        seeds = [11, 22, 33]
+        batch = offline_seed_lists_batch(
+            small_dataset.graph,
+            gammas,
+            5,
+            ris_num_sets=500,
+            seeds=seeds,
+            workers=1,
+        )
+        from repro.core import offline_seed_list
+
+        for gamma, seed, result in zip(gammas, seeds, batch):
+            solo = offline_seed_list(
+                small_dataset.graph, gamma, 5, ris_num_sets=500, seed=seed
+            )
+            assert solo.nodes == result.nodes
+
+    def test_offline_batch_parallel_identical(self, small_dataset):
+        gammas = small_dataset.item_topics[:4]
+        seeds = [1, 2, 3, 4]
+        serial = offline_seed_lists_batch(
+            small_dataset.graph, gammas, 4, ris_num_sets=300,
+            seeds=seeds, workers=1,
+        )
+        parallel = offline_seed_lists_batch(
+            small_dataset.graph, gammas, 4, ris_num_sets=300,
+            seeds=seeds, workers=2,
+        )
+        for a, b in zip(serial, parallel):
+            assert a.nodes == b.nodes
+
+    def test_batch_validation(self, small_dataset):
+        with pytest.raises(ValueError):
+            offline_seed_lists_batch(
+                small_dataset.graph,
+                small_dataset.item_topics[:2],
+                3,
+                seeds=[1],
+            )
+        with pytest.raises(ValueError):
+            offline_seed_lists_batch(
+                small_dataset.graph,
+                small_dataset.item_topics[:2],
+                3,
+                workers=0,
+            )
+
+    def test_parallel_build_matches_serial(self, small_dataset):
+        config = InflexConfig(
+            num_index_points=6,
+            num_dirichlet_samples=300,
+            seed_list_length=4,
+            ris_num_sets=300,
+            knn=3,
+            seed=9,
+        )
+        serial = InflexIndex.build(
+            small_dataset.graph, small_dataset.item_topics, config
+        )
+        parallel = InflexIndex.build(
+            small_dataset.graph,
+            small_dataset.item_topics,
+            config,
+            workers=2,
+        )
+        assert np.allclose(serial.index_points, parallel.index_points)
+        for a, b in zip(serial.seed_lists, parallel.seed_lists):
+            assert a.nodes == b.nodes
+
+    def test_query_batch(self, small_index, small_workload):
+        answers = small_index.query_batch(small_workload.items[:3], 5)
+        assert len(answers) == 3
+        for gamma, answer in zip(small_workload.items[:3], answers):
+            solo = small_index.query(gamma, 5)
+            assert solo.seeds.nodes == answer.seeds.nodes

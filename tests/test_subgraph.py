@@ -1,0 +1,125 @@
+"""Tests for subgraph extraction and component analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidGraphError
+from repro.graph import (
+    TopicGraph,
+    induced_subgraph,
+    interest_topic_graph,
+    largest_component,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+
+
+@pytest.fixture
+def two_islands() -> TopicGraph:
+    """Nodes 0-2 form a cycle; 3-4 a separate arc; 5 isolated."""
+    arcs = [(0, 1), (1, 2), (2, 0), (3, 4)]
+    probs = np.full((4, 2), 0.5)
+    return TopicGraph.from_arcs(6, np.asarray(arcs), probs)
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_arcs_only(self, two_islands):
+        result = induced_subgraph(two_islands, [0, 1, 3, 4])
+        # (0,1) survives; (1,2),(2,0) lose node 2; (3,4) survives.
+        assert result.graph.num_nodes == 4
+        assert result.graph.num_arcs == 2
+
+    def test_probabilities_preserved(self, tiny_graph):
+        result = induced_subgraph(tiny_graph, range(tiny_graph.num_nodes))
+        assert np.allclose(
+            result.graph.probabilities, tiny_graph.probabilities
+        )
+
+    def test_mapping_round_trip(self, two_islands):
+        result = induced_subgraph(two_islands, [2, 4, 5])
+        for new_id, old_id in enumerate(result.new_to_old):
+            assert result.old_to_new[old_id] == new_id
+        assert result.map_seeds_back([0, 1, 2]) == [2, 4, 5]
+
+    def test_validation(self, two_islands):
+        with pytest.raises(InvalidGraphError):
+            induced_subgraph(two_islands, [])
+        with pytest.raises(InvalidGraphError):
+            induced_subgraph(two_islands, [99])
+
+    def test_empty_arc_result(self, two_islands):
+        result = induced_subgraph(two_islands, [0, 5])
+        assert result.graph.num_arcs == 0
+
+
+class TestComponents:
+    def test_wcc_structure(self, two_islands):
+        components = weakly_connected_components(two_islands)
+        sizes = [c.size for c in components]
+        assert sizes == [3, 2, 1]
+        assert components[0].tolist() == [0, 1, 2]
+
+    def test_scc_structure(self, two_islands):
+        components = strongly_connected_components(two_islands)
+        # The 3-cycle is one SCC; 3, 4, 5 are singletons.
+        assert components[0].tolist() == [0, 1, 2]
+        assert [c.size for c in components] == [3, 1, 1, 1]
+
+    def test_scc_on_dag(self):
+        arcs = [(0, 1), (1, 2), (0, 2)]
+        g = TopicGraph.from_arcs(3, np.asarray(arcs), np.full((3, 1), 0.5))
+        components = strongly_connected_components(g)
+        assert all(c.size == 1 for c in components)
+
+    def test_wcc_partition(self, small_graph):
+        components = weakly_connected_components(small_graph)
+        seen = np.concatenate(components)
+        assert sorted(seen.tolist()) == list(range(small_graph.num_nodes))
+
+    def test_scc_partition(self, small_graph):
+        components = strongly_connected_components(small_graph)
+        seen = np.concatenate(components)
+        assert sorted(seen.tolist()) == list(range(small_graph.num_nodes))
+
+    def test_scc_matches_networkx(self):
+        import networkx as nx
+
+        g = interest_topic_graph(80, 3, seed=5)
+        ours = {
+            tuple(c.tolist()) for c in strongly_connected_components(g)
+        }
+        nx_graph = nx.DiGraph()
+        nx_graph.add_nodes_from(range(g.num_nodes))
+        nx_graph.add_edges_from((int(a), int(b)) for a, b in g.arcs())
+        theirs = {
+            tuple(sorted(c))
+            for c in nx.strongly_connected_components(nx_graph)
+        }
+        assert ours == theirs
+
+    def test_wcc_matches_networkx(self):
+        import networkx as nx
+
+        g = interest_topic_graph(80, 3, seed=6)
+        ours = {
+            tuple(c.tolist()) for c in weakly_connected_components(g)
+        }
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(g.num_nodes))
+        nx_graph.add_edges_from((int(a), int(b)) for a, b in g.arcs())
+        theirs = {
+            tuple(sorted(c)) for c in nx.connected_components(nx_graph)
+        }
+        assert ours == theirs
+
+
+class TestLargestComponent:
+    def test_weak(self, two_islands):
+        result = largest_component(two_islands)
+        assert result.graph.num_nodes == 3
+        assert result.new_to_old.tolist() == [0, 1, 2]
+
+    def test_strong(self, two_islands):
+        result = largest_component(two_islands, strongly=True)
+        assert result.graph.num_nodes == 3
+        assert result.graph.num_arcs == 3  # the full cycle survives

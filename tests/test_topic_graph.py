@@ -1,0 +1,154 @@
+"""Tests for the CSR topic graph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidGraphError
+from repro.graph import TopicGraph
+from repro.simplex import uniform_distribution
+
+
+@pytest.fixture
+def simple_graph() -> TopicGraph:
+    arcs = [(0, 1), (1, 2), (2, 0), (0, 2)]
+    probs = np.array(
+        [[0.5, 0.1], [0.4, 0.2], [0.3, 0.3], [0.2, 0.4]]
+    )
+    return TopicGraph.from_arcs(3, np.asarray(arcs), probs)
+
+
+class TestConstruction:
+    def test_basic_counts(self, simple_graph):
+        assert simple_graph.num_nodes == 3
+        assert simple_graph.num_arcs == 4
+        assert simple_graph.num_topics == 2
+
+    def test_arc_order_independent(self):
+        probs = np.array([[0.1, 0.2], [0.3, 0.4]])
+        g1 = TopicGraph.from_arcs(3, [(0, 1), (1, 2)], probs)
+        g2 = TopicGraph.from_arcs(3, [(1, 2), (0, 1)], probs[::-1])
+        assert np.array_equal(g1.indices, g2.indices)
+        assert np.allclose(g1.probabilities, g2.probabilities)
+
+    def test_rejects_out_of_range_head(self):
+        with pytest.raises(InvalidGraphError):
+            TopicGraph.from_arcs(2, [(0, 5)], np.array([[0.5]]))
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(InvalidGraphError):
+            TopicGraph.from_arcs(2, [(0, 1)], np.array([[1.5]]))
+        with pytest.raises(InvalidGraphError):
+            TopicGraph.from_arcs(2, [(0, 1)], np.array([[-0.1]]))
+        with pytest.raises(InvalidGraphError):
+            TopicGraph.from_arcs(2, [(0, 1)], np.array([[np.nan]]))
+
+    def test_rejects_misaligned_probabilities(self):
+        with pytest.raises(InvalidGraphError):
+            TopicGraph.from_arcs(
+                2, [(0, 1)], np.array([[0.5], [0.5]])
+            )
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(InvalidGraphError):
+            TopicGraph(0, [0], [], np.empty((0, 1)))
+
+    def test_empty_arc_graph(self):
+        g = TopicGraph.from_arcs(3, np.empty((0, 2)), np.empty((0, 2)))
+        assert g.num_arcs == 0
+        assert g.out_degree(0) == 0
+
+
+class TestAccessors:
+    def test_successors(self, simple_graph):
+        assert sorted(simple_graph.successors(0).tolist()) == [1, 2]
+        assert simple_graph.successors(1).tolist() == [2]
+
+    def test_predecessors(self, simple_graph):
+        assert sorted(simple_graph.predecessors(2).tolist()) == [0, 1]
+
+    def test_degrees(self, simple_graph):
+        assert simple_graph.out_degree(0) == 2
+        assert simple_graph.in_degree(2) == 2
+        assert simple_graph.out_degree().sum() == simple_graph.num_arcs
+
+    def test_arcs_round_trip(self, simple_graph):
+        arcs = simple_graph.arcs()
+        rebuilt = TopicGraph.from_arcs(
+            3, arcs, simple_graph.probabilities
+        )
+        assert np.array_equal(rebuilt.indices, simple_graph.indices)
+
+
+class TestItemProbabilities:
+    def test_pure_topic_matches_slice(self, simple_graph):
+        pure = np.array([1.0, 0.0])
+        assert np.allclose(
+            simple_graph.item_probabilities(pure),
+            simple_graph.topic_slice(0),
+        )
+
+    def test_mixture_is_convex_combination(self, simple_graph):
+        gamma = np.array([0.3, 0.7])
+        expected = (
+            0.3 * simple_graph.topic_slice(0)
+            + 0.7 * simple_graph.topic_slice(1)
+        )
+        assert np.allclose(
+            simple_graph.item_probabilities(gamma), expected
+        )
+
+    def test_uniform_item(self, simple_graph):
+        gamma = uniform_distribution(2)
+        probs = simple_graph.item_probabilities(gamma)
+        assert np.allclose(probs, simple_graph.probabilities.mean(axis=1))
+
+    def test_dimension_mismatch(self, simple_graph):
+        with pytest.raises(InvalidGraphError):
+            simple_graph.item_probabilities(np.array([1.0, 0.0, 0.0]))
+
+    def test_topic_slice_bounds(self, simple_graph):
+        with pytest.raises(InvalidGraphError):
+            simple_graph.topic_slice(5)
+
+
+class TestReverseView:
+    def test_consistency(self, simple_graph):
+        in_indptr, in_tails, in_arc_ids = simple_graph.reverse_view
+        arcs = simple_graph.arcs()
+        for node in range(simple_graph.num_nodes):
+            lo, hi = in_indptr[node], in_indptr[node + 1]
+            for pos in range(lo, hi):
+                arc_id = in_arc_ids[pos]
+                assert arcs[arc_id][1] == node
+                assert arcs[arc_id][0] == in_tails[pos]
+
+    def test_total_count(self, simple_graph):
+        in_indptr, _, _ = simple_graph.reverse_view
+        assert in_indptr[-1] == simple_graph.num_arcs
+
+
+class TestNetworkxInterop:
+    def test_round_trip(self, simple_graph):
+        nx_graph = simple_graph.to_networkx()
+        back = TopicGraph.from_networkx(nx_graph)
+        assert back.num_nodes == simple_graph.num_nodes
+        assert np.array_equal(back.indices, simple_graph.indices)
+        assert np.allclose(back.probabilities, simple_graph.probabilities)
+
+    def test_missing_attribute_rejected(self):
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_edge(0, 1)
+        with pytest.raises(InvalidGraphError):
+            TopicGraph.from_networkx(g)
+
+    def test_edgeless_graph_needs_topics(self):
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from([0, 1])
+        with pytest.raises(InvalidGraphError):
+            TopicGraph.from_networkx(g)
+        back = TopicGraph.from_networkx(g, num_topics=3)
+        assert back.num_topics == 3
