@@ -1,0 +1,145 @@
+"""Observability overhead benchmark.
+
+The `repro.obs` layer promises (a) **no measurable cost while
+disabled** — every instrumentation site short-circuits on one attribute
+check — and (b) **< 5% query-path cost while enabled**.  This bench
+enforces both on the real query hot path: interleaved batches of TIM
+queries are timed disabled / enabled / disabled (the sandwich cancels
+thermal and scheduler drift), and the two disabled series are compared
+with the repo's own paired t-test — the instrumented-but-off path must
+be statistically indistinguishable from itself across the enabled runs.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from conftest import register_report
+
+from repro import obs
+from repro.core import InflexConfig, InflexIndex
+from repro.datasets import generate_flixster_like
+from repro.stats.tests import paired_t_test
+
+#: Interleaved measurement rounds; each contributes one disabled-A,
+#: one enabled, and one disabled-B batch time.
+ROUNDS = 30
+QUERIES_PER_BATCH = 16
+K = 8
+
+
+@pytest.fixture(scope="module")
+def query_setup():
+    """A small but real index plus a query workload."""
+    data = generate_flixster_like(
+        num_nodes=250,
+        num_topics=4,
+        num_items=60,
+        topics_per_node=1,
+        base_strength=0.2,
+        seed=13,
+    )
+    config = InflexConfig(
+        num_index_points=16,
+        num_dirichlet_samples=1000,
+        seed_list_length=10,
+        ris_num_sets=800,
+        knn=6,
+        leaf_size=8,
+        seed=7,
+    )
+    index = InflexIndex.build(data.graph, data.item_topics, config)
+    return index, data.item_topics[:QUERIES_PER_BATCH]
+
+
+def _batch_seconds(index, queries) -> float:
+    start = time.perf_counter()
+    for gamma in queries:
+        index.query(gamma, K)
+    return time.perf_counter() - start
+
+
+def test_observability_overhead(query_setup):
+    index, queries = query_setup
+    obs.disable()
+    obs.get_registry().reset()
+    obs.get_tracer().clear()
+    try:
+        for _ in range(3):  # warm caches and the JIT-less interpreter
+            _batch_seconds(index, queries)
+        disabled_a: list[float] = []
+        disabled_b: list[float] = []
+        enabled: list[float] = []
+        for _ in range(ROUNDS):
+            obs.disable()
+            disabled_a.append(_batch_seconds(index, queries))
+            obs.enable()
+            enabled.append(_batch_seconds(index, queries))
+            obs.disable()
+            disabled_b.append(_batch_seconds(index, queries))
+    finally:
+        obs.disable()
+        obs.get_registry().reset()
+        obs.get_tracer().clear()
+
+    median_disabled = statistics.median(disabled_a + disabled_b)
+    median_enabled = statistics.median(enabled)
+    enabled_overhead = median_enabled / median_disabled - 1.0
+    # The two disabled series bracket every enabled batch; any real
+    # disabled-mode cost (or drift) would separate them.
+    ttest = paired_t_test(disabled_a, disabled_b)
+    drift = abs(ttest.mean_difference) / median_disabled
+
+    per_query_us = median_disabled / QUERIES_PER_BATCH * 1e6
+    register_report(
+        "Observability overhead (query hot path)",
+        "\n".join(
+            [
+                f"batches: {ROUNDS} x {QUERIES_PER_BATCH} queries, k={K}",
+                f"disabled median batch: {median_disabled * 1e3:.3f} ms "
+                f"({per_query_us:.0f} us/query)",
+                f"enabled  median batch: {median_enabled * 1e3:.3f} ms",
+                f"enabled overhead: {enabled_overhead * 100:+.2f}%  "
+                "(budget < 5%)",
+                f"disabled A-vs-B paired t-test: p={ttest.p_value:.3f}, "
+                f"mean drift {drift * 100:.3f}% of a batch",
+            ]
+        ),
+    )
+
+    # (b) enabled-mode overhead stays under the 5% budget.
+    assert enabled_overhead < 0.05, (
+        f"enabled observability costs {enabled_overhead * 100:.2f}% "
+        f"(> 5%) on the query hot path"
+    )
+    # (a) disabled mode is statistically indistinguishable: either the
+    # paired test finds no effect, or the effect size is noise-level
+    # (< 1% of a batch) — guarding against huge-sample trivia.
+    assert ttest.p_value > 0.01 or drift < 0.01, (
+        f"disabled-mode drift {drift * 100:.3f}% of a batch is "
+        f"significant (p={ttest.p_value:.4f})"
+    )
+
+
+def test_disabled_primitive_costs():
+    """Micro-check: one disabled span costs well under a microsecond-
+    scale budget, so per-query instrumentation cannot register."""
+    obs.disable()
+    tracer = obs.get_tracer()
+    iterations = 20_000
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with tracer.span("noop"):
+            pass
+    per_span_us = (time.perf_counter() - start) / iterations * 1e6
+    register_report(
+        "Disabled span cost",
+        f"{per_span_us:.3f} us per disabled span "
+        f"({iterations} iterations)",
+    )
+    # Generous budget: 4 spans/query at < 10 us each is noise next to
+    # a millisecond-scale query.
+    assert per_span_us < 10.0

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.bbtree.projection import can_prune, project_to_ball
 from repro.bbtree.tree import BBTree, BBTreeNode
+from repro.obs import instruments as _obs
 from repro.stats.anderson_darling import (
     anderson_darling_test,
     project_to_principal_axis,
@@ -164,6 +165,7 @@ def exact_nearest_neighbors(tree: BBTree, query, k: int) -> SearchResult:
         epsilon_match=False,
         stopped_early=False,
     )
+    _obs.record_search("exact", stats)
     ranked = sorted(((-neg, pid) for neg, pid in best))
     return _sorted_result(
         [pid for _, pid in ranked], [d for d, _ in ranked], stats
@@ -220,6 +222,7 @@ def range_search(tree: BBTree, query, radius: float) -> SearchResult:
         epsilon_match=False,
         stopped_early=False,
     )
+    _obs.record_search("range", stats)
     return _sorted_result(ids, divs, stats)
 
 
@@ -292,6 +295,7 @@ def leaf_limited_search(
         epsilon_match=False,
         stopped_early=False,
     )
+    _obs.record_search("leaf-limited", stats)
     return _sorted_result(ids, divs, stats).top(k)
 
 
@@ -395,6 +399,7 @@ def inflex_search(
                 epsilon_match=True,
                 stopped_early=True,
             )
+            _obs.record_search("inflex", stats)
             return SearchResult(
                 np.asarray([match_id], dtype=np.int64),
                 np.asarray(
@@ -416,4 +421,5 @@ def inflex_search(
         epsilon_match=epsilon_match,
         stopped_early=stopped_early,
     )
+    _obs.record_search("inflex", stats)
     return _sorted_result(ids, divs, stats)

@@ -6,8 +6,16 @@ Usage (after ``pip install -e .``)::
     repro-inflex build    --data data/ --out data/index.npz --index-points 64
     repro-inflex query    --data data/ --index data/index.npz \
                           --gamma 0.6,0.2,0.05,0.05,0.05,0.05 --k 10
+    repro-inflex query    --data data/ --index data/index.npz \
+                          --item 3 --k 10 --profile
+    repro-inflex obs      --data data/ --index data/index.npz --queries 64
     repro-inflex experiment fig6 --scale test
     repro-inflex autosize --data data/
+
+``query --profile`` / ``experiment --profile`` enable observability,
+print a per-phase breakdown, and write a Chrome-loadable trace file;
+``obs`` runs a query workload and dumps the metrics snapshot (JSON or
+Prometheus text).  See ``docs/OBSERVABILITY.md``.
 
 All subcommands operate on a data directory holding ``graph.npz`` (the
 topic graph) and ``catalog.npy`` (item topic distributions), plus an
@@ -113,6 +121,67 @@ def _parse_gamma(text: str) -> np.ndarray:
     return values / total
 
 
+def _start_profiling():
+    from repro import obs
+
+    obs.enable()
+    obs.get_registry().reset()
+    obs.get_tracer().clear()
+    return obs
+
+
+def _write_trace(obs_module, trace_out: str) -> None:
+    count = obs_module.get_tracer().write_chrome_trace(trace_out)
+    print(
+        f"trace written to {trace_out} ({count} spans; load at "
+        "chrome://tracing or ui.perfetto.dev)"
+    )
+
+
+def _print_answer_profile(answer) -> None:
+    timing = answer.timing
+    print("per-phase breakdown:")
+    for phase, seconds in (
+        ("search", timing.search),
+        ("selection", timing.selection),
+        ("aggregation", timing.aggregation),
+        ("total", timing.total),
+    ):
+        print(f"  {phase:<12} {seconds * 1000:9.3f} ms")
+    stats = answer.search_stats
+    if stats is not None:
+        flags = []
+        if stats.epsilon_match:
+            flags.append("epsilon-match")
+        if stats.stopped_early:
+            flags.append("early-stop")
+        print(
+            f"  search stats: leaves={stats.leaves_visited} "
+            f"divergences={stats.divergence_computations} "
+            f"pruned={stats.nodes_pruned}"
+            + (f" ({', '.join(flags)})" if flags else "")
+        )
+
+
+def _print_phase_summary(obs_module) -> None:
+    """Aggregate per-phase latency quantiles from the registry."""
+    snapshot = obs_module.get_registry().snapshot()
+    series = snapshot["repro_query_phase_seconds"]["series"]
+    if not any(entry["value"]["count"] for entry in series):
+        return
+    print("query phase latencies (aggregate):")
+    print(f"  {'phase':<12} {'count':>6} {'p50 ms':>9} {'p90 ms':>9} {'p99 ms':>9}")
+    for entry in series:
+        value = entry["value"]
+        if not value["count"]:
+            continue
+        print(
+            f"  {entry['labels']['phase']:<12} {value['count']:>6} "
+            f"{value['p50'] * 1000:>9.3f} {value['p90'] * 1000:>9.3f} "
+            f"{value['p99'] * 1000:>9.3f}"
+        )
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     data_dir = Path(args.data)
     graph = load_graph(data_dir / "graph.npz")
@@ -122,6 +191,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     else:
         catalog = np.load(data_dir / "catalog.npy")
         gamma = catalog[args.item]
+    obs_module = _start_profiling() if args.profile else None
     answer = index.query(gamma, args.k, strategy=args.strategy)
     print(f"query gamma: {np.round(gamma, 4)}")
     print(f"strategy: {answer.strategy}")
@@ -131,6 +201,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"{answer.num_neighbors_used} index lists"
         + (" (epsilon-exact hit)" if answer.epsilon_match else "")
     )
+    if obs_module is not None:
+        _print_answer_profile(answer)
+        _write_trace(obs_module, args.trace_out)
     return 0
 
 
@@ -153,9 +226,41 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "scaling": experiments.scaling,
         "engine_equivalence": experiments.engine_equivalence,
     }
+    obs_module = _start_profiling() if args.profile else None
     context = experiments.get_context(args.scale)
     result = modules[args.name].run(context)
     print(result.render())
+    if obs_module is not None:
+        _print_phase_summary(obs_module)
+        _write_trace(obs_module, args.trace_out)
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    obs_module = _start_profiling()
+    data_dir = Path(args.data)
+    graph = load_graph(data_dir / "graph.npz")
+    index = load_index(args.index, graph)
+    catalog = np.load(data_dir / "catalog.npy")
+    rows = catalog[np.arange(args.queries) % catalog.shape[0]]
+    index.query_batch(rows, args.k, strategy=args.strategy)
+    registry = obs_module.get_registry()
+    text = (
+        registry.to_json()
+        if args.format == "json"
+        else registry.to_prometheus()
+    )
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"metrics snapshot written to {args.out}")
+    else:
+        print(text)
+    if args.trace_out:
+        _write_trace(obs_module, args.trace_out)
+    if args.reset:
+        registry.reset()
+        obs_module.get_tracer().clear()
+        print("metrics registry and trace buffer reset")
     return 0
 
 
@@ -240,6 +345,17 @@ def build_parser() -> argparse.ArgumentParser:
         default="inflex",
         choices=("inflex", "exact-knn", "approx-knn", "approx-knn-sel", "approx-ad"),
     )
+    query.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable observability, print a per-phase breakdown, and "
+        "write a Chrome trace file",
+    )
+    query.add_argument(
+        "--trace-out",
+        default="trace.json",
+        help="Chrome trace output path used with --profile",
+    )
     query.set_defaults(func=_cmd_query)
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
@@ -247,7 +363,53 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument(
         "--scale", default="test", choices=("test", "demo", "paper-shape")
     )
+    exp.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable observability, print aggregate phase latencies, "
+        "and write a Chrome trace file",
+    )
+    exp.add_argument(
+        "--trace-out",
+        default="trace.json",
+        help="Chrome trace output path used with --profile",
+    )
     exp.set_defaults(func=_cmd_experiment)
+
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="run a query workload with observability on and dump the "
+        "metrics snapshot",
+    )
+    obs_cmd.add_argument("--data", required=True, help="dataset directory")
+    obs_cmd.add_argument("--index", required=True, help="index .npz path")
+    obs_cmd.add_argument(
+        "--queries",
+        type=int,
+        default=32,
+        help="workload size (catalog items, cycled)",
+    )
+    obs_cmd.add_argument("--k", type=int, default=10)
+    obs_cmd.add_argument(
+        "--strategy",
+        default="inflex",
+        choices=("inflex", "exact-knn", "approx-knn", "approx-knn-sel", "approx-ad"),
+    )
+    obs_cmd.add_argument(
+        "--format", default="json", choices=("json", "prometheus")
+    )
+    obs_cmd.add_argument(
+        "--out", help="write the snapshot to this file instead of stdout"
+    )
+    obs_cmd.add_argument(
+        "--trace-out", help="also write a Chrome trace file here"
+    )
+    obs_cmd.add_argument(
+        "--reset",
+        action="store_true",
+        help="reset the registry and trace buffer after dumping",
+    )
+    obs_cmd.set_defaults(func=_cmd_obs)
 
     summarize = sub.add_parser(
         "summarize", help="print structural statistics of a graph"

@@ -23,6 +23,7 @@ from repro.core.offline import offline_seed_list
 from repro.divergence.kl import KLDivergence
 from repro.graph.topic_graph import TopicGraph
 from repro.im.seed_list import SeedList
+from repro.obs import instruments as _obs
 from repro.rng import resolve_rng, spawn_rngs
 from repro.simplex.dirichlet import fit_dirichlet_mle
 from repro.simplex.vectors import as_distribution_matrix, smooth
@@ -90,17 +91,18 @@ class ResumableBuilder:
     def _index_points(self, rng) -> np.ndarray:
         if self._points_path.exists():
             return np.load(self._points_path)
-        dirichlet = fit_dirichlet_mle(self._catalog)
-        samples = dirichlet.sample(
-            self._config.num_dirichlet_samples, seed=rng
-        )
-        clustering = bregman_kmeans(
-            samples,
-            self._config.num_index_points,
-            KLDivergence(),
-            seed=rng,
-        )
-        points = smooth(np.maximum(clustering.centroids, 1e-12))
+        with _obs.build_stage("index-points"):
+            dirichlet = fit_dirichlet_mle(self._catalog)
+            samples = dirichlet.sample(
+                self._config.num_dirichlet_samples, seed=rng
+            )
+            clustering = bregman_kmeans(
+                samples,
+                self._config.num_index_points,
+                KLDivergence(),
+                seed=rng,
+            )
+            points = smooth(np.maximum(clustering.centroids, 1e-12))
         np.save(self._points_path, points)
         return points
 
@@ -143,15 +145,16 @@ class ResumableBuilder:
                 continue
             if max_items is not None and processed >= max_items:
                 return None
-            seed_list = offline_seed_list(
-                self._graph,
-                points[i],
-                self._config.seed_list_length,
-                engine=self._config.im_engine,
-                ris_num_sets=self._config.ris_num_sets,
-                num_snapshots=self._config.num_snapshots,
-                seed=item_seeds[i],
-            )
+            with _obs.build_stage("seed-list"):
+                seed_list = offline_seed_list(
+                    self._graph,
+                    points[i],
+                    self._config.seed_list_length,
+                    engine=self._config.im_engine,
+                    ris_num_sets=self._config.ris_num_sets,
+                    num_snapshots=self._config.num_snapshots,
+                    seed=item_seeds[i],
+                )
             payload = {
                 "nodes": list(seed_list.nodes),
                 "gains": list(seed_list.marginal_gains),

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.index import InflexIndex
 from repro.core.query import TimAnswer
+from repro.obs import instruments as _obs
 
 
 class CachedIndex:
@@ -51,6 +52,7 @@ class CachedIndex:
         self._entries: OrderedDict[tuple, TimAnswer] = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     @property
     def index(self) -> InflexIndex:
@@ -65,9 +67,29 @@ class CachedIndex:
         return self._misses
 
     @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    @property
     def hit_rate(self) -> float:
         total = self._hits + self._misses
         return self._hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Operator summary of the cache (JSON-friendly).
+
+        The same hit/miss/eviction accounting also flows into the
+        process-wide metrics registry (``repro_cache_*``) whenever
+        observability is enabled.
+        """
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "entries": len(self._entries),
+            "max_entries": self._max_entries,
+            "hit_rate": self.hit_rate,
+        }
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -87,12 +109,16 @@ class CachedIndex:
         if cached is not None:
             self._hits += 1
             self._entries.move_to_end(key)
+            _obs.record_cache_hit(len(self._entries))
             return cached
         self._misses += 1
         answer = self._index.query(gamma, k, strategy=strategy)
         self._entries[key] = answer
         if len(self._entries) > self._max_entries:
             self._entries.popitem(last=False)
+            self._evictions += 1
+            _obs.record_cache_eviction(len(self._entries))
+        _obs.record_cache_miss(len(self._entries))
         return answer
 
     def clear(self) -> None:
@@ -100,3 +126,4 @@ class CachedIndex:
         self._entries.clear()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0

@@ -21,8 +21,6 @@ Five strategies are exposed, matching the paper's comparison:
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.bbtree.search import (
@@ -41,6 +39,8 @@ from repro.divergence.kl import KLDivergence
 from repro.errors import EmptyIndexError, QueryError
 from repro.graph.topic_graph import TopicGraph
 from repro.im.seed_list import SeedList
+from repro.obs import instruments as _obs
+from repro.obs.tracing import get_tracer
 from repro.ranking.weights import importance_weights, select_neighbors
 from repro.rng import resolve_rng, spawn_rngs
 from repro.simplex.dirichlet import Dirichlet, fit_dirichlet_mle
@@ -152,40 +152,49 @@ class InflexIndex:
 
         # 1. Dirichlet MLE over the catalog.
         report("dirichlet", 0, 1)
-        dirichlet = fit_dirichlet_mle(catalog)
+        with _obs.build_stage("dirichlet"):
+            dirichlet = fit_dirichlet_mle(catalog)
         # 2. Sample the cloud and cluster it.
         report("sampling", 0, 1)
-        samples = dirichlet.sample(config.num_dirichlet_samples, seed=rng)
+        with _obs.build_stage("sampling"):
+            samples = dirichlet.sample(
+                config.num_dirichlet_samples, seed=rng
+            )
         report("clustering", 0, 1)
-        divergence = KLDivergence()
-        clustering = bregman_kmeans(
-            samples, config.num_index_points, divergence, seed=rng
-        )
-        index_points = smooth(np.maximum(clustering.centroids, 1e-12))
+        with _obs.build_stage("clustering"):
+            divergence = KLDivergence()
+            clustering = bregman_kmeans(
+                samples, config.num_index_points, divergence, seed=rng
+            )
+            index_points = smooth(np.maximum(clustering.centroids, 1e-12))
         # 3. Precompute seed lists (the dominant cost; parallelizable).
         child_rngs = spawn_rngs(rng, index_points.shape[0])
         item_seeds = [
             int(child.integers(0, 2**63 - 1)) for child in child_rngs
         ]
-        seed_lists = offline_seed_lists_batch(
-            graph,
-            index_points,
-            config.seed_list_length,
-            engine=config.im_engine,
-            ris_num_sets=config.ris_num_sets,
-            num_snapshots=config.num_snapshots,
-            seeds=item_seeds,
-            workers=workers,
-            progress=lambda done, total: report("seed-lists", done, total),
-        )
+        with _obs.build_stage("seed-lists"):
+            seed_lists = offline_seed_lists_batch(
+                graph,
+                index_points,
+                config.seed_list_length,
+                engine=config.im_engine,
+                ris_num_sets=config.ris_num_sets,
+                num_snapshots=config.num_snapshots,
+                seeds=item_seeds,
+                workers=workers,
+                progress=lambda done, total: report(
+                    "seed-lists", done, total
+                ),
+            )
         # 4. The bb-tree is created in __init__.
-        return cls(
-            graph,
-            index_points,
-            seed_lists,
-            config,
-            dirichlet=dirichlet,
-        )
+        with _obs.build_stage("tree"):
+            return cls(
+                graph,
+                index_points,
+                seed_lists,
+                config,
+                dirichlet=dirichlet,
+            )
 
     # ------------------------------------------------------------------
     # Accessors
@@ -255,80 +264,92 @@ class InflexIndex:
             )
         config = self._config
         query_point = smooth(tim_query.gamma)
+        tracer = get_tracer()
 
-        # Phase 1: similarity search -----------------------------------
-        start = time.perf_counter()
-        result = self._search(query_point, strategy)
-        search_time = time.perf_counter() - start
-        if result.stats.epsilon_match:
-            match_id = int(result.indices[0])
-            seeds = self._seed_lists[match_id].top(k)
-            return TimAnswer(
-                seeds=SeedList(seeds.nodes, (), algorithm=f"{strategy}:exact"),
+        with tracer.span("query", strategy=strategy, k=k):
+            # Phase 1: similarity search -------------------------------
+            with tracer.span("query.search") as search_span:
+                result = self._search(query_point, strategy)
+            if result.stats.epsilon_match:
+                match_id = int(result.indices[0])
+                seeds = self._seed_lists[match_id].top(k)
+                answer = TimAnswer(
+                    seeds=SeedList(
+                        seeds.nodes, (), algorithm=f"{strategy}:exact"
+                    ),
+                    strategy=strategy,
+                    neighbor_ids=(match_id,),
+                    neighbor_divergences=(float(result.divergences[0]),),
+                    neighbor_weights=(1.0,),
+                    search_stats=result.stats,
+                    timing=QueryTiming(search=search_span.duration),
+                    epsilon_match=True,
+                )
+                _obs.record_query(strategy, answer)
+                return answer
+
+            # Phase 2: weights and automatic selection ------------------
+            with tracer.span("query.selection") as selection_span:
+                if strategy == "inflex":
+                    # The AD-stopped search returns whole leaf
+                    # populations; cap the aggregation candidates at the
+                    # K-NN budget (nearest first) before the gap-rule
+                    # selection — distant leaf co-residents would only
+                    # dilute the consensus.
+                    result = result.top(min(config.knn, len(result)))
+                weights = importance_weights(
+                    result.divergences,
+                    self._graph.num_topics,
+                    bound_eps=config.weight_bound_eps,
+                )
+                if strategy in ("inflex", "approx-knn-sel"):
+                    keep = select_neighbors(
+                        weights, threshold=config.selection_threshold
+                    )
+                else:
+                    keep = len(result)
+            kept_ids = result.indices[:keep]
+            kept_divs = result.divergences[:keep]
+            kept_weights = weights[:keep]
+
+            # Phase 3: rank aggregation ---------------------------------
+            with tracer.span("query.aggregation") as aggregation_span:
+                lists = [self._seed_lists[int(i)] for i in kept_ids]
+                aggregation_weights = (
+                    kept_weights if config.weighted else None
+                )
+                if (
+                    aggregation_weights is not None
+                    and aggregation_weights.sum() <= 0
+                ):
+                    # Every retrieved neighbor sits beyond the KL_max
+                    # bound (a query far from all index points): fall
+                    # back to unweighted aggregation rather than
+                    # dividing by a zero total weight.
+                    aggregation_weights = None
+                seeds = aggregate_seed_lists(
+                    lists,
+                    k,
+                    aggregator=config.aggregator,
+                    weights=aggregation_weights,
+                    apply_local_kemenization=config.local_kemenization,
+                )
+            answer = TimAnswer(
+                seeds=SeedList(seeds.nodes, (), algorithm=strategy),
                 strategy=strategy,
-                neighbor_ids=(match_id,),
-                neighbor_divergences=(float(result.divergences[0]),),
-                neighbor_weights=(1.0,),
+                neighbor_ids=tuple(int(i) for i in kept_ids),
+                neighbor_divergences=tuple(float(d) for d in kept_divs),
+                neighbor_weights=tuple(float(w) for w in kept_weights),
                 search_stats=result.stats,
-                timing=QueryTiming(search=search_time),
-                epsilon_match=True,
+                timing=QueryTiming(
+                    search=search_span.duration,
+                    selection=selection_span.duration,
+                    aggregation=aggregation_span.duration,
+                ),
+                epsilon_match=False,
             )
-
-        # Phase 2: weights and automatic selection ----------------------
-        start = time.perf_counter()
-        if strategy == "inflex":
-            # The AD-stopped search returns whole leaf populations; cap
-            # the aggregation candidates at the K-NN budget (nearest
-            # first) before the gap-rule selection — distant leaf
-            # co-residents would only dilute the consensus.
-            result = result.top(min(config.knn, len(result)))
-        weights = importance_weights(
-            result.divergences,
-            self._graph.num_topics,
-            bound_eps=config.weight_bound_eps,
-        )
-        if strategy in ("inflex", "approx-knn-sel"):
-            keep = select_neighbors(
-                weights, threshold=config.selection_threshold
-            )
-        else:
-            keep = len(result)
-        selection_time = time.perf_counter() - start
-        kept_ids = result.indices[:keep]
-        kept_divs = result.divergences[:keep]
-        kept_weights = weights[:keep]
-
-        # Phase 3: rank aggregation -------------------------------------
-        start = time.perf_counter()
-        lists = [self._seed_lists[int(i)] for i in kept_ids]
-        aggregation_weights = kept_weights if config.weighted else None
-        if aggregation_weights is not None and aggregation_weights.sum() <= 0:
-            # Every retrieved neighbor sits beyond the KL_max bound (a
-            # query far from all index points): fall back to unweighted
-            # aggregation rather than dividing by a zero total weight.
-            aggregation_weights = None
-        seeds = aggregate_seed_lists(
-            lists,
-            k,
-            aggregator=config.aggregator,
-            weights=aggregation_weights,
-            apply_local_kemenization=config.local_kemenization,
-        )
-        aggregation_time = time.perf_counter() - start
-        return TimAnswer(
-            seeds=SeedList(seeds.nodes, (), algorithm=strategy),
-            strategy=strategy,
-            neighbor_ids=tuple(int(i) for i in kept_ids),
-            neighbor_divergences=tuple(float(d) for d in kept_divs),
-            neighbor_weights=tuple(float(w) for w in kept_weights),
-            search_stats=result.stats,
-            timing=QueryTiming(
-                search=search_time,
-                selection=selection_time,
-                aggregation=aggregation_time,
-            ),
-            epsilon_match=False,
-        )
+            _obs.record_query(strategy, answer)
+            return answer
 
     def stats(self) -> dict:
         """Operator summary of the index.
@@ -372,7 +393,12 @@ class InflexIndex:
         independent and returned in input order.
         """
         rows = as_distribution_matrix(np.atleast_2d(np.asarray(gammas)))
-        return [self.query(row, k, strategy=strategy) for row in rows]
+        with get_tracer().span(
+            "query_batch", strategy=strategy, size=int(rows.shape[0])
+        ):
+            answers = [self.query(row, k, strategy=strategy) for row in rows]
+        _obs.record_batch(strategy, answers)
+        return answers
 
     def memory_footprint(self) -> int:
         """Estimated in-memory cost of the precomputed index, in bytes.

@@ -43,7 +43,14 @@ class TimQuery:
 
 @dataclass(frozen=True)
 class QueryTiming:
-    """Wall-clock breakdown of one query evaluation, in seconds."""
+    """Wall-clock breakdown of one query evaluation, in seconds.
+
+    The values are derived from the per-phase tracing spans the query
+    path emits (``query.search`` / ``query.selection`` /
+    ``query.aggregation``, see :mod:`repro.obs`); they are populated
+    whether or not observability is enabled, so this stays a reliable
+    public API.
+    """
 
     search: float = 0.0
     selection: float = 0.0

@@ -21,6 +21,7 @@ from __future__ import annotations
 import heapq
 
 from repro.im.seed_list import SeedList
+from repro.obs import instruments as _obs
 from repro.propagation.spread import SpreadEstimator
 
 
@@ -63,13 +64,17 @@ def celfpp_seed_selection(
         return SeedList((), (), algorithm="celf++")
 
     # Initial pass: compute mg1 = sigma({u}); track the best singleton
-    # (cur_best) and compute mg2 against it.
+    # (cur_best) and compute mg2 against it.  ``evaluations`` counts
+    # spread-oracle calls — the cost unit CELF++ exists to minimize —
+    # and is folded into the metrics registry on return.
+    evaluations = 0
     states: dict[int, _NodeState] = {}
     cur_best: int | None = None
     cur_best_gain = -1.0
     singleton: dict[int, float] = {}
     for node in pool:
         gain = estimator.estimate([node])
+        evaluations += 1
         singleton[node] = gain
         if gain > cur_best_gain:
             cur_best_gain = gain
@@ -79,6 +84,7 @@ def celfpp_seed_selection(
             mg2 = singleton[node]
         else:
             mg2 = estimator.estimate([cur_best, node]) - singleton[cur_best]
+            evaluations += 1
         states[node] = _NodeState(node, singleton[node], mg2, cur_best)
 
     heap: list[tuple[float, int]] = [
@@ -113,15 +119,18 @@ def celfpp_seed_selection(
             state.mg1 = state.mg2
         else:
             state.mg1 = estimator.estimate(seeds + [node]) - current_spread
+            evaluations += 1
             if iter_best is not None:
                 base = estimator.estimate(seeds + [iter_best])
                 state.mg2 = (
                     estimator.estimate(seeds + [iter_best, node]) - base
                 )
+                evaluations += 2
                 state.prev_best = iter_best
         state.flag = len(seeds)
         if state.mg1 > iter_best_gain:
             iter_best_gain = state.mg1
             iter_best = node
         heapq.heappush(heap, (-state.mg1, node))
+    _obs.record_gain_evaluations("celf++", evaluations)
     return SeedList(tuple(seeds), tuple(gains), algorithm="celf++")

@@ -1,0 +1,58 @@
+"""Unified observability: metrics, tracing, and the global switch.
+
+The paper's headline claim is millisecond TIM queries; this package is
+how the repo *proves* such claims across whole workloads instead of
+single timings.  Three pieces:
+
+* a process-wide :class:`~repro.obs.metrics.MetricsRegistry` of
+  counters, gauges and streaming histograms (JSON snapshot +
+  Prometheus text exposition) — see :func:`get_registry`;
+* a :class:`~repro.obs.tracing.Tracer` of nestable spans exportable as
+  JSON or Chrome ``trace_event`` documents — see :func:`get_tracer`;
+* a single global switch (:func:`enable` / :func:`disable`): while off
+  (the default), every instrumentation site in the query/build hot
+  paths short-circuits after one attribute check, so the overhead is
+  not measurable (``benchmarks/bench_obs_overhead.py`` enforces this).
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    index.query(gamma, 10)
+    print(obs.get_registry().to_json())
+    obs.get_tracer().write_chrome_trace("trace.json")
+
+The metric catalog lives in :mod:`repro.obs.instruments` and is
+documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs._state import STATE, disable, enable, enabled
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.tracing import Span, SpanRecord, Tracer, get_tracer
+from repro.obs import instruments
+
+__all__ = [
+    "STATE",
+    "enable",
+    "disable",
+    "enabled",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "get_registry",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "instruments",
+]

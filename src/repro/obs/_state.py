@@ -1,0 +1,39 @@
+"""The global observability switch.
+
+Instrumentation sites throughout the query and build paths check
+``STATE.enabled`` (one attribute load) before touching the metrics
+registry or the trace buffer, so a disabled process pays essentially
+nothing for being instrumentable.  The switch lives in its own module
+so that :mod:`repro.obs.metrics`, :mod:`repro.obs.tracing` and
+:mod:`repro.obs.instruments` can all import it without cycles.
+"""
+
+from __future__ import annotations
+
+
+class ObservabilityState:
+    """Mutable process-wide on/off flag."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+#: The process-wide switch consulted by every instrumentation site.
+STATE = ObservabilityState()
+
+
+def enable() -> None:
+    """Turn metric recording and span buffering on."""
+    STATE.enabled = True
+
+
+def disable() -> None:
+    """Turn metric recording and span buffering off (the default)."""
+    STATE.enabled = False
+
+
+def enabled() -> bool:
+    """Whether observability is currently on."""
+    return STATE.enabled

@@ -1,0 +1,260 @@
+"""The repo's metric catalog and the recording helpers hot paths call.
+
+Every instrumented subsystem funnels through the small functions below
+rather than touching metric objects directly; each helper checks the
+global switch first, so with observability disabled (the default) an
+instrumentation site costs one function call and one attribute load.
+
+The catalog (all registered on the process-wide registry at import
+time) is documented in ``docs/OBSERVABILITY.md``; keep the two in sync.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.obs._state import STATE
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import get_tracer
+
+_REGISTRY = get_registry()
+
+# -- query path ---------------------------------------------------------
+QUERIES = _REGISTRY.counter(
+    "repro_queries_total",
+    "TIM queries answered, by strategy and outcome",
+    labels=("strategy", "outcome"),
+)
+QUERY_PHASE_SECONDS = _REGISTRY.histogram(
+    "repro_query_phase_seconds",
+    "Per-phase query wall clock (phases: search/selection/aggregation/total)",
+    labels=("phase",),
+)
+QUERY_NEIGHBORS_USED = _REGISTRY.histogram(
+    "repro_query_neighbors_used",
+    "Index seed lists entering the rank aggregation, per query",
+)
+
+# -- batch path ---------------------------------------------------------
+QUERY_BATCHES = _REGISTRY.counter(
+    "repro_query_batches_total",
+    "query_batch invocations, by strategy",
+    labels=("strategy",),
+)
+QUERY_BATCH_SIZE = _REGISTRY.histogram(
+    "repro_query_batch_size", "Queries per query_batch call"
+)
+BATCH_LEAVES_VISITED = _REGISTRY.counter(
+    "repro_batch_leaves_visited_total",
+    "bb-tree leaves scanned across all queries of a batch",
+)
+BATCH_DIVERGENCE_COMPUTATIONS = _REGISTRY.counter(
+    "repro_batch_divergence_computations_total",
+    "Divergence evaluations across all queries of a batch",
+)
+BATCH_NODES_PRUNED = _REGISTRY.counter(
+    "repro_batch_nodes_pruned_total",
+    "Subtrees pruned across all queries of a batch",
+)
+BATCH_EPSILON_MATCHES = _REGISTRY.counter(
+    "repro_batch_epsilon_matches_total",
+    "Epsilon-exact answers across all queries of a batch",
+)
+
+# -- bb-tree search -----------------------------------------------------
+SEARCHES = _REGISTRY.counter(
+    "repro_search_total", "bb-tree searches, by kind", labels=("kind",)
+)
+SEARCH_LEAVES_VISITED = _REGISTRY.counter(
+    "repro_search_leaves_visited_total",
+    "Leaf populations scanned, by search kind",
+    labels=("kind",),
+)
+SEARCH_DIVERGENCE_COMPUTATIONS = _REGISTRY.counter(
+    "repro_search_divergence_computations_total",
+    "Point-to-query divergence evaluations, by search kind",
+    labels=("kind",),
+)
+SEARCH_NODES_PRUNED = _REGISTRY.counter(
+    "repro_search_nodes_pruned_total",
+    "Subtrees skipped by the Eq. 5 projection bound, by search kind",
+    labels=("kind",),
+)
+SEARCH_EPSILON_MATCHES = _REGISTRY.counter(
+    "repro_search_epsilon_matches_total",
+    "Searches ended by the epsilon-exact shortcut, by search kind",
+    labels=("kind",),
+)
+SEARCH_EARLY_STOPS = _REGISTRY.counter(
+    "repro_search_early_stops_total",
+    "Searches ended by the Anderson-Darling criterion, by search kind",
+    labels=("kind",),
+)
+
+# -- result cache -------------------------------------------------------
+CACHE_HITS = _REGISTRY.counter(
+    "repro_cache_hits_total", "CachedIndex lookups served from cache"
+)
+CACHE_MISSES = _REGISTRY.counter(
+    "repro_cache_misses_total", "CachedIndex lookups forwarded to the index"
+)
+CACHE_EVICTIONS = _REGISTRY.counter(
+    "repro_cache_evictions_total", "CachedIndex LRU evictions"
+)
+CACHE_ENTRIES = _REGISTRY.gauge(
+    "repro_cache_entries", "Current CachedIndex occupancy"
+)
+
+# -- offline construction ----------------------------------------------
+BUILD_STAGE_SECONDS = _REGISTRY.histogram(
+    "repro_build_stage_seconds",
+    "Offline build stage durations, by stage",
+    labels=("stage",),
+)
+IM_GAIN_EVALUATIONS = _REGISTRY.counter(
+    "repro_im_gain_evaluations_total",
+    "Spread-oracle (marginal gain) evaluations, by IM engine",
+    labels=("engine",),
+)
+MC_SIMULATIONS = _REGISTRY.counter(
+    "repro_mc_simulations_total", "Monte-Carlo cascade simulations run"
+)
+
+
+# ----------------------------------------------------------------------
+# Recording helpers (each is a no-op while observability is disabled)
+#
+# Labeled children are resolved once and memoized in plain dicts:
+# ``MetricFamily.labels`` validates label names on every call, which is
+# the right contract for ad-hoc use but measurable on the query hot
+# path.  The memoized children survive ``registry.reset()`` (reset
+# zeroes values, it does not drop series).
+# ----------------------------------------------------------------------
+_PHASE_SEARCH = QUERY_PHASE_SECONDS.labels(phase="search")
+_PHASE_SELECTION = QUERY_PHASE_SECONDS.labels(phase="selection")
+_PHASE_AGGREGATION = QUERY_PHASE_SECONDS.labels(phase="aggregation")
+_PHASE_TOTAL = QUERY_PHASE_SECONDS.labels(phase="total")
+
+_QUERY_COUNTERS: dict = {}
+_SEARCH_COUNTERS: dict = {}
+
+
+def _search_counters(kind: str):
+    counters = _SEARCH_COUNTERS.get(kind)
+    if counters is None:
+        counters = (
+            SEARCHES.labels(kind=kind),
+            SEARCH_LEAVES_VISITED.labels(kind=kind),
+            SEARCH_DIVERGENCE_COMPUTATIONS.labels(kind=kind),
+            SEARCH_NODES_PRUNED.labels(kind=kind),
+            SEARCH_EPSILON_MATCHES.labels(kind=kind),
+            SEARCH_EARLY_STOPS.labels(kind=kind),
+        )
+        _SEARCH_COUNTERS[kind] = counters
+    return counters
+
+
+def record_search(kind: str, stats) -> None:
+    """Fold one search's :class:`~repro.bbtree.search.SearchStats` into
+    the registry."""
+    if not STATE.enabled:
+        return
+    searches, leaves, divergences, pruned, epsilon, early = (
+        _search_counters(kind)
+    )
+    searches.inc()
+    leaves.inc(stats.leaves_visited)
+    divergences.inc(stats.divergence_computations)
+    pruned.inc(stats.nodes_pruned)
+    if stats.epsilon_match:
+        epsilon.inc()
+    if stats.stopped_early:
+        early.inc()
+
+
+def record_query(strategy: str, answer) -> None:
+    """Fold one answered TIM query into the registry."""
+    if not STATE.enabled:
+        return
+    outcome = "epsilon_exact" if answer.epsilon_match else "aggregated"
+    key = (strategy, outcome)
+    counter = _QUERY_COUNTERS.get(key)
+    if counter is None:
+        counter = QUERIES.labels(strategy=strategy, outcome=outcome)
+        _QUERY_COUNTERS[key] = counter
+    counter.inc()
+    timing = answer.timing
+    _PHASE_SEARCH.observe(timing.search)
+    _PHASE_SELECTION.observe(timing.selection)
+    _PHASE_AGGREGATION.observe(timing.aggregation)
+    _PHASE_TOTAL.observe(timing.total)
+    QUERY_NEIGHBORS_USED.observe(answer.num_neighbors_used)
+
+
+def record_batch(strategy: str, answers) -> None:
+    """Fold the per-batch totals of ``query_batch`` into the registry."""
+    if not STATE.enabled:
+        return
+    QUERY_BATCHES.labels(strategy=strategy).inc()
+    QUERY_BATCH_SIZE.observe(len(answers))
+    leaves = computations = pruned = epsilon = 0
+    for answer in answers:
+        stats = answer.search_stats
+        if stats is None:
+            continue
+        leaves += stats.leaves_visited
+        computations += stats.divergence_computations
+        pruned += stats.nodes_pruned
+        epsilon += int(stats.epsilon_match)
+    BATCH_LEAVES_VISITED.inc(leaves)
+    BATCH_DIVERGENCE_COMPUTATIONS.inc(computations)
+    BATCH_NODES_PRUNED.inc(pruned)
+    BATCH_EPSILON_MATCHES.inc(epsilon)
+
+
+def record_cache_hit(entries: int) -> None:
+    """Count one CachedIndex hit and update the occupancy gauge."""
+    if not STATE.enabled:
+        return
+    CACHE_HITS.inc()
+    CACHE_ENTRIES.set(entries)
+
+
+def record_cache_miss(entries: int) -> None:
+    """Count one CachedIndex miss and update the occupancy gauge."""
+    if not STATE.enabled:
+        return
+    CACHE_MISSES.inc()
+    CACHE_ENTRIES.set(entries)
+
+
+def record_cache_eviction(entries: int) -> None:
+    """Count one CachedIndex LRU eviction and update the occupancy
+    gauge."""
+    if not STATE.enabled:
+        return
+    CACHE_EVICTIONS.inc()
+    CACHE_ENTRIES.set(entries)
+
+
+def record_gain_evaluations(engine: str, count: int) -> None:
+    """Add ``count`` spread-oracle evaluations for one IM engine run."""
+    if not STATE.enabled or count <= 0:
+        return
+    IM_GAIN_EVALUATIONS.labels(engine=engine).inc(count)
+
+
+def record_simulations(count: int) -> None:
+    """Add ``count`` Monte-Carlo cascade simulations to the total."""
+    if not STATE.enabled or count <= 0:
+        return
+    MC_SIMULATIONS.inc(count)
+
+
+@contextlib.contextmanager
+def build_stage(stage: str):
+    """Span + duration histogram around one offline build stage."""
+    with get_tracer().span(f"build.{stage}", category="build") as span:
+        yield span
+    if STATE.enabled and span.duration is not None:
+        BUILD_STAGE_SECONDS.labels(stage=stage).observe(span.duration)

@@ -1,0 +1,459 @@
+"""Process-wide metrics: counters, gauges, and streaming histograms.
+
+The data model follows the Prometheus client conventions — named
+metrics, optional label dimensions producing independent series, a
+text exposition format — without importing any client library.  Three
+instrument kinds cover the repo's needs:
+
+* :class:`Counter` — monotonically increasing totals (queries served,
+  leaves visited, cache hits);
+* :class:`Gauge` — set-to-current values (cache occupancy);
+* :class:`Histogram` — streaming distributions over geometric buckets
+  with interpolated quantiles (query phase latencies, build stage
+  durations).
+
+A histogram observation is O(1) (one log and one array increment) and
+the memory cost is a fixed bucket array, so histograms are safe on hot
+paths.  Quantiles are estimated by linear interpolation inside the
+bucket that crosses the requested rank; with the default growth factor
+of ``2**0.25`` the relative error is bounded by ~19% per bucket width,
+ample for p50/p90/p99 latency reporting.
+
+The process-wide default registry is reachable via :func:`get_registry`;
+:mod:`repro.obs.instruments` registers the repo's metric catalog on it
+at import time.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+
+#: Quantiles reported in snapshots and the text exposition.
+DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (>= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(
+                f"counters are monotonic; cannot add {amount}"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def snapshot_value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def snapshot_value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Streaming histogram over geometric buckets.
+
+    Parameters
+    ----------
+    lowest / highest:
+        The covered positive range; observations below ``lowest``
+        (including zero and negatives) land in the underflow bucket,
+        observations at or above ``highest`` in the overflow bucket.
+    growth:
+        Geometric bucket growth factor (> 1); smaller factors trade
+        memory for quantile resolution.
+    """
+
+    __slots__ = (
+        "_lock",
+        "_lowest",
+        "_highest",
+        "_log_growth",
+        "_growth",
+        "_counts",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+    )
+
+    def __init__(
+        self,
+        *,
+        lowest: float = 1e-9,
+        highest: float = 1e6,
+        growth: float = 2.0 ** 0.25,
+    ) -> None:
+        if not 0 < lowest < highest:
+            raise ValueError(
+                f"need 0 < lowest < highest, got [{lowest}, {highest}]"
+            )
+        if growth <= 1.0:
+            raise ValueError(f"growth must be > 1, got {growth}")
+        self._lock = threading.Lock()
+        self._lowest = float(lowest)
+        self._highest = float(highest)
+        self._growth = float(growth)
+        self._log_growth = math.log(growth)
+        num = int(math.ceil(math.log(highest / lowest) / self._log_growth))
+        # counts[0] is underflow, counts[-1] overflow.
+        self._counts = [0] * (num + 2)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def _bucket_index(self, value: float) -> int:
+        if value < self._lowest:
+            return 0
+        index = int(math.log(value / self._lowest) / self._log_growth) + 1
+        return min(index, len(self._counts) - 1)
+
+    def _bucket_bounds(self, index: int) -> tuple[float, float]:
+        if index == 0:
+            return (min(self._min, 0.0), self._lowest)
+        lo = self._lowest * self._growth ** (index - 1)
+        if index == len(self._counts) - 1:
+            return (lo, max(self._max, lo))
+        return (lo, lo * self._growth)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("cannot observe NaN")
+        with self._lock:
+            self._counts[self._bucket_index(value)] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else math.nan
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else math.nan
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile of the observed distribution."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return math.nan
+            rank = q * self._count
+            cumulative = 0
+            for index, bucket_count in enumerate(self._counts):
+                if bucket_count == 0:
+                    continue
+                if cumulative + bucket_count >= rank:
+                    lo, hi = self._bucket_bounds(index)
+                    fraction = (
+                        (rank - cumulative) / bucket_count
+                        if bucket_count
+                        else 0.0
+                    )
+                    estimate = lo + fraction * (hi - lo)
+                    return min(max(estimate, self._min), self._max)
+                cumulative += bucket_count
+            return self._max
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * len(self._counts)
+            self._count = 0
+            self._sum = 0.0
+            self._min = math.inf
+            self._max = -math.inf
+
+    def snapshot_value(self) -> dict:
+        with self._lock:
+            count = self._count
+        summary = {
+            "count": count,
+            "sum": self._sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+        for q in DEFAULT_QUANTILES:
+            summary[f"p{int(q * 100)}"] = self.quantile(q)
+        return summary
+
+
+_KIND_FACTORIES = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "histogram": Histogram,
+}
+
+
+class MetricFamily:
+    """A named metric with label dimensions; each distinct label-value
+    combination is an independent child series created lazily by
+    :meth:`labels`."""
+
+    def __init__(
+        self, name: str, kind: str, help: str, label_names: tuple[str, ...]
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = label_names
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], object] = {}
+
+    def labels(self, **labels):
+        """The child series for this exact label assignment."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = _KIND_FACTORIES[self.kind]()
+                self._children[key] = child
+            return child
+
+    def series(self) -> list[tuple[dict, object]]:
+        """All live ``(labels, metric)`` pairs, label-sorted."""
+        with self._lock:
+            items = sorted(self._children.items())
+        return [
+            (dict(zip(self.label_names, key)), child)
+            for key, child in items
+        ]
+
+    def reset(self) -> None:
+        with self._lock:
+            children = list(self._children.values())
+        for child in children:
+            child.reset()
+
+
+class MetricsRegistry:
+    """A named collection of metrics with snapshot/exposition support.
+
+    Registration is idempotent: asking for an existing name with the
+    same kind and label set returns the already-registered object
+    (module reloads and repeated imports are safe); a conflicting
+    redefinition raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, tuple[str, str, tuple[str, ...], object]] = {}
+
+    # -- registration ---------------------------------------------------
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: tuple[str, ...],
+    ):
+        labels = tuple(labels)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                ex_kind, _, ex_labels, ex_obj = existing
+                if ex_kind != kind or ex_labels != labels:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{ex_kind} with labels {ex_labels}"
+                    )
+                return ex_obj
+            if labels:
+                obj: object = MetricFamily(name, kind, help, labels)
+            else:
+                obj = _KIND_FACTORIES[kind]()
+            self._metrics[name] = (kind, help, labels, obj)
+            return obj
+
+    def counter(self, name: str, help: str = "", labels=()) -> Counter:
+        return self._register(name, "counter", help, labels)
+
+    def gauge(self, name: str, help: str = "", labels=()) -> Gauge:
+        return self._register(name, "gauge", help, labels)
+
+    def histogram(self, name: str, help: str = "", labels=()) -> Histogram:
+        return self._register(name, "histogram", help, labels)
+
+    def get(self, name: str):
+        """The registered metric (or family) called ``name``."""
+        with self._lock:
+            entry = self._metrics.get(name)
+        if entry is None:
+            raise KeyError(f"no metric named {name!r}")
+        return entry[3]
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    # -- lifecycle ------------------------------------------------------
+    def reset(self) -> None:
+        """Zero every metric while keeping all registrations live."""
+        with self._lock:
+            entries = list(self._metrics.values())
+        for _, _, _, obj in entries:
+            obj.reset()
+
+    # -- export ---------------------------------------------------------
+    def _iter_series(self):
+        with self._lock:
+            entries = sorted(self._metrics.items())
+        for name, (kind, help, labels, obj) in entries:
+            if labels:
+                series = obj.series()
+            else:
+                series = [({}, obj)]
+            yield name, kind, help, labels, series
+
+    def snapshot(self) -> dict:
+        """A JSON-friendly dump of every metric and series."""
+        result: dict = {}
+        for name, kind, help, labels, series in self._iter_series():
+            result[name] = {
+                "type": kind,
+                "help": help,
+                "label_names": list(labels),
+                "series": [
+                    {"labels": lbl, "value": metric.snapshot_value()}
+                    for lbl, metric in series
+                ],
+            }
+        return result
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (histograms as summaries)."""
+        lines: list[str] = []
+        for name, kind, help, _, series in self._iter_series():
+            exposition_type = "summary" if kind == "histogram" else kind
+            if help:
+                lines.append(f"# HELP {name} {help}")
+            lines.append(f"# TYPE {name} {exposition_type}")
+            for labels, metric in series:
+                if kind == "histogram":
+                    for q in DEFAULT_QUANTILES:
+                        quantile_labels = dict(labels)
+                        quantile_labels["quantile"] = str(q)
+                        lines.append(
+                            f"{name}{_format_labels(quantile_labels)} "
+                            f"{_format_number(metric.quantile(q))}"
+                        )
+                    lines.append(
+                        f"{name}_sum{_format_labels(labels)} "
+                        f"{_format_number(metric.sum)}"
+                    )
+                    lines.append(
+                        f"{name}_count{_format_labels(labels)} "
+                        f"{metric.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{name}{_format_labels(labels)} "
+                        f"{_format_number(metric.value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+def _format_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        value = (
+            str(labels[key])
+            .replace("\\", r"\\")
+            .replace('"', r"\"")
+            .replace("\n", r"\n")
+        )
+        parts.append(f'{key}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _GLOBAL_REGISTRY

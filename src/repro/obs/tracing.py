@@ -1,0 +1,294 @@
+"""Nestable tracing spans with Chrome ``trace_event`` export.
+
+A :class:`Span` is a context manager timing one region of work with the
+monotonic clock.  Spans nest: entering a span while another is open on
+the same thread links the child to its parent, so exports reconstruct
+the call tree (e.g. a ``query`` span with ``query.search`` /
+``query.selection`` / ``query.aggregation`` children).
+
+Two costs are deliberately separated:
+
+* **timing** always happens — a span's :attr:`~Span.duration` is valid
+  whether or not observability is on, which is how
+  :class:`~repro.core.query.QueryTiming` stays a reliable public API;
+* **recording** (buffering a :class:`SpanRecord`, assigning ids,
+  maintaining the per-thread parent stack) only happens while the
+  global switch (:func:`repro.obs.enable`) is on, so a disabled
+  process pays two ``perf_counter`` calls and one small allocation per
+  span — nothing else.
+
+Finished spans are exported as plain JSON or as the Chrome
+``trace_event`` format (load the file at ``chrome://tracing`` or
+https://ui.perfetto.dev).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.obs._state import STATE
+
+
+@dataclass
+class SpanRecord:
+    """One finished span.
+
+    ``start`` is seconds since the tracer epoch (the tracer's creation
+    or last :meth:`Tracer.clear`), measured on the monotonic clock.
+    Treat instances as read-only snapshots; the class stays unfrozen
+    because frozen-dataclass construction is measurably slower on the
+    recording hot path.
+    """
+
+    name: str
+    category: str
+    start: float
+    duration: float
+    span_id: int
+    parent_id: int | None
+    thread_id: int
+    args: dict = field(default_factory=dict)
+
+
+class Span:
+    """A timed region; use as ``with tracer.span("name") as sp:``.
+
+    After exit, :attr:`duration` holds the elapsed monotonic seconds.
+    Exceptions are never swallowed: the span closes (and records, when
+    enabled) and the exception propagates.
+    """
+
+    __slots__ = (
+        "name",
+        "category",
+        "args",
+        "start",
+        "duration",
+        "span_id",
+        "parent_id",
+        "thread_id",
+        "_tracer",
+        "_recording",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, category: str, args: dict):
+        self.name = name
+        self.category = category
+        self.args = args
+        self.start = 0.0
+        self.duration: float | None = None
+        self.span_id: int | None = None
+        self.parent_id: int | None = None
+        self.thread_id = 0
+        self._tracer = tracer
+        self._recording = False
+
+    def __enter__(self) -> "Span":
+        if STATE.enabled:
+            self._recording = True
+            self._tracer._enter(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self.start
+        if self._recording:
+            # Inlined Tracer exit path: finished Span objects go straight
+            # into the buffer (they are single-use), and SpanRecords are
+            # materialized lazily at export time — this keeps the
+            # enabled-mode cost per span to a stack pop and a list append.
+            self._recording = False
+            tracer = self._tracer
+            stack = getattr(tracer._local, "stack", None)
+            # The closing span is normally the stack top; guard against
+            # out-of-order exits (e.g. clear() or enable() mid-span).
+            if stack:
+                if stack[-1] is self:
+                    stack.pop()
+                elif self in stack:
+                    while stack[-1] is not self:
+                        stack.pop()
+                    stack.pop()
+            records = tracer._records
+            if len(records) < tracer._max_spans:
+                records.append(self)
+            else:
+                tracer._dropped += 1
+        return False
+
+
+class Tracer:
+    """Collects finished spans into a bounded in-memory buffer.
+
+    Parameters
+    ----------
+    max_spans:
+        Buffer capacity; further spans are counted in :attr:`dropped`
+        instead of growing memory without bound.
+    """
+
+    def __init__(self, max_spans: int = 100_000) -> None:
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
+        self._max_spans = int(max_spans)
+        self._lock = threading.Lock()
+        self._records: list[Span] = []
+        self._dropped = 0
+        self._epoch = time.perf_counter()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    # -- span lifecycle -------------------------------------------------
+    def span(self, name: str, *, category: str = "repro", **args) -> Span:
+        """A new (not yet entered) span bound to this tracer."""
+        return Span(self, name, category, args)
+
+    def _stack(self) -> list:
+        try:
+            return self._local.stack
+        except AttributeError:
+            stack = self._local.stack = []
+            return stack
+
+    def _enter(self, span: Span) -> None:
+        stack = self._stack()
+        span.span_id = next(self._ids)
+        span.parent_id = stack[-1].span_id if stack else None
+        span.thread_id = threading.get_ident()
+        stack.append(span)
+
+    # -- inspection -----------------------------------------------------
+    def spans(self) -> list[SpanRecord]:
+        """All recorded spans, in completion order."""
+        with self._lock:
+            finished = list(self._records)
+            epoch = self._epoch
+        return [
+            SpanRecord(
+                span.name,
+                span.category,
+                span.start - epoch,
+                span.duration or 0.0,
+                span.span_id or 0,
+                span.parent_id,
+                span.thread_id,
+                span.args,
+            )
+            for span in finished
+        ]
+
+    def find(self, name: str) -> list[SpanRecord]:
+        """Recorded spans with this exact name."""
+        return [record for record in self.spans() if record.name == name]
+
+    def children_of(self, span_id: int) -> list[SpanRecord]:
+        """Direct children of the given span, in completion order."""
+        return [
+            record
+            for record in self.spans()
+            if record.parent_id == span_id
+        ]
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped
+
+    def clear(self) -> None:
+        """Drop all records and restart the epoch."""
+        with self._lock:
+            self._records = []
+            self._dropped = 0
+            self._epoch = time.perf_counter()
+            self._local = threading.local()
+
+    # -- export ---------------------------------------------------------
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Plain-JSON dump of the recorded spans."""
+        payload = [
+            {
+                "name": record.name,
+                "category": record.category,
+                "start": record.start,
+                "duration": record.duration,
+                "span_id": record.span_id,
+                "parent_id": record.parent_id,
+                "thread_id": record.thread_id,
+                "args": record.args,
+            }
+            for record in self.spans()
+        ]
+        return json.dumps(payload, indent=indent)
+
+    def to_chrome_trace(self) -> dict:
+        """The spans as a Chrome ``trace_event`` document.
+
+        Complete (``"ph": "X"``) events with microsecond timestamps;
+        span/parent ids ride along in ``args`` so the document
+        round-trips via :meth:`from_chrome_trace`.
+        """
+        pid = os.getpid()
+        events = []
+        for record in self.spans():
+            args = dict(record.args)
+            args["span_id"] = record.span_id
+            if record.parent_id is not None:
+                args["parent_id"] = record.parent_id
+            events.append(
+                {
+                    "name": record.name,
+                    "cat": record.category or "repro",
+                    "ph": "X",
+                    "ts": record.start * 1e6,
+                    "dur": record.duration * 1e6,
+                    "pid": pid,
+                    "tid": record.thread_id,
+                    "args": args,
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path) -> int:
+        """Write the Chrome trace document to ``path``; returns the
+        number of exported spans."""
+        document = self.to_chrome_trace()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        return len(document["traceEvents"])
+
+    @staticmethod
+    def from_chrome_trace(document: dict) -> list[SpanRecord]:
+        """Reconstruct span records from a Chrome trace document
+        produced by :meth:`to_chrome_trace`."""
+        records = []
+        for event in document.get("traceEvents", ()):
+            if event.get("ph") != "X":
+                continue
+            args = dict(event.get("args", {}))
+            span_id = int(args.pop("span_id", 0))
+            parent_raw = args.pop("parent_id", None)
+            records.append(
+                SpanRecord(
+                    name=event["name"],
+                    category=event.get("cat", ""),
+                    start=float(event["ts"]) / 1e6,
+                    duration=float(event["dur"]) / 1e6,
+                    span_id=span_id,
+                    parent_id=None if parent_raw is None else int(parent_raw),
+                    thread_id=int(event.get("tid", 0)),
+                    args=args,
+                )
+            )
+        return records
+
+
+_GLOBAL_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer."""
+    return _GLOBAL_TRACER

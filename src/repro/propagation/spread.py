@@ -18,6 +18,7 @@ from typing import Protocol, runtime_checkable
 import numpy as np
 
 from repro.graph.topic_graph import TopicGraph
+from repro.obs import instruments as _obs
 from repro.propagation.cascade import simulate_cascade
 from repro.rng import resolve_rng
 
@@ -102,6 +103,7 @@ class MonteCarloSpread:
                 self._rng,
             )
             counts[i] = active.sum()
+        _obs.record_simulations(self._num_simulations)
         std = float(counts.std(ddof=1)) if counts.size > 1 else 0.0
         return SpreadEstimate(
             mean=float(counts.mean()),
@@ -157,6 +159,7 @@ def estimate_spread_sequential(
         if mean == 0.0:
             break  # empty seed set or isolated seeds: variance is 0
     arr = np.asarray(counts)
+    _obs.record_simulations(arr.size)
     return SpreadEstimate(
         mean=float(arr.mean()),
         std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,

@@ -137,6 +137,105 @@ class TestBuildAndQuery:
         assert code == 0
 
 
+class TestObservabilityCommands:
+    @pytest.fixture(autouse=True)
+    def _restore_obs_state(self):
+        """--profile / obs enable the global switch; restore defaults."""
+        from repro import obs
+
+        yield
+        obs.disable()
+        obs.get_registry().reset()
+        obs.get_tracer().clear()
+
+    def test_query_profile_writes_breakdown_and_trace(
+        self, data_dir, index_path, tmp_path, capsys
+    ):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "query",
+                "--data",
+                str(data_dir),
+                "--index",
+                str(index_path),
+                "--item",
+                "3",
+                "--k",
+                "3",
+                "--profile",
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-phase breakdown:" in out
+        assert "search" in out and "aggregation" in out
+        assert trace_path.exists()
+        document = json.loads(trace_path.read_text())
+        names = {event["name"] for event in document["traceEvents"]}
+        assert "query" in names
+        assert "query.search" in names
+
+    def test_obs_dumps_json_snapshot(
+        self, data_dir, index_path, tmp_path, capsys
+    ):
+        import json
+
+        out_path = tmp_path / "snap.json"
+        code = main(
+            [
+                "obs",
+                "--data",
+                str(data_dir),
+                "--index",
+                str(index_path),
+                "--queries",
+                "6",
+                "--k",
+                "3",
+                "--out",
+                str(out_path),
+                "--reset",
+            ]
+        )
+        assert code == 0
+        snapshot = json.loads(out_path.read_text())
+        totals = sum(
+            entry["value"]
+            for entry in snapshot["repro_queries_total"]["series"]
+        )
+        assert totals == 6.0
+        assert (
+            snapshot["repro_query_batches_total"]["series"][0]["value"]
+            == 1.0
+        )
+
+    def test_obs_prometheus_to_stdout(self, data_dir, index_path, capsys):
+        code = main(
+            [
+                "obs",
+                "--data",
+                str(data_dir),
+                "--index",
+                str(index_path),
+                "--queries",
+                "2",
+                "--k",
+                "2",
+                "--format",
+                "prometheus",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_queries_total counter" in out
+        assert "repro_query_phase_seconds" in out
+
+
 class TestExperimentCommand:
     def test_runs_fig4(self, capsys):
         code = main(["experiment", "fig4", "--scale", "test"])
