@@ -9,8 +9,14 @@ Usage (after ``pip install -e .``)::
     repro-inflex query    --data data/ --index data/index.npz \
                           --item 3 --k 10 --profile
     repro-inflex obs      --data data/ --index data/index.npz --queries 64
+    repro-inflex spread   --data data/ --item 3 --seeds 1,2,3 \
+                          --sim-workers auto
     repro-inflex experiment fig6 --scale test
     repro-inflex autosize --data data/
+
+``build``, ``experiment`` and ``spread`` accept ``--sim-workers`` (and
+``build`` additionally ``--workers``) to parallelize Monte-Carlo spread
+estimation; see ``docs/PARALLELISM.md``.
 
 ``query --profile`` / ``experiment --profile`` enable observability,
 print a per-phase breakdown, and write a Chrome-loadable trace file;
@@ -91,7 +97,11 @@ def _cmd_build(args: argparse.Namespace) -> int:
         num_index_points=args.index_points,
         num_dirichlet_samples=args.dirichlet_samples,
         seed_list_length=args.seed_list_length,
+        im_engine=args.engine,
         ris_num_sets=args.ris_sets,
+        num_simulations=args.num_simulations,
+        workers=args.workers,
+        simulation_workers=args.sim_workers,
         seed=args.seed,
     )
     start = time.perf_counter()
@@ -207,6 +217,36 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_spread(args: argparse.Namespace) -> int:
+    from repro.propagation import estimate_spread
+
+    data_dir = Path(args.data)
+    graph = load_graph(data_dir / "graph.npz")
+    if args.gamma is not None:
+        gamma = _parse_gamma(args.gamma)
+    else:
+        catalog = np.load(data_dir / "catalog.npy")
+        gamma = catalog[args.item]
+    seeds = [int(x) for x in args.seeds.split(",")]
+    start = time.perf_counter()
+    estimate = estimate_spread(
+        graph,
+        gamma,
+        seeds,
+        num_simulations=args.num_simulations,
+        seed=args.seed,
+        workers=args.sim_workers,
+    )
+    elapsed = time.perf_counter() - start
+    print(f"seeds: {seeds}")
+    print(
+        f"spread: {estimate.mean:.3f} +/- {estimate.standard_error:.3f} "
+        f"(std {estimate.std:.3f}, {estimate.num_simulations} simulations)"
+    )
+    print(f"estimated in {elapsed * 1000:.1f} ms")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro import experiments
 
@@ -228,6 +268,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     }
     obs_module = _start_profiling() if args.profile else None
     context = experiments.get_context(args.scale)
+    if args.sim_workers is not None:
+        from repro.workers import resolve_workers
+
+        context.sim_workers = resolve_workers(
+            args.sim_workers, name="--sim-workers"
+        )
     result = modules[args.name].run(context)
     print(result.render())
     if obs_module is not None:
@@ -325,9 +371,57 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--index-points", type=int, default=64)
     build.add_argument("--dirichlet-samples", type=int, default=8000)
     build.add_argument("--seed-list-length", type=int, default=30)
+    build.add_argument(
+        "--engine",
+        default="ris",
+        choices=("ris", "celf++", "celf", "greedy", "celf++-mc", "greedy-mc"),
+        help="seed-extraction engine (the *-mc engines use the "
+        "parallel Monte-Carlo spread oracle)",
+    )
     build.add_argument("--ris-sets", type=int, default=6000)
+    build.add_argument(
+        "--num-simulations",
+        type=int,
+        default=200,
+        help="Monte-Carlo cascades per spread evaluation (*-mc engines)",
+    )
+    build.add_argument(
+        "--workers",
+        default="1",
+        help="index-point pool width: a positive int or 'auto'",
+    )
+    build.add_argument(
+        "--sim-workers",
+        default=None,
+        help="simulation pool width: int, 'auto', or unset to follow "
+        "REPRO_SIM_WORKERS",
+    )
     build.add_argument("--seed", type=int, default=0)
     build.set_defaults(func=_cmd_build)
+
+    spread = sub.add_parser(
+        "spread", help="Monte-Carlo spread estimate of a seed set"
+    )
+    spread.add_argument("--data", required=True, help="dataset directory")
+    group = spread.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--gamma", help="comma-separated topic mix (normalized)"
+    )
+    group.add_argument(
+        "--item", type=int, help="catalog item id to use as the item"
+    )
+    spread.add_argument(
+        "--seeds", required=True, help="comma-separated seed node ids"
+    )
+    spread.add_argument("--num-simulations", type=int, default=500)
+    spread.add_argument(
+        "--sim-workers",
+        default=None,
+        help="simulation pool width: int, 'auto', or unset to follow "
+        "REPRO_SIM_WORKERS",
+    )
+    spread.add_argument("--seed", type=int, default=0)
+    spread.set_defaults(func=_cmd_spread)
 
     query = sub.add_parser("query", help="answer a TIM query")
     query.add_argument("--data", required=True, help="dataset directory")
@@ -373,6 +467,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out",
         default="trace.json",
         help="Chrome trace output path used with --profile",
+    )
+    exp.add_argument(
+        "--sim-workers",
+        default=None,
+        help="simulation pool width for spread estimation: int, "
+        "'auto', or unset to follow REPRO_SIM_WORKERS",
     )
     exp.set_defaults(func=_cmd_experiment)
 

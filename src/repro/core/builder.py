@@ -153,6 +153,8 @@ class ResumableBuilder:
                     engine=self._config.im_engine,
                     ris_num_sets=self._config.ris_num_sets,
                     num_snapshots=self._config.num_snapshots,
+                    num_simulations=self._config.num_simulations,
+                    sim_workers=self._config.effective_simulation_workers,
                     seed=item_seeds[i],
                 )
             payload = {

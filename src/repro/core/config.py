@@ -10,8 +10,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.workers import (
+    default_sim_workers,
+    resolve_worker_allocation,
+    resolve_workers,
+)
+
 #: Influence-maximization engines available for seed-list precomputation.
-IM_ENGINES = ("ris", "celf++", "celf", "greedy")
+IM_ENGINES = ("ris", "celf++", "celf", "greedy", "celf++-mc", "greedy-mc")
 
 #: Rank-aggregation methods available at query time.
 AGGREGATORS = ("copeland", "borda", "mc4")
@@ -32,12 +38,32 @@ class InflexConfig:
         ``l`` — length of each precomputed seed list (paper: 50).
     im_engine:
         Seed-extraction algorithm: ``"ris"`` (default; fast sampling
-        engine), or the paper's ``"celf++"`` (and ``"celf"``/
-        ``"greedy"`` for reference) driven by live-edge snapshots.
+        engine), the paper's ``"celf++"`` (and ``"celf"``/``"greedy"``
+        for reference) driven by live-edge snapshots, or
+        ``"celf++-mc"``/``"greedy-mc"`` driven by fresh-randomness
+        Monte-Carlo simulation (the paper's original formulation; the
+        engines that benefit from ``simulation_workers``).
     ris_num_sets:
         RR sets per index point for the RIS engine.
     num_snapshots:
         Live-edge snapshots for the CELF-family engines.
+    num_simulations:
+        Monte-Carlo cascades per spread evaluation for the ``*-mc``
+        engines.
+
+    Parallelism
+    -----------
+    workers:
+        Index-point pool width for seed-list precomputation (a positive
+        int or ``"auto"`` for the CPU count).  Index points are
+        independent; results are bit-identical to a sequential build.
+    simulation_workers:
+        Simulation pool width used *within* one spread estimate by the
+        ``*-mc`` engines (int, ``"auto"``, or ``None`` to follow the
+        ``REPRO_SIM_WORKERS`` environment default).  Also bit-identical
+        for any width.  When both pools are enabled the allocation is
+        resolved so their product stays within the CPU budget — see
+        :meth:`worker_allocation` and ``docs/PARALLELISM.md``.
     leaf_size / max_branch / branching / gmeans_alpha:
         bb-tree shape controls (see :class:`repro.bbtree.BBTree`).
 
@@ -80,6 +106,9 @@ class InflexConfig:
     im_engine: str = "ris"
     ris_num_sets: int = 3000
     num_snapshots: int = 100
+    num_simulations: int = 200
+    workers: int | str = 1
+    simulation_workers: int | str | None = None
     leaf_size: int = 16
     max_branch: int = 8
     branching: object = "gmeans"
@@ -135,6 +164,45 @@ class InflexConfig:
                 f"selection_threshold must be positive, got "
                 f"{self.selection_threshold}"
             )
+        if self.num_simulations < 1:
+            raise ValueError(
+                f"num_simulations must be >= 1, got {self.num_simulations}"
+            )
+        # Worker knobs are validated here, once, at parse time — the
+        # single place every entry point (CLI, env, library) funnels
+        # through — so a bad value fails fast instead of mid-build.
+        resolve_workers(self.workers, name="workers")
+        if self.simulation_workers is not None:
+            resolve_workers(
+                self.simulation_workers, name="simulation_workers"
+            )
+
+    @property
+    def effective_workers(self) -> int:
+        """``workers`` resolved to a concrete count (``"auto"`` = CPUs)."""
+        return resolve_workers(self.workers, name="workers")
+
+    @property
+    def effective_simulation_workers(self) -> int:
+        """``simulation_workers`` resolved to a concrete count.
+
+        ``None`` follows the ``REPRO_SIM_WORKERS`` environment default.
+        """
+        if self.simulation_workers is None:
+            return default_sim_workers()
+        return resolve_workers(
+            self.simulation_workers, name="simulation_workers"
+        )
+
+    def worker_allocation(self) -> tuple[int, int]:
+        """The composed ``(index_workers, sim_workers)`` pool widths.
+
+        Clamped so the two levels multiply to at most the CPU count
+        when both are enabled (the outer level wins the budget).
+        """
+        return resolve_worker_allocation(
+            self.effective_workers, self.effective_simulation_workers
+        )
 
 
 #: Paper-faithful parameter set (expensive: hours of precomputation even

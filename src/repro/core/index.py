@@ -116,7 +116,7 @@ class InflexIndex:
         config: InflexConfig | None = None,
         *,
         progress=None,
-        workers: int = 1,
+        workers=None,
     ) -> "InflexIndex":
         """Run the full offline pipeline and return a ready index.
 
@@ -134,10 +134,14 @@ class InflexIndex:
         workers:
             Process count for the seed-list precomputation (the
             dominant cost; items are independent, results are
-            bit-identical to the serial run).
+            bit-identical to the serial run).  ``None`` follows
+            ``config.workers``; the simulation pool width always comes
+            from ``config.simulation_workers``.
         """
         if config is None:
             config = InflexConfig()
+        if workers is None:
+            workers = config.effective_workers
         catalog = smooth(as_distribution_matrix(catalog_items))
         if catalog.shape[1] != graph.num_topics:
             raise ValueError(
@@ -180,8 +184,10 @@ class InflexIndex:
                 engine=config.im_engine,
                 ris_num_sets=config.ris_num_sets,
                 num_snapshots=config.num_snapshots,
+                num_simulations=config.num_simulations,
                 seeds=item_seeds,
                 workers=workers,
+                sim_workers=config.effective_simulation_workers,
                 progress=lambda done, total: report(
                     "seed-lists", done, total
                 ),
@@ -441,6 +447,8 @@ class InflexIndex:
                 engine=config.im_engine,
                 ris_num_sets=config.ris_num_sets,
                 num_snapshots=config.num_snapshots,
+                num_simulations=config.num_simulations,
+                sim_workers=config.effective_simulation_workers,
                 seed=config.seed,
             )
         return InflexIndex(

@@ -17,9 +17,11 @@ from repro.im.celfpp import celfpp_seed_selection
 from repro.im.greedy import greedy_seed_selection
 from repro.im.ris import ris_influence_maximization
 from repro.im.seed_list import SeedList
+from repro.propagation.parallel import ParallelMonteCarloSpread
 from repro.propagation.snapshots import SnapshotSpread
 from repro.rng import resolve_rng
 from repro.simplex.vectors import uniform_distribution
+from repro.workers import resolve_worker_allocation
 
 
 def offline_seed_list(
@@ -30,6 +32,8 @@ def offline_seed_list(
     engine: str = "ris",
     ris_num_sets: int = 3000,
     num_snapshots: int = 100,
+    num_simulations: int = 200,
+    sim_workers=None,
     seed=None,
 ) -> SeedList:
     """Extract a ranked seed list for one item, from scratch.
@@ -44,11 +48,16 @@ def offline_seed_list(
         Seed budget.
     engine:
         ``"ris"`` (reverse influence sampling; fast default),
-        ``"celf++"`` (the paper's choice), ``"celf"`` or ``"greedy"``;
-        the CELF-family engines run on live-edge snapshots for exact
-        greedy invariants.
-    ris_num_sets / num_snapshots:
+        ``"celf++"`` (the paper's choice), ``"celf"`` or ``"greedy"``
+        on live-edge snapshots for exact greedy invariants, or
+        ``"celf++-mc"``/``"greedy-mc"`` on fresh-randomness Monte-Carlo
+        estimation (the engines that exploit ``sim_workers``).
+    ris_num_sets / num_snapshots / num_simulations:
         Sampling budgets of the respective engines.
+    sim_workers:
+        Simulation pool width for the ``*-mc`` engines (int, ``"auto"``
+        or ``None`` for the ``REPRO_SIM_WORKERS`` default); the seed
+        lists are bit-identical for any width.
     seed:
         Randomness control.
     """
@@ -57,6 +66,17 @@ def offline_seed_list(
         return ris_influence_maximization(
             graph, gamma, k, num_sets=ris_num_sets, seed=rng
         )
+    if engine in ("celf++-mc", "greedy-mc"):
+        with ParallelMonteCarloSpread(
+            graph,
+            gamma,
+            num_simulations=num_simulations,
+            seed=rng,
+            workers=sim_workers,
+        ) as estimator:
+            if engine == "celf++-mc":
+                return celfpp_seed_selection(estimator, graph.num_nodes, k)
+            return greedy_seed_selection(estimator, graph.num_nodes, k)
     estimator = SnapshotSpread(
         graph, gamma, num_snapshots=num_snapshots, seed=rng
     )
@@ -67,8 +87,8 @@ def offline_seed_list(
     if engine == "greedy":
         return greedy_seed_selection(estimator, graph.num_nodes, k)
     raise ValueError(
-        f"unknown engine {engine!r}; expected 'ris', 'celf++', 'celf' "
-        "or 'greedy'"
+        f"unknown engine {engine!r}; expected 'ris', 'celf++', 'celf', "
+        "'greedy', 'celf++-mc' or 'greedy-mc'"
     )
 
 
@@ -85,7 +105,7 @@ def _init_worker(graph: TopicGraph) -> None:
 
 
 def _seed_list_task(args) -> SeedList:
-    gamma, k, engine, ris_num_sets, num_snapshots, seed = args
+    gamma, k, engine, ris_num_sets, num_snapshots, num_sims, sim_w, seed = args
     assert _WORKER_GRAPH is not None
     return offline_seed_list(
         _WORKER_GRAPH,
@@ -94,6 +114,8 @@ def _seed_list_task(args) -> SeedList:
         engine=engine,
         ris_num_sets=ris_num_sets,
         num_snapshots=num_snapshots,
+        num_simulations=num_sims,
+        sim_workers=sim_w,
         seed=seed,
     )
 
@@ -106,8 +128,10 @@ def offline_seed_lists_batch(
     engine: str = "ris",
     ris_num_sets: int = 3000,
     num_snapshots: int = 100,
+    num_simulations: int = 200,
     seeds=None,
-    workers: int = 1,
+    workers=1,
+    sim_workers=None,
     progress=None,
 ) -> list[SeedList]:
     """Extract one seed list per row of ``gammas``.
@@ -121,6 +145,14 @@ def offline_seed_lists_batch(
     seeds:
         Optional per-item RNG seeds (ints); derived from a fresh
         ``SeedSequence`` when omitted.
+    workers:
+        Index-point pool width (int or ``"auto"``).
+    sim_workers:
+        Within-estimate simulation pool width for the ``*-mc`` engines.
+        The two levels are composed by
+        :func:`repro.workers.resolve_worker_allocation`, which clamps
+        the inner width so ``workers * sim_workers`` stays within the
+        CPU budget instead of oversubscribing.
     progress:
         Optional callable ``progress(done, total)``.
     """
@@ -128,6 +160,7 @@ def offline_seed_lists_batch(
 
     from repro.rng import spawn_rngs
 
+    workers, sim_workers = resolve_worker_allocation(workers, sim_workers)
     gamma_rows = [np.asarray(g, dtype=np.float64) for g in gammas]
     total = len(gamma_rows)
     if seeds is None:
@@ -136,10 +169,17 @@ def offline_seed_lists_batch(
     seeds = list(seeds)
     if len(seeds) != total:
         raise ValueError(f"{len(seeds)} seeds for {total} items")
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
     tasks = [
-        (gamma, k, engine, ris_num_sets, num_snapshots, seed)
+        (
+            gamma,
+            k,
+            engine,
+            ris_num_sets,
+            num_snapshots,
+            num_simulations,
+            sim_workers,
+            seed,
+        )
         for gamma, seed in zip(gamma_rows, seeds)
     ]
     results: list[SeedList] = []
@@ -153,7 +193,9 @@ def offline_seed_lists_batch(
                     engine=engine,
                     ris_num_sets=ris_num_sets,
                     num_snapshots=num_snapshots,
-                    seed=task[5],
+                    num_simulations=num_simulations,
+                    sim_workers=sim_workers,
+                    seed=task[7],
                 )
             )
             if progress is not None:

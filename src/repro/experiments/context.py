@@ -30,6 +30,10 @@ class ExperimentContext:
     dataset: FlixsterLikeDataset
     index: InflexIndex
     workload: QueryWorkload
+    #: Simulation pool width for spread estimation (int, "auto", or
+    #: None to follow the REPRO_SIM_WORKERS environment default); the
+    #: CLI's ``experiment --sim-workers`` flag sets it.
+    sim_workers: int | str | None = None
     _ground_truth: dict[int, SeedList] = field(default_factory=dict)
     _offline_ic: SeedList | None = None
 
@@ -101,6 +105,7 @@ class ExperimentContext:
             list(seeds),
             num_simulations=self.scale.spread_simulations,
             seed=self.scale.seed * 7919 + seed_offset,
+            workers=self.sim_workers,
         )
 
     def random_seeds(self, k: int, *, seed_offset: int = 0) -> SeedList:

@@ -66,25 +66,50 @@ def celfpp_seed_selection(
     # Initial pass: compute mg1 = sigma({u}); track the best singleton
     # (cur_best) and compute mg2 against it.  ``evaluations`` counts
     # spread-oracle calls — the cost unit CELF++ exists to minimize —
-    # and is folded into the metrics registry on return.
+    # and is folded into the metrics registry on return.  Estimators
+    # exposing ``estimate_many`` (the parallel Monte-Carlo engine) get
+    # the two exhaustive sweeps as single batch dispatches; the batch
+    # consumes the oracle's call sequence in the same order as the
+    # loop, so the selected seeds are identical either way.
+    estimate_many = getattr(estimator, "estimate_many", None)
     evaluations = 0
     states: dict[int, _NodeState] = {}
     cur_best: int | None = None
     cur_best_gain = -1.0
     singleton: dict[int, float] = {}
-    for node in pool:
-        gain = estimator.estimate([node])
-        evaluations += 1
-        singleton[node] = gain
-        if gain > cur_best_gain:
-            cur_best_gain = gain
-            cur_best = node
+    if estimate_many is not None:
+        values = estimate_many([[node] for node in pool])
+        evaluations += len(pool)
+        for node, gain in zip(pool, values):
+            singleton[node] = gain
+            if gain > cur_best_gain:
+                cur_best_gain = gain
+                cur_best = node
+    else:
+        for node in pool:
+            gain = estimator.estimate([node])
+            evaluations += 1
+            singleton[node] = gain
+            if gain > cur_best_gain:
+                cur_best_gain = gain
+                cur_best = node
+    others = [node for node in pool if node != cur_best]
+    if estimate_many is not None:
+        pair_values = estimate_many(
+            [[cur_best, node] for node in others]
+        )
+        evaluations += len(others)
+        pair_of = dict(zip(others, pair_values))
+    else:
+        pair_of = {}
+        for node in others:
+            pair_of[node] = estimator.estimate([cur_best, node])
+            evaluations += 1
     for node in pool:
         if node == cur_best:
             mg2 = singleton[node]
         else:
-            mg2 = estimator.estimate([cur_best, node]) - singleton[cur_best]
-            evaluations += 1
+            mg2 = pair_of[node] - singleton[cur_best]
         states[node] = _NodeState(node, singleton[node], mg2, cur_best)
 
     heap: list[tuple[float, int]] = [

@@ -47,15 +47,28 @@ def greedy_seed_selection(
     )
     if k > len(pool):
         raise ValueError(f"k={k} exceeds candidate pool of {len(pool)}")
+    # Estimators exposing ``estimate_many`` (the parallel Monte-Carlo
+    # engine) evaluate each round's exhaustive sweep as one batch
+    # dispatch; the batch consumes the oracle's call sequence in loop
+    # order, so the selected seeds are identical either way.
+    estimate_many = getattr(estimator, "estimate_many", None)
     seeds: list[int] = []
     gains: list[float] = []
     current_spread = 0.0
     remaining = set(pool)
     for _ in range(k):
+        candidates = sorted(remaining)
+        if estimate_many is not None:
+            values = estimate_many(
+                [seeds + [node] for node in candidates]
+            )
+        else:
+            values = [
+                estimator.estimate(seeds + [node]) for node in candidates
+            ]
         best_node = -1
         best_spread = -np.inf
-        for node in sorted(remaining):
-            value = estimator.estimate(seeds + [node])
+        for node, value in zip(candidates, values):
             if value > best_spread:
                 best_spread = value
                 best_node = node

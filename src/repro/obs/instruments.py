@@ -120,6 +120,22 @@ MC_SIMULATIONS = _REGISTRY.counter(
     "repro_mc_simulations_total", "Monte-Carlo cascade simulations run"
 )
 
+# -- parallel spread engine ---------------------------------------------
+SIM_CHUNKS = _REGISTRY.counter(
+    "repro_sim_chunks_dispatched_total",
+    "Simulation chunks dispatched to the parallel spread pool",
+)
+SIM_WORKER_SIMULATIONS = _REGISTRY.counter(
+    "repro_sim_worker_simulations_total",
+    "Simulations executed per pool worker, by worker pid",
+    labels=("worker",),
+)
+SIM_POOL_EVENTS = _REGISTRY.counter(
+    "repro_sim_pool_events_total",
+    "Simulation pool lifecycle events, by event (start/shutdown)",
+    labels=("event",),
+)
+
 
 # ----------------------------------------------------------------------
 # Recording helpers (each is a no-op while observability is disabled)
@@ -249,6 +265,35 @@ def record_simulations(count: int) -> None:
     if not STATE.enabled or count <= 0:
         return
     MC_SIMULATIONS.inc(count)
+
+
+def record_sim_chunks(count: int) -> None:
+    """Add ``count`` dispatched chunks to the parallel-engine total."""
+    if not STATE.enabled or count <= 0:
+        return
+    SIM_CHUNKS.inc(count)
+
+
+def record_worker_simulations(worker: int, count: int) -> None:
+    """Attribute ``count`` simulations to one pool worker (by pid)."""
+    if not STATE.enabled or count <= 0:
+        return
+    SIM_WORKER_SIMULATIONS.labels(worker=str(worker)).inc(count)
+
+
+@contextlib.contextmanager
+def sim_pool_span(event: str, workers: int):
+    """Span + event counter around pool startup/teardown.
+
+    ``event`` is ``"start"`` or ``"shutdown"``; the span carries the
+    pool width so traces show how wide each pool came up.
+    """
+    with get_tracer().span(
+        f"simpool.{event}", category="simpool", workers=workers
+    ) as span:
+        yield span
+    if STATE.enabled:
+        SIM_POOL_EVENTS.labels(event=event).inc()
 
 
 @contextlib.contextmanager

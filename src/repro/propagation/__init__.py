@@ -14,6 +14,11 @@ from repro.propagation.spread import (
     estimate_spread,
     estimate_spread_sequential,
 )
+from repro.propagation.parallel import (
+    ParallelMonteCarloSpread,
+    active_payload_count,
+    shutdown_pools,
+)
 from repro.propagation.snapshots import SnapshotSpread
 from repro.propagation.bounds import one_hop_lower_bound, union_upper_bound
 from repro.propagation.exact import (
@@ -48,6 +53,9 @@ __all__ = [
     "simulate_item_cascade",
     "simulate_item_cascade_trace",
     "MonteCarloSpread",
+    "ParallelMonteCarloSpread",
+    "active_payload_count",
+    "shutdown_pools",
     "SpreadEstimate",
     "SpreadEstimator",
     "estimate_spread",

@@ -1,0 +1,494 @@
+"""Process-parallel Monte-Carlo spread estimation.
+
+Monte-Carlo cascades are embarrassingly parallel — each simulation is an
+independent draw — yet they dominate the runtime of every CELF-style
+marginal-gain evaluation and every spread-quality experiment.  This
+module turns ``num_simulations`` into chunks dispatched over a
+persistent process pool while keeping two hard guarantees:
+
+**Determinism.**  Every simulation owns a private RNG stream derived
+from the estimator's root :class:`~numpy.random.SeedSequence`: the
+``i``-th simulation of the ``t``-th ``estimate`` call uses the spawn key
+``root_key + (t, i)``.  Chunk boundaries and worker counts therefore
+never touch the random streams — ``ParallelMonteCarloSpread`` returns
+**bit-identical** estimates for a given ``(seed, num_simulations)``
+whether it runs inline, on 2 workers, or on 16.
+
+**One graph serialization per pool.**  The CSR arrays (``indptr``, arc
+heads, per-arc probabilities) are published once per estimator through
+``multiprocessing.shared_memory`` (workers attach by name and cache the
+attachment), falling back to plain pickling when shared memory is
+unavailable.  Per-task payloads are then just a few names, a seed-set
+array and a simulation range.
+
+The worker pool itself is process-wide, keyed by worker count, created
+lazily on first use and torn down atexit (or explicitly via
+:func:`shutdown_pools`).  Estimators are context managers; closing one
+unlinks its shared-memory segments.  See ``docs/PARALLELISM.md`` for the
+lifetime rules and for how this pool composes with the index-point pool
+of :mod:`repro.core.offline`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import weakref
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.graph.topic_graph import TopicGraph
+from repro.obs import instruments as _obs
+from repro.propagation.cascade import simulate_cascade
+from repro.propagation.spread import SpreadEstimate
+from repro.rng import as_seed_sequence
+from repro.workers import default_sim_workers, resolve_workers
+
+# ----------------------------------------------------------------------
+# Shared-memory graph payloads
+# ----------------------------------------------------------------------
+
+#: Parent-side counter making payload tokens unique within a process.
+_TOKEN_COUNTER = itertools.count()
+
+#: Tokens of payloads whose shared-memory segments are still linked.
+#: Tests assert this drains to empty — a leaked segment is a bug.
+_LIVE_PAYLOADS: dict[str, "_GraphPayload"] = {}
+
+#: Worker-side cache of attached payloads, capped so a long-lived pool
+#: serving many estimators does not accumulate attachments forever.
+_WORKER_CACHE: OrderedDict = OrderedDict()
+_WORKER_CACHE_MAX = 8
+
+
+class _GraphPayload:
+    """One estimator's CSR arrays, published for worker processes.
+
+    ``spec`` is what travels in every task: for shared memory it is
+    ``("shm", token, [(name, dtype, shape), ...])`` — a few strings —
+    and for the pickle fallback it is the arrays themselves.
+    """
+
+    def __init__(self, arrays: tuple[np.ndarray, ...]) -> None:
+        self.token = f"repro-sim-{os.getpid()}-{next(_TOKEN_COUNTER)}"
+        self._segments = []
+        try:
+            from multiprocessing import shared_memory
+
+            entries = []
+            for array in arrays:
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(1, array.nbytes)
+                )
+                view = np.ndarray(
+                    array.shape, dtype=array.dtype, buffer=segment.buf
+                )
+                view[...] = array
+                entries.append(
+                    (segment.name, array.dtype.str, array.shape)
+                )
+                self._segments.append(segment)
+            self.spec = ("shm", self.token, entries)
+        except (ImportError, OSError):
+            # No usable shared memory (exotic platform or a full/absent
+            # /dev/shm): ship the arrays by pickle.  Workers still cache
+            # them by token, so the cost is once per task, not per chunk
+            # retry.
+            self._close_segments(unlink=True)
+            self._segments = []
+            self.spec = ("pickle", self.token, tuple(arrays))
+        _LIVE_PAYLOADS[self.token] = self
+
+    def _close_segments(self, *, unlink: bool) -> None:
+        for segment in self._segments:
+            try:
+                segment.close()
+                if unlink:
+                    segment.unlink()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+
+    def release(self) -> None:
+        """Unlink the shared segments and drop leak-tracking state."""
+        self._close_segments(unlink=True)
+        self._segments = []
+        _LIVE_PAYLOADS.pop(self.token, None)
+
+
+def active_payload_count() -> int:
+    """Number of graph payloads whose segments are still linked.
+
+    Exposed for the leak assertions of the differential test suite; a
+    healthy process returns to 0 once every estimator is closed.
+    """
+    return len(_LIVE_PAYLOADS)
+
+
+def _payload_arrays(spec) -> tuple[np.ndarray, ...]:
+    """Resolve a payload spec into arrays, caching attachments.
+
+    Runs in worker processes (and inline for the ``workers=1`` path,
+    where the parent's own cache is hit).  Shared-memory attachments are
+    kept referenced by the cache entry so the mapping outlives the call.
+    """
+    kind, token, detail = spec
+    cached = _WORKER_CACHE.get(token)
+    if cached is not None:
+        _WORKER_CACHE.move_to_end(token)
+        return cached[0]
+    if kind == "shm":
+        from multiprocessing import shared_memory
+
+        arrays = []
+        segments = []
+        for name, dtype, shape in detail:
+            segment = shared_memory.SharedMemory(name=name)
+            segments.append(segment)
+            arrays.append(
+                np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+            )
+        entry = (tuple(arrays), tuple(segments))
+    else:
+        entry = (tuple(detail), ())
+    _WORKER_CACHE[token] = entry
+    while len(_WORKER_CACHE) > _WORKER_CACHE_MAX:
+        _, (_, old_segments) = _WORKER_CACHE.popitem(last=False)
+        for segment in old_segments:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+    return entry[0]
+
+
+# ----------------------------------------------------------------------
+# Simulation kernels (shared by the inline path and the workers)
+# ----------------------------------------------------------------------
+
+
+def _simulate_range(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    probs: np.ndarray,
+    seeds: np.ndarray,
+    entropy,
+    call_key: tuple[int, ...],
+    lo: int,
+    hi: int,
+) -> np.ndarray:
+    """Cascade sizes of simulations ``lo..hi-1`` of one estimate call.
+
+    Each simulation rebuilds its own ``SeedSequence`` from the root
+    entropy and the spawn key ``call_key + (i,)`` — the construction
+    that makes results independent of chunking.
+    """
+    counts = np.empty(hi - lo, dtype=np.float64)
+    for i in range(lo, hi):
+        rng = np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=entropy, spawn_key=call_key + (i,)
+            )
+        )
+        active = simulate_cascade(indptr, indices, probs, seeds, rng)
+        counts[i - lo] = active.sum()
+    return counts
+
+
+def _simulate_chunk(task) -> tuple[int, int, int, np.ndarray]:
+    """Worker entry point: run one chunk, tagged with the worker pid."""
+    spec, entropy, call_key, seeds, lo, hi = task
+    indptr, indices, probs = _payload_arrays(spec)
+    counts = _simulate_range(
+        indptr, indices, probs, seeds, entropy, call_key, lo, hi
+    )
+    return os.getpid(), lo, hi, counts
+
+
+# ----------------------------------------------------------------------
+# The process-wide worker pools
+# ----------------------------------------------------------------------
+
+_EXECUTORS: dict[int, ProcessPoolExecutor] = {}
+_ATEXIT_REGISTERED = False
+
+
+def _get_executor(workers: int) -> ProcessPoolExecutor:
+    """The lazily-created process pool for ``workers`` processes.
+
+    Pools are keyed by worker count and reused for the life of the
+    process (every estimator with the same width shares one), so pool
+    startup is paid once, not per estimate.
+    """
+    global _ATEXIT_REGISTERED
+    executor = _EXECUTORS.get(workers)
+    if executor is None:
+        with _obs.sim_pool_span("start", workers):
+            executor = ProcessPoolExecutor(max_workers=workers)
+        _EXECUTORS[workers] = executor
+        if not _ATEXIT_REGISTERED:
+            atexit.register(shutdown_pools)
+            _ATEXIT_REGISTERED = True
+    return executor
+
+
+def shutdown_pools() -> None:
+    """Tear down every simulation pool and unlink leftover payloads.
+
+    Registered atexit; safe to call explicitly (tests do) — the next
+    estimate simply recreates its pool.
+    """
+    for workers, executor in list(_EXECUTORS.items()):
+        with _obs.sim_pool_span("shutdown", workers):
+            executor.shutdown(wait=True, cancel_futures=True)
+        del _EXECUTORS[workers]
+    for payload in list(_LIVE_PAYLOADS.values()):
+        payload.release()
+
+
+def pool_widths() -> tuple[int, ...]:
+    """Worker counts of the currently live pools (for tests/debugging)."""
+    return tuple(sorted(_EXECUTORS))
+
+
+# ----------------------------------------------------------------------
+# The estimator
+# ----------------------------------------------------------------------
+
+
+class ParallelMonteCarloSpread:
+    """Drop-in :class:`~repro.propagation.spread.SpreadEstimator` that
+    chunks Monte-Carlo simulations over a persistent process pool.
+
+    Parameters
+    ----------
+    graph / gamma:
+        The topic graph and the item distribution (Eq. 1 instantiates
+        the per-arc probabilities once, up front).
+    num_simulations:
+        Cascades per ``estimate`` call.
+    seed:
+        Root of the per-simulation stream derivation.  The same
+        ``(seed, num_simulations)`` pair yields bit-identical estimates
+        for **any** worker count — including ``workers=1``, which runs
+        inline with no pool at all.
+    workers:
+        Pool width: a positive int, ``"auto"`` (CPU count), or ``None``
+        to follow the ``REPRO_SIM_WORKERS`` environment default.
+    chunks_per_worker:
+        Load-balancing granularity — each estimate call is split into
+        about ``workers * chunks_per_worker`` chunks.  Has no effect on
+        the results, only on scheduling.
+
+    Use as a context manager (or call :meth:`close`) to unlink the
+    shared-memory graph segments when done; the pool itself is shared
+    process-wide and survives for the next estimator.
+    """
+
+    def __init__(
+        self,
+        graph: TopicGraph,
+        gamma,
+        *,
+        num_simulations: int = 200,
+        seed=None,
+        workers=None,
+        chunks_per_worker: int = 4,
+    ) -> None:
+        if num_simulations < 1:
+            raise ValueError(
+                f"num_simulations must be >= 1, got {num_simulations}"
+            )
+        if chunks_per_worker < 1:
+            raise ValueError(
+                f"chunks_per_worker must be >= 1, got {chunks_per_worker}"
+            )
+        if workers is None:
+            self._workers = default_sim_workers()
+        else:
+            self._workers = resolve_workers(
+                workers, name="simulation_workers"
+            )
+        self._num_simulations = int(num_simulations)
+        self._chunks_per_worker = int(chunks_per_worker)
+        self._indptr = graph.indptr
+        self._indices = graph.indices
+        self._probs = graph.item_probabilities(gamma)
+        root = as_seed_sequence(seed)
+        self._entropy = root.entropy
+        self._base_key = tuple(root.spawn_key)
+        self._calls = 0
+        self._payload: _GraphPayload | None = None
+        self._finalizer = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def num_simulations(self) -> int:
+        """Cascades simulated per estimate call."""
+        return self._num_simulations
+
+    @property
+    def workers(self) -> int:
+        """Resolved pool width (1 means fully inline)."""
+        return self._workers
+
+    @property
+    def calls(self) -> int:
+        """Estimate calls served so far (each consumes one stream key)."""
+        return self._calls
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unlink the shared-memory graph segments (idempotent)."""
+        self._closed = True
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        self._payload = None
+
+    def __enter__(self) -> "ParallelMonteCarloSpread":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_payload(self) -> _GraphPayload:
+        if self._closed:
+            raise RuntimeError(
+                "ParallelMonteCarloSpread is closed; create a new "
+                "estimator"
+            )
+        if self._payload is None:
+            payload = _GraphPayload(
+                (self._indptr, self._indices, self._probs)
+            )
+            # The finalizer guards against estimators dropped without
+            # close(): the segments are unlinked when the object dies,
+            # not when the interpreter exits.
+            self._finalizer = weakref.finalize(
+                self, _GraphPayload.release, payload
+            )
+            self._payload = payload
+        return self._payload
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def estimate(self, seeds) -> float:
+        """Mean spread of ``seeds`` over ``num_simulations`` cascades."""
+        return self.estimate_with_error(seeds).mean
+
+    def estimate_with_error(self, seeds) -> SpreadEstimate:
+        """Full estimate including the per-run standard deviation."""
+        [counts] = self._counts_batch([seeds])
+        std = float(counts.std(ddof=1)) if counts.size > 1 else 0.0
+        return SpreadEstimate(
+            mean=float(counts.mean()),
+            std=std,
+            num_simulations=self._num_simulations,
+        )
+
+    def estimate_many(self, seed_sets) -> list[float]:
+        """Mean spreads of several seed sets in one pool dispatch.
+
+        Bit-identical to calling :meth:`estimate` on each seed set in
+        order (each set consumes the next call key), but the pool sees
+        the whole batch at once — the fast path for the initial
+        marginal-gain sweeps of the greedy/CELF++ algorithms.
+        """
+        seed_sets = list(seed_sets)
+        if not seed_sets:
+            return []
+        return [
+            float(counts.mean())
+            for counts in self._counts_batch(seed_sets)
+        ]
+
+    # ------------------------------------------------------------------
+    def _counts_batch(self, seed_sets) -> list[np.ndarray]:
+        """Per-simulation cascade sizes for each seed set, in order."""
+        arrays = [
+            np.asarray(seeds, dtype=np.int64) for seeds in seed_sets
+        ]
+        first_call = self._calls
+        self._calls += len(arrays)
+        call_keys = [
+            self._base_key + (first_call + offset,)
+            for offset in range(len(arrays))
+        ]
+        if self._workers == 1:
+            results = [
+                _simulate_range(
+                    self._indptr,
+                    self._indices,
+                    self._probs,
+                    seeds,
+                    self._entropy,
+                    key,
+                    0,
+                    self._num_simulations,
+                )
+                for seeds, key in zip(arrays, call_keys)
+            ]
+            _obs.record_simulations(
+                self._num_simulations * len(arrays)
+            )
+            return results
+        return self._dispatch(arrays, call_keys)
+
+    def _chunk_bounds(self, num_calls: int) -> list[tuple[int, int]]:
+        """Simulation ranges for one call, sized to fill the pool.
+
+        With many calls in flight one chunk per call already saturates
+        the workers; a lone call is split into ``workers *
+        chunks_per_worker`` pieces so no process idles.
+        """
+        target_tasks = self._workers * self._chunks_per_worker
+        chunks_per_call = max(
+            1, -(-target_tasks // num_calls)
+        )
+        chunk = -(-self._num_simulations // chunks_per_call)
+        bounds = []
+        lo = 0
+        while lo < self._num_simulations:
+            hi = min(lo + chunk, self._num_simulations)
+            bounds.append((lo, hi))
+            lo = hi
+        return bounds
+
+    def _dispatch(self, arrays, call_keys) -> list[np.ndarray]:
+        spec = self._ensure_payload().spec
+        bounds = self._chunk_bounds(len(arrays))
+        tasks = [
+            (spec, self._entropy, key, seeds, lo, hi)
+            for seeds, key in zip(arrays, call_keys)
+            for lo, hi in bounds
+        ]
+        executor = _get_executor(self._workers)
+        results = [
+            np.empty(self._num_simulations, dtype=np.float64)
+            for _ in arrays
+        ]
+        per_worker: dict[int, int] = {}
+        chunks_per_call = len(bounds)
+        for position, (pid, lo, hi, counts) in enumerate(
+            executor.map(_simulate_chunk, tasks)
+        ):
+            results[position // chunks_per_call][lo:hi] = counts
+            per_worker[pid] = per_worker.get(pid, 0) + (hi - lo)
+        _obs.record_sim_chunks(len(tasks))
+        for pid, count in per_worker.items():
+            _obs.record_worker_simulations(pid, count)
+        _obs.record_simulations(self._num_simulations * len(arrays))
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ParallelMonteCarloSpread(workers={self._workers}, "
+            f"num_simulations={self._num_simulations})"
+        )

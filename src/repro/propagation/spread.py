@@ -174,8 +174,36 @@ def estimate_spread(
     *,
     num_simulations: int = 200,
     seed=None,
+    workers=None,
 ) -> SpreadEstimate:
-    """One-shot convenience wrapper around :class:`MonteCarloSpread`."""
+    """One-shot convenience wrapper around the Monte-Carlo estimators.
+
+    ``workers`` picks the engine: 1 (the default) runs the sequential
+    :class:`MonteCarloSpread`; more than 1 (or ``"auto"``) routes
+    through :class:`~repro.propagation.parallel.ParallelMonteCarloSpread`.
+    Leaving it ``None`` follows the ``REPRO_SIM_WORKERS`` environment
+    default, so an exported variable is enough to parallelize every
+    spread estimate in the process.  Note the two engines use different
+    (each internally deterministic) random-stream layouts, so their
+    estimates differ numerically for the same seed.
+    """
+    from repro.workers import default_sim_workers, resolve_workers
+
+    if workers is None:
+        resolved = default_sim_workers()
+    else:
+        resolved = resolve_workers(workers, name="workers")
+    if resolved > 1:
+        from repro.propagation.parallel import ParallelMonteCarloSpread
+
+        with ParallelMonteCarloSpread(
+            graph,
+            gamma,
+            num_simulations=num_simulations,
+            seed=seed,
+            workers=resolved,
+        ) as estimator:
+            return estimator.estimate_with_error(seeds)
     estimator = MonteCarloSpread(
         graph, gamma, num_simulations=num_simulations, seed=seed
     )

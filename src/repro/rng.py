@@ -34,6 +34,23 @@ def resolve_rng(seed=None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def as_seed_sequence(seed=None) -> np.random.SeedSequence:
+    """Normalize ``seed`` into a :class:`numpy.random.SeedSequence`.
+
+    ``SeedSequence`` is the form parallel engines need: its
+    ``(entropy, spawn_key)`` pair is cheap to ship to worker processes
+    and spawning children is deterministic.  A ``Generator`` input is
+    reduced to fresh entropy drawn from its stream (same convention as
+    :func:`spawn_rngs`); anything else is passed to ``SeedSequence``
+    directly.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        return np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    return np.random.SeedSequence(seed)
+
+
 def spawn_rngs(seed, n: int) -> list[np.random.Generator]:
     """Derive ``n`` statistically independent generators from ``seed``.
 

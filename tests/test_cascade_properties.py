@@ -1,0 +1,250 @@
+"""Property-based tests for the cascade and spread primitives.
+
+Scalar inputs (graph shapes, seed choices) are driven by hypothesis;
+each drawn scalar seeds a numpy generator, so every example is a fully
+deterministic graph + seed-set instance.  The properties are the model
+invariants every estimator must respect:
+
+* spread is bounded by ``[|unique seeds|, num_nodes]``,
+* an edgeless graph spreads exactly to its seeds,
+* snapshot spread is monotone under seed-set inclusion,
+* :class:`~repro.propagation.cascade.CascadeTrace` records a consistent
+  activation history (times, activators, arc existence).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import TopicGraph
+from repro.propagation import (
+    MonteCarloSpread,
+    ParallelMonteCarloSpread,
+    SnapshotSpread,
+    simulate_cascade,
+    simulate_cascade_trace,
+)
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+
+def _random_graph(
+    num_nodes: int, num_arcs: int, num_topics: int, seed: int
+) -> TopicGraph:
+    """A deterministic random multigraph-free topic graph."""
+    rng = np.random.default_rng(seed)
+    tails = rng.integers(0, num_nodes, size=num_arcs)
+    heads = rng.integers(0, num_nodes, size=num_arcs)
+    keep = tails != heads
+    pairs = np.unique(
+        np.stack([tails[keep], heads[keep]], axis=1), axis=0
+    )
+    if pairs.size == 0:
+        pairs = pairs.reshape(0, 2)
+    probs = rng.uniform(0.05, 0.6, size=(pairs.shape[0], num_topics))
+    return TopicGraph.from_arcs(num_nodes, pairs, probs)
+
+
+def _seed_set(rng: np.random.Generator, num_nodes: int, size: int):
+    return [
+        int(v)
+        for v in rng.choice(num_nodes, size=min(size, num_nodes), replace=False)
+    ]
+
+
+def _gamma(num_topics: int) -> np.ndarray:
+    return np.full(num_topics, 1.0 / num_topics)
+
+
+class TestSpreadBounds:
+    @SETTINGS
+    @given(
+        graph_seed=st.integers(0, 10_000),
+        num_nodes=st.integers(2, 40),
+        set_size=st.integers(1, 6),
+    )
+    def test_monte_carlo_spread_bounded(
+        self, graph_seed, num_nodes, set_size
+    ):
+        graph = _random_graph(num_nodes, 4 * num_nodes, 2, graph_seed)
+        rng = np.random.default_rng(graph_seed + 1)
+        seeds = _seed_set(rng, num_nodes, set_size)
+        estimator = MonteCarloSpread(
+            graph, _gamma(2), num_simulations=10, seed=graph_seed
+        )
+        estimate = estimator.estimate_with_error(seeds)
+        assert len(set(seeds)) <= estimate.mean <= num_nodes
+
+    @SETTINGS
+    @given(
+        graph_seed=st.integers(0, 10_000),
+        num_nodes=st.integers(2, 40),
+        set_size=st.integers(1, 6),
+    )
+    def test_parallel_spread_bounded(
+        self, graph_seed, num_nodes, set_size
+    ):
+        graph = _random_graph(num_nodes, 4 * num_nodes, 2, graph_seed)
+        rng = np.random.default_rng(graph_seed + 1)
+        seeds = _seed_set(rng, num_nodes, set_size)
+        with ParallelMonteCarloSpread(
+            graph, _gamma(2), num_simulations=10, seed=graph_seed, workers=1
+        ) as estimator:
+            estimate = estimator.estimate_with_error(seeds)
+        assert len(set(seeds)) <= estimate.mean <= num_nodes
+
+    @SETTINGS
+    @given(
+        num_nodes=st.integers(1, 50),
+        set_size=st.integers(0, 8),
+        seed=st.integers(0, 10_000),
+    )
+    def test_edgeless_graph_spreads_exactly_to_seeds(
+        self, num_nodes, set_size, seed
+    ):
+        graph = TopicGraph.from_arcs(
+            num_nodes, np.empty((0, 2)), np.empty((0, 3))
+        )
+        rng = np.random.default_rng(seed)
+        seeds = _seed_set(rng, num_nodes, set_size)
+        with ParallelMonteCarloSpread(
+            graph, _gamma(3), num_simulations=5, seed=seed, workers=1
+        ) as estimator:
+            estimate = estimator.estimate_with_error(seeds)
+        assert estimate.mean == float(len(set(seeds)))
+        assert estimate.std == 0.0
+
+
+class TestMonotonicity:
+    @SETTINGS
+    @given(
+        graph_seed=st.integers(0, 10_000),
+        num_nodes=st.integers(3, 40),
+        set_size=st.integers(1, 5),
+    )
+    def test_snapshot_spread_monotone_under_inclusion(
+        self, graph_seed, num_nodes, set_size
+    ):
+        """Adding a node to the seed set never decreases spread when the
+        randomness is shared — the live-edge estimator's core
+        guarantee."""
+        graph = _random_graph(num_nodes, 4 * num_nodes, 2, graph_seed)
+        estimator = SnapshotSpread(
+            graph, _gamma(2), num_snapshots=8, seed=graph_seed
+        )
+        rng = np.random.default_rng(graph_seed + 1)
+        chosen = _seed_set(rng, num_nodes, set_size + 1)
+        smaller, extra = chosen[:-1], chosen[-1]
+        assert estimator.estimate(smaller + [extra]) >= estimator.estimate(
+            smaller
+        )
+
+    @SETTINGS
+    @given(
+        graph_seed=st.integers(0, 10_000),
+        num_nodes=st.integers(3, 30),
+    )
+    def test_snapshot_spread_monotone_along_growing_chain(
+        self, graph_seed, num_nodes
+    ):
+        graph = _random_graph(num_nodes, 3 * num_nodes, 2, graph_seed)
+        estimator = SnapshotSpread(
+            graph, _gamma(2), num_snapshots=6, seed=graph_seed
+        )
+        rng = np.random.default_rng(graph_seed + 1)
+        chain = _seed_set(rng, num_nodes, min(5, num_nodes))
+        values = [
+            estimator.estimate(chain[: i + 1]) for i in range(len(chain))
+        ]
+        assert values == sorted(values)
+
+
+class TestCascadeTraceInvariants:
+    @SETTINGS
+    @given(
+        graph_seed=st.integers(0, 10_000),
+        num_nodes=st.integers(2, 40),
+        set_size=st.integers(1, 5),
+    )
+    def test_trace_history_is_consistent(
+        self, graph_seed, num_nodes, set_size
+    ):
+        graph = _random_graph(num_nodes, 4 * num_nodes, 2, graph_seed)
+        probs = graph.item_probabilities(_gamma(2))
+        rng = np.random.default_rng(graph_seed + 1)
+        seeds = _seed_set(rng, num_nodes, set_size)
+        trace = simulate_cascade_trace(
+            graph.indptr,
+            graph.indices,
+            probs,
+            seeds,
+            np.random.default_rng(graph_seed + 2),
+        )
+        seed_set = set(seeds)
+        for node in range(num_nodes):
+            time = int(trace.activation_time[node])
+            activator = int(trace.activator[node])
+            if node in seed_set:
+                assert trace.active[node]
+                assert time == 0
+                assert activator == -1
+            elif trace.active[node]:
+                assert time >= 1
+                assert trace.active[activator]
+                assert int(trace.activation_time[activator]) == time - 1
+                # The recorded activator really owns an arc to node.
+                lo, hi = graph.indptr[activator], graph.indptr[activator + 1]
+                assert node in graph.indices[lo:hi]
+            else:
+                assert time == -1
+                assert activator == -1
+
+    @SETTINGS
+    @given(
+        graph_seed=st.integers(0, 10_000),
+        num_nodes=st.integers(2, 40),
+        set_size=st.integers(1, 5),
+    )
+    def test_trace_matches_untraced_cascade(
+        self, graph_seed, num_nodes, set_size
+    ):
+        """The traced and untraced kernels flip the same coins, so the
+        activation masks must coincide for the same rng seed."""
+        graph = _random_graph(num_nodes, 4 * num_nodes, 2, graph_seed)
+        probs = graph.item_probabilities(_gamma(2))
+        rng = np.random.default_rng(graph_seed + 1)
+        seeds = _seed_set(rng, num_nodes, set_size)
+        trace = simulate_cascade_trace(
+            graph.indptr,
+            graph.indices,
+            probs,
+            seeds,
+            np.random.default_rng(graph_seed + 2),
+        )
+        active = simulate_cascade(
+            graph.indptr,
+            graph.indices,
+            probs,
+            seeds,
+            np.random.default_rng(graph_seed + 2),
+        )
+        assert np.array_equal(trace.active, active)
+        assert trace.size == int(active.sum())
+
+    def test_trace_empty_seed_set(self, tiny_graph):
+        probs = tiny_graph.item_probabilities([0.5, 0.5])
+        trace = simulate_cascade_trace(
+            tiny_graph.indptr, tiny_graph.indices, probs, [], seed_rng(0)
+        )
+        assert not trace.active.any()
+        assert (trace.activation_time == -1).all()
+        assert (trace.activator == -1).all()
+        assert trace.size == 0
+
+
+def seed_rng(seed: int) -> np.random.Generator:
+    """Tiny helper keeping the fixture-based test symmetric."""
+    return np.random.default_rng(seed)
