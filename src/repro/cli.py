@@ -23,6 +23,12 @@ print a per-phase breakdown, and write a Chrome-loadable trace file;
 ``obs`` runs a query workload and dumps the metrics snapshot (JSON or
 Prometheus text).  See ``docs/OBSERVABILITY.md``.
 
+``query --deadline-ms`` bounds a query's wall clock (an expired query
+degrades to the nearest neighbor's list), and ``build`` / ``spread``
+accept ``--faults`` with a deterministic fault-plan spec (same grammar
+as the ``REPRO_FAULTS`` environment variable) for chaos testing; see
+``docs/RESILIENCE.md``.
+
 All subcommands operate on a data directory holding ``graph.npz`` (the
 topic graph) and ``catalog.npy`` (item topic distributions), plus an
 optional ``log.txt`` propagation log.
@@ -89,7 +95,17 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_faults(args: argparse.Namespace) -> None:
+    """Install the ``--faults`` plan (if any) as the process-wide plan."""
+    spec = getattr(args, "faults", None)
+    if spec:
+        from repro.resilience import parse_fault_plan, set_fault_plan
+
+        set_fault_plan(parse_fault_plan(spec))
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
+    _apply_faults(args)
     data_dir = Path(args.data)
     graph = load_graph(data_dir / "graph.npz")
     catalog = np.load(data_dir / "catalog.npy")
@@ -202,14 +218,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
         catalog = np.load(data_dir / "catalog.npy")
         gamma = catalog[args.item]
     obs_module = _start_profiling() if args.profile else None
-    answer = index.query(gamma, args.k, strategy=args.strategy)
+    answer = index.query(
+        gamma, args.k, strategy=args.strategy, deadline_ms=args.deadline_ms
+    )
     print(f"query gamma: {np.round(gamma, 4)}")
     print(f"strategy: {answer.strategy}")
     print(f"seeds (ranked): {list(answer.seeds)}")
+    notes = ""
+    if answer.epsilon_match:
+        notes = " (epsilon-exact hit)"
+    elif answer.degraded:
+        notes = " (DEGRADED: deadline expired, nearest-neighbor answer)"
     print(
         f"evaluated in {answer.timing.total * 1000:.2f} ms using "
-        f"{answer.num_neighbors_used} index lists"
-        + (" (epsilon-exact hit)" if answer.epsilon_match else "")
+        f"{answer.num_neighbors_used} index lists" + notes
     )
     if obs_module is not None:
         _print_answer_profile(answer)
@@ -220,6 +242,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_spread(args: argparse.Namespace) -> int:
     from repro.propagation import estimate_spread
 
+    _apply_faults(args)
     data_dir = Path(args.data)
     graph = load_graph(data_dir / "graph.npz")
     if args.gamma is not None:
@@ -397,6 +420,12 @@ def build_parser() -> argparse.ArgumentParser:
         "REPRO_SIM_WORKERS",
     )
     build.add_argument("--seed", type=int, default=0)
+    build.add_argument(
+        "--faults",
+        default=None,
+        help="deterministic fault-plan spec for chaos testing "
+        "(REPRO_FAULTS grammar, e.g. 'chunk:mode=crash:rate=0.02')",
+    )
     build.set_defaults(func=_cmd_build)
 
     spread = sub.add_parser(
@@ -421,6 +450,12 @@ def build_parser() -> argparse.ArgumentParser:
         "REPRO_SIM_WORKERS",
     )
     spread.add_argument("--seed", type=int, default=0)
+    spread.add_argument(
+        "--faults",
+        default=None,
+        help="deterministic fault-plan spec for chaos testing "
+        "(REPRO_FAULTS grammar, e.g. 'chunk:mode=crash:rate=0.02')",
+    )
     spread.set_defaults(func=_cmd_spread)
 
     query = sub.add_parser("query", help="answer a TIM query")
@@ -438,6 +473,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy",
         default="inflex",
         choices=("inflex", "exact-knn", "approx-knn", "approx-knn-sel", "approx-ad"),
+    )
+    query.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="wall-clock budget for the query in milliseconds; on "
+        "expiry the answer degrades to the nearest neighbor's list",
     )
     query.add_argument(
         "--profile",

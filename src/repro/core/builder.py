@@ -7,11 +7,23 @@ checkpoints each completed seed list to disk, so a restarted build
 skips straight to the first unfinished index point and produces an
 index bit-identical to an uninterrupted run (per-item RNG seeds are
 fixed up front).
+
+Checkpoint durability (see ``docs/RESILIENCE.md``): every per-item
+checkpoint and the builder state file are written atomically
+(write-then-rename) and carry a CRC32 over their canonical JSON body.
+A checkpoint that fails verification at assembly time is *quarantined*
+(renamed to ``*.corrupt``) and only that seed list is recomputed —
+from its pinned per-item seed, so the final index is still
+bit-identical.  A damaged ``builder_state.json`` raises
+:class:`~repro.errors.CorruptArtifactError` naming the file, because
+regenerating it would re-roll the per-item seeds and silently change
+every remaining seed list.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -21,15 +33,60 @@ from repro.core.config import InflexConfig
 from repro.core.index import InflexIndex
 from repro.core.offline import offline_seed_list
 from repro.divergence.kl import KLDivergence
+from repro.errors import CorruptArtifactError
 from repro.graph.topic_graph import TopicGraph
 from repro.im.seed_list import SeedList
 from repro.obs import instruments as _obs
+from repro.resilience.faults import maybe_inject
 from repro.rng import resolve_rng, spawn_rngs
 from repro.simplex.dirichlet import fit_dirichlet_mle
 from repro.simplex.vectors import as_distribution_matrix, smooth
 
 _STATE_FILE = "builder_state.json"
 _POINTS_FILE = "index_points.npy"
+
+#: Envelope version for checkpoint / state files written by this module.
+_CHECKPOINT_FORMAT = 1
+
+
+def _canonical(body: dict) -> str:
+    """Canonical JSON encoding used for CRC computation."""
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def _envelope(body: dict) -> str:
+    """Wrap ``body`` in the checksummed checkpoint envelope."""
+    return json.dumps(
+        {
+            "format": _CHECKPOINT_FORMAT,
+            "crc": zlib.crc32(_canonical(body).encode()) & 0xFFFFFFFF,
+            "body": body,
+        }
+    )
+
+
+def _open_envelope(text: str) -> dict:
+    """Parse and verify a checkpoint envelope; return its body.
+
+    Raises ``CorruptArtifactError`` on malformed JSON or a CRC
+    mismatch.  Legacy files (bare body, no envelope) are accepted
+    unverified so pre-existing checkpoint directories keep resuming.
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CorruptArtifactError(f"invalid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise CorruptArtifactError("expected a JSON object")
+    if "format" not in data:
+        return data  # legacy, pre-checksum file
+    body = data.get("body")
+    if not isinstance(body, dict):
+        raise CorruptArtifactError("envelope has no body")
+    crc = zlib.crc32(_canonical(body).encode()) & 0xFFFFFFFF
+    if crc != data.get("crc"):
+        raise CorruptArtifactError("checksum mismatch")
+    return body
 
 
 class ResumableBuilder:
@@ -43,6 +100,10 @@ class ResumableBuilder:
         Directory holding the build state; safe to reuse across process
         restarts.  A state file pins the configuration — resuming with
         a different config raises instead of silently mixing artifacts.
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan` for chaos testing
+        checkpoint writes; ``None`` falls back to the process-wide plan
+        (``REPRO_FAULTS``).
     """
 
     def __init__(
@@ -51,6 +112,8 @@ class ResumableBuilder:
         catalog_items,
         config: InflexConfig,
         checkpoint_dir,
+        *,
+        fault_plan=None,
     ) -> None:
         self._graph = graph
         self._catalog = smooth(as_distribution_matrix(catalog_items))
@@ -59,6 +122,7 @@ class ResumableBuilder:
         self._dir.mkdir(parents=True, exist_ok=True)
         self._state_path = self._dir / _STATE_FILE
         self._points_path = self._dir / _POINTS_FILE
+        self._fault_plan = fault_plan
         self._fingerprint = {
             "num_index_points": config.num_index_points,
             "seed_list_length": config.seed_list_length,
@@ -74,10 +138,25 @@ class ResumableBuilder:
     def _seed_path(self, index: int) -> Path:
         return self._dir / f"seeds_{index:05d}.json"
 
+    def _write_state(self, state: dict) -> None:
+        tmp = self._state_path.with_suffix(".tmp")
+        tmp.write_text(_envelope(state))
+        tmp.replace(self._state_path)
+
     def _load_or_create_state(self) -> dict:
         if self._state_path.exists():
-            state = json.loads(self._state_path.read_text())
-            if state["fingerprint"] != self._fingerprint:
+            try:
+                state = _open_envelope(self._state_path.read_text())
+            except CorruptArtifactError as exc:
+                _obs.record_corrupt_artifact("builder-state")
+                raise CorruptArtifactError(
+                    f"builder state file {self._state_path} is corrupt "
+                    f"({exc}); it pins the per-item RNG seeds, so it "
+                    "cannot be regenerated without changing results — "
+                    "restore it from a backup, or delete the checkpoint "
+                    "directory to restart the build from scratch"
+                ) from exc
+            if state.get("fingerprint") != self._fingerprint:
                 raise ValueError(
                     "checkpoint directory was created with a different "
                     "configuration; use a fresh directory or the same "
@@ -85,7 +164,7 @@ class ResumableBuilder:
                 )
             return state
         state = {"fingerprint": self._fingerprint, "item_seeds": None}
-        self._state_path.write_text(json.dumps(state))
+        self._write_state(state)
         return state
 
     def _index_points(self, rng) -> np.ndarray:
@@ -105,6 +184,67 @@ class ResumableBuilder:
             points = smooth(np.maximum(clustering.centroids, 1e-12))
         np.save(self._points_path, points)
         return points
+
+    # ------------------------------------------------------------------
+    def _compute_item(self, points: np.ndarray, i: int, item_seeds) -> SeedList:
+        """Compute index point ``i``'s seed list from its pinned seed."""
+        with _obs.build_stage("seed-list"):
+            return offline_seed_list(
+                self._graph,
+                points[i],
+                self._config.seed_list_length,
+                engine=self._config.im_engine,
+                ris_num_sets=self._config.ris_num_sets,
+                num_snapshots=self._config.num_snapshots,
+                num_simulations=self._config.num_simulations,
+                sim_workers=self._config.effective_simulation_workers,
+                seed=item_seeds[i],
+            )
+
+    def _write_checkpoint(self, i: int, seed_list: SeedList) -> None:
+        """Atomically persist index point ``i``'s seed list."""
+        path = self._seed_path(i)
+        body = {
+            "nodes": list(seed_list.nodes),
+            "gains": list(seed_list.marginal_gains),
+            "algorithm": seed_list.algorithm,
+        }
+        text = _envelope(body)
+        fired = maybe_inject("checkpoint", self._fault_plan, item=i)
+        if fired is not None and fired.mode == "truncate":
+            # Chaos hook: simulate a torn write that still got renamed
+            # into place (e.g. power loss after rename but before the
+            # data hit the platter).  Quarantine must catch this later.
+            text = text[: max(1, len(text) // 2)]
+        # Write-then-rename keeps a crash from leaving a truncated
+        # checkpoint behind.
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(text)
+        tmp.replace(path)
+
+    def _read_checkpoint(self, i: int) -> dict | None:
+        """Read checkpoint ``i``; quarantine and return ``None`` if bad.
+
+        A failed read renames the file to ``seeds_NNNNN.json.corrupt``
+        (preserved for post-mortems) so the caller can recompute just
+        that seed list instead of aborting the whole assembly.
+        """
+        path = self._seed_path(i)
+        if not path.exists():
+            return None
+        try:
+            body = _open_envelope(path.read_text())
+        except (CorruptArtifactError, OSError):
+            quarantine = path.with_name(path.name + ".corrupt")
+            path.replace(quarantine)
+            _obs.record_checkpoint_quarantine()
+            return None
+        if "nodes" not in body or "algorithm" not in body:
+            quarantine = path.with_name(path.name + ".corrupt")
+            path.replace(quarantine)
+            _obs.record_checkpoint_quarantine()
+            return None
+        return body
 
     # ------------------------------------------------------------------
     def completed_count(self) -> int:
@@ -136,37 +276,16 @@ class ResumableBuilder:
             state["item_seeds"] = [
                 int(child.integers(0, 2**63 - 1)) for child in children
             ]
-            self._state_path.write_text(json.dumps(state))
+            self._write_state(state)
         item_seeds = state["item_seeds"]
         processed = 0
         for i in range(h):
-            path = self._seed_path(i)
-            if path.exists():
+            if self._seed_path(i).exists():
                 continue
             if max_items is not None and processed >= max_items:
                 return None
-            with _obs.build_stage("seed-list"):
-                seed_list = offline_seed_list(
-                    self._graph,
-                    points[i],
-                    self._config.seed_list_length,
-                    engine=self._config.im_engine,
-                    ris_num_sets=self._config.ris_num_sets,
-                    num_snapshots=self._config.num_snapshots,
-                    num_simulations=self._config.num_simulations,
-                    sim_workers=self._config.effective_simulation_workers,
-                    seed=item_seeds[i],
-                )
-            payload = {
-                "nodes": list(seed_list.nodes),
-                "gains": list(seed_list.marginal_gains),
-                "algorithm": seed_list.algorithm,
-            }
-            # Write-then-rename keeps a crash from leaving a truncated
-            # checkpoint behind.
-            tmp = path.with_suffix(".tmp")
-            tmp.write_text(json.dumps(payload))
-            tmp.replace(path)
+            seed_list = self._compute_item(points, i, item_seeds)
+            self._write_checkpoint(i, seed_list)
             processed += 1
             if progress is not None:
                 progress(self.completed_count(), h)
@@ -174,7 +293,20 @@ class ResumableBuilder:
             return None
         seed_lists = []
         for i in range(h):
-            payload = json.loads(self._seed_path(i).read_text())
+            payload = self._read_checkpoint(i)
+            if payload is None:
+                # Quarantined (or vanished) checkpoint: recompute just
+                # this seed list from its pinned per-item seed — the
+                # result is bit-identical to the lost one.
+                seed_list = self._compute_item(points, i, item_seeds)
+                self._write_checkpoint(i, seed_list)
+                payload = self._read_checkpoint(i)
+                if payload is None:
+                    raise CorruptArtifactError(
+                        f"checkpoint {self._seed_path(i)} failed "
+                        "verification immediately after being rewritten; "
+                        "the checkpoint directory's storage is unreliable"
+                    )
             seed_lists.append(
                 SeedList(
                     tuple(payload["nodes"]),

@@ -94,6 +94,16 @@ class InflexConfig:
     weight_bound_eps:
         Smoothing of the corner-to-corner ``KL_max`` bound in Eq. 9.
 
+    Resilience
+    ----------
+    deadline_ms:
+        Default per-query wall-clock budget in milliseconds (``None`` =
+        unlimited).  A query that exceeds it returns a *degraded*
+        answer — the nearest neighbor's precomputed list, flagged with
+        ``TimAnswer.degraded`` — instead of blocking; see
+        ``docs/RESILIENCE.md``.  Explicit ``deadline_ms`` arguments to
+        :meth:`InflexIndex.query` override this default.
+
     Randomness
     ----------
     seed:
@@ -123,6 +133,8 @@ class InflexConfig:
     local_kemenization: bool = True
     selection_threshold: float = 0.005
     weight_bound_eps: float = 0.05
+
+    deadline_ms: float | None = None
 
     seed: int | None = 0
 
@@ -167,6 +179,10 @@ class InflexConfig:
         if self.num_simulations < 1:
             raise ValueError(
                 f"num_simulations must be >= 1, got {self.num_simulations}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(
+                f"deadline_ms must be positive or None, got {self.deadline_ms}"
             )
         # Worker knobs are validated here, once, at parse time — the
         # single place every entry point (CLI, env, library) funnels

@@ -245,6 +245,7 @@ class InflexIndex:
         k: int,
         *,
         strategy: str = "inflex",
+        deadline_ms=None,
     ) -> TimAnswer:
         """Answer the TIM query ``Q(gamma, k)``.
 
@@ -257,7 +258,20 @@ class InflexIndex:
         strategy:
             One of :data:`STRATEGIES`; ``"inflex"`` is the paper's full
             pipeline, the others are its evaluated alternatives.
+        deadline_ms:
+            Wall-clock budget for this query: a number of milliseconds,
+            an already-running :class:`repro.resilience.Deadline` (as
+            shared by :meth:`query_batch`), or ``None`` to follow
+            ``config.deadline_ms``.  On expiry the answer degrades to
+            the nearest neighbor's precomputed list — flagged with
+            ``TimAnswer.degraded`` — rather than blocking past the
+            budget; see ``docs/RESILIENCE.md``.
         """
+        from repro.resilience.deadline import resolve_deadline
+
+        if deadline_ms is None:
+            deadline_ms = self._config.deadline_ms
+        deadline = resolve_deadline(deadline_ms)
         tim_query = TimQuery(np.asarray(gamma, dtype=np.float64), k)
         if tim_query.num_topics != self._graph.num_topics:
             raise QueryError(
@@ -294,6 +308,11 @@ class InflexIndex:
                 _obs.record_query(strategy, answer)
                 return answer
 
+            if deadline is not None and deadline.expired():
+                return self._degraded_answer(
+                    strategy, k, result, QueryTiming(search=search_span.duration)
+                )
+
             # Phase 2: weights and automatic selection ------------------
             with tracer.span("query.selection") as selection_span:
                 if strategy == "inflex":
@@ -317,6 +336,19 @@ class InflexIndex:
             kept_ids = result.indices[:keep]
             kept_divs = result.divergences[:keep]
             kept_weights = weights[:keep]
+
+            if deadline is not None and deadline.expired():
+                # Aggregation (pairwise Copeland + Local Kemenization)
+                # dominates query cost; skip it once over budget.
+                return self._degraded_answer(
+                    strategy,
+                    k,
+                    result,
+                    QueryTiming(
+                        search=search_span.duration,
+                        selection=selection_span.duration,
+                    ),
+                )
 
             # Phase 3: rank aggregation ---------------------------------
             with tracer.span("query.aggregation") as aggregation_span:
@@ -357,6 +389,39 @@ class InflexIndex:
             _obs.record_query(strategy, answer)
             return answer
 
+    def _degraded_answer(
+        self,
+        strategy: str,
+        k: int,
+        result: SearchResult,
+        timing: QueryTiming,
+    ) -> TimAnswer:
+        """Deadline-expired fast path: the nearest neighbor's list as-is.
+
+        Skipping the selection/aggregation phases bounds the remaining
+        work to one list slice, so an expired query returns promptly
+        with an honest (if lower-quality) answer instead of blowing
+        through its budget.
+        """
+        _obs.record_deadline_expired("query")
+        nearest = int(result.indices[0])
+        seeds = self._seed_lists[nearest].top(k)
+        answer = TimAnswer(
+            seeds=SeedList(
+                seeds.nodes, (), algorithm=f"{strategy}:degraded"
+            ),
+            strategy=strategy,
+            neighbor_ids=(nearest,),
+            neighbor_divergences=(float(result.divergences[0]),),
+            neighbor_weights=(1.0,),
+            search_stats=result.stats,
+            timing=timing,
+            epsilon_match=False,
+            degraded=True,
+        )
+        _obs.record_query(strategy, answer)
+        return answer
+
     def stats(self) -> dict:
         """Operator summary of the index.
 
@@ -391,18 +456,34 @@ class InflexIndex:
         k: int,
         *,
         strategy: str = "inflex",
+        deadline_ms=None,
     ) -> list[TimAnswer]:
         """Answer one TIM query per row of ``gammas``.
 
         Convenience wrapper for analytics workloads that score many
         candidate items at once (e.g. the what-if loop); answers are
-        independent and returned in input order.
+        independent and returned in input order.  ``deadline_ms`` is a
+        budget for the *whole batch*, shared by all rows: once it
+        expires, every remaining query returns a degraded
+        nearest-neighbor answer (still one answer per row — the batch
+        never hangs and never comes back short).
         """
+        from repro.resilience.deadline import resolve_deadline
+
+        deadline = resolve_deadline(deadline_ms)
         rows = as_distribution_matrix(np.atleast_2d(np.asarray(gammas)))
         with get_tracer().span(
             "query_batch", strategy=strategy, size=int(rows.shape[0])
         ):
-            answers = [self.query(row, k, strategy=strategy) for row in rows]
+            answers = [
+                self.query(
+                    row,
+                    k,
+                    strategy=strategy,
+                    deadline_ms=deadline,
+                )
+                for row in rows
+            ]
         _obs.record_batch(strategy, answers)
         return answers
 

@@ -86,6 +86,12 @@ class TimAnswer:
         Per-phase wall-clock breakdown.
     epsilon_match:
         Whether the answer came from an epsilon-exact index hit.
+    degraded:
+        ``True`` when a deadline expired mid-evaluation and the answer
+        was short-circuited to the nearest neighbor's precomputed list
+        instead of the full weighted aggregation.  The seeds are still
+        valid (they are what ``k=1`` neighborhood aggregation would
+        return) but below the strategy's usual quality.
     """
 
     seeds: SeedList
@@ -96,6 +102,7 @@ class TimAnswer:
     search_stats: SearchStats | None = None
     timing: QueryTiming = field(default_factory=QueryTiming)
     epsilon_match: bool = False
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         if len(self.neighbor_ids) != len(self.neighbor_divergences):

@@ -44,3 +44,38 @@ class EmptyIndexError(ReproError, RuntimeError):
 
 class QueryError(ReproError, ValueError):
     """A TIM query is malformed (bad topic vector or non-positive ``k``)."""
+
+
+class CorruptArtifactError(ReproError, RuntimeError):
+    """A persisted artifact failed an integrity check.
+
+    Raised by :func:`repro.core.persistence.load_index` when a stored
+    index archive is truncated, unreadable, or fails its embedded CRC32
+    checksums, and by :class:`repro.core.builder.ResumableBuilder` when
+    the build-state file cannot be parsed.  The message always names
+    the offending path and what to do about it (restore from backup,
+    delete and rebuild) — an index artifact is never silently loaded
+    with wrong data.
+    """
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """An operation ran past its :class:`repro.resilience.Deadline`.
+
+    Raised by :meth:`repro.resilience.Deadline.check`.  Query paths do
+    *not* raise this by default — they degrade to a partial answer with
+    ``degraded=True`` instead — but callers holding a
+    :class:`~repro.resilience.Deadline` can opt into the strict
+    behaviour via ``deadline.check()``.
+    """
+
+
+class PoolBrokenError(ReproError, RuntimeError):
+    """The simulation process pool failed beyond its retry budget.
+
+    Raised by
+    :class:`~repro.propagation.parallel.ParallelMonteCarloSpread` only
+    when sequential fallback has been disabled
+    (``allow_sequential_fallback=False``); with the default settings a
+    repeatedly-broken pool degrades to inline execution instead.
+    """

@@ -136,6 +136,39 @@ SIM_POOL_EVENTS = _REGISTRY.counter(
     labels=("event",),
 )
 
+# -- resilience ---------------------------------------------------------
+RESILIENCE_POOL_REBUILDS = _REGISTRY.counter(
+    "repro_resilience_pool_rebuilds_total",
+    "Simulation pools discarded and rebuilt after a worker crash/hang",
+)
+RESILIENCE_CHUNK_RETRIES = _REGISTRY.counter(
+    "repro_resilience_chunk_retries_total",
+    "Simulation chunks re-dispatched after a recoverable failure",
+)
+RESILIENCE_SEQUENTIAL_FALLBACKS = _REGISTRY.counter(
+    "repro_resilience_sequential_fallbacks_total",
+    "Dispatches that degraded to inline execution after retry exhaustion",
+)
+RESILIENCE_FAULTS_INJECTED = _REGISTRY.counter(
+    "repro_resilience_faults_injected_total",
+    "Faults fired by the active FaultPlan, by site and mode",
+    labels=("site", "mode"),
+)
+RESILIENCE_QUARANTINES = _REGISTRY.counter(
+    "repro_resilience_checkpoint_quarantines_total",
+    "Corrupt builder checkpoints renamed aside and recomputed",
+)
+RESILIENCE_DEADLINE_EXPIRATIONS = _REGISTRY.counter(
+    "repro_resilience_deadline_expirations_total",
+    "Operations that returned degraded results on deadline expiry, by site",
+    labels=("where",),
+)
+RESILIENCE_CORRUPT_ARTIFACTS = _REGISTRY.counter(
+    "repro_resilience_corrupt_artifacts_total",
+    "Persisted artifacts that failed an integrity check, by artifact",
+    labels=("artifact",),
+)
+
 
 # ----------------------------------------------------------------------
 # Recording helpers (each is a no-op while observability is disabled)
@@ -192,7 +225,12 @@ def record_query(strategy: str, answer) -> None:
     """Fold one answered TIM query into the registry."""
     if not STATE.enabled:
         return
-    outcome = "epsilon_exact" if answer.epsilon_match else "aggregated"
+    if answer.degraded:
+        outcome = "degraded"
+    elif answer.epsilon_match:
+        outcome = "epsilon_exact"
+    else:
+        outcome = "aggregated"
     key = (strategy, outcome)
     counter = _QUERY_COUNTERS.get(key)
     if counter is None:
@@ -279,6 +317,59 @@ def record_worker_simulations(worker: int, count: int) -> None:
     if not STATE.enabled or count <= 0:
         return
     SIM_WORKER_SIMULATIONS.labels(worker=str(worker)).inc(count)
+
+
+def record_chunk_retries(count: int) -> None:
+    """Add ``count`` re-dispatched chunks to the resilience total."""
+    if not STATE.enabled or count <= 0:
+        return
+    RESILIENCE_CHUNK_RETRIES.inc(count)
+
+
+def record_sequential_fallback() -> None:
+    """Count one degradation from pooled to inline simulation."""
+    if not STATE.enabled:
+        return
+    RESILIENCE_SEQUENTIAL_FALLBACKS.inc()
+
+
+def record_fault_injected(site: str, mode: str) -> None:
+    """Count one fault fired by the active :class:`FaultPlan`."""
+    if not STATE.enabled:
+        return
+    RESILIENCE_FAULTS_INJECTED.labels(site=site, mode=mode).inc()
+
+
+def record_checkpoint_quarantine() -> None:
+    """Count one corrupt checkpoint quarantined by the builder."""
+    if not STATE.enabled:
+        return
+    RESILIENCE_QUARANTINES.inc()
+
+
+def record_deadline_expired(where: str) -> None:
+    """Count one deadline expiry that produced a degraded result."""
+    if not STATE.enabled:
+        return
+    RESILIENCE_DEADLINE_EXPIRATIONS.labels(where=where).inc()
+
+
+def record_corrupt_artifact(artifact: str) -> None:
+    """Count one artifact rejected by an integrity check."""
+    if not STATE.enabled:
+        return
+    RESILIENCE_CORRUPT_ARTIFACTS.labels(artifact=artifact).inc()
+
+
+@contextlib.contextmanager
+def pool_rebuild_span(workers: int):
+    """Span + counter around discarding and rebuilding a broken pool."""
+    with get_tracer().span(
+        "resilience.pool.rebuild", category="resilience", workers=workers
+    ) as span:
+        yield span
+    if STATE.enabled:
+        RESILIENCE_POOL_REBUILDS.inc()
 
 
 @contextlib.contextmanager

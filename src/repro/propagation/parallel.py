@@ -27,6 +27,16 @@ lazily on first use and torn down atexit (or explicitly via
 unlinks its shared-memory segments.  See ``docs/PARALLELISM.md`` for the
 lifetime rules and for how this pool composes with the index-point pool
 of :mod:`repro.core.offline`.
+
+**Crash recovery.**  Because chunk RNG streams are derived from
+``(call, sim)`` spawn keys and never from worker identity, a chunk can
+be re-executed anywhere — another worker, a rebuilt pool, or inline in
+the parent — and produce the same bytes.  ``_dispatch`` exploits this:
+a ``BrokenProcessPoolError`` or a hung worker discards the pool,
+rebuilds it, and re-dispatches only the unfinished chunks; after the
+retry budget is spent it degrades to inline execution (the sequential
+Monte-Carlo path) instead of raising.  Every recovery event lands on
+the ``repro_resilience_*`` metrics.  See ``docs/RESILIENCE.md``.
 """
 
 from __future__ import annotations
@@ -34,18 +44,32 @@ from __future__ import annotations
 import atexit
 import itertools
 import os
+import time
 import weakref
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import PoolBrokenError
 from repro.graph.topic_graph import TopicGraph
 from repro.obs import instruments as _obs
 from repro.propagation.cascade import simulate_cascade
 from repro.propagation.spread import SpreadEstimate
+from repro.resilience.faults import (
+    FaultPlan,
+    InjectedFaultError,
+    get_fault_plan,
+)
+from repro.resilience.retry import RetryPolicy
 from repro.rng import as_seed_sequence
-from repro.workers import default_sim_workers, resolve_workers
+from repro.workers import (
+    default_retry_attempts,
+    default_sim_workers,
+    resolve_workers,
+)
 
 # ----------------------------------------------------------------------
 # Shared-memory graph payloads
@@ -198,8 +222,26 @@ def _simulate_range(
 
 
 def _simulate_chunk(task) -> tuple[int, int, int, np.ndarray]:
-    """Worker entry point: run one chunk, tagged with the worker pid."""
-    spec, entropy, call_key, seeds, lo, hi = task
+    """Worker entry point: run one chunk, tagged with the worker pid.
+
+    ``fault`` is the injection directive the parent attached when the
+    active :class:`FaultPlan` fired for this chunk's coordinates:
+    ``("crash", _)`` kills the worker outright (exercising pool-rebuild
+    recovery), ``("error", _)`` raises a retryable exception, and
+    ``("sleep", seconds)`` stalls before computing (exercising the
+    dispatch timeout).  The fault-free path pays one ``is None`` check.
+    """
+    spec, entropy, call_key, seeds, lo, hi, fault = task
+    if fault is not None:
+        mode, arg = fault
+        if mode == "crash":
+            os._exit(17)
+        if mode == "error":
+            raise InjectedFaultError(
+                f"injected worker fault for chunk [{lo}, {hi})"
+            )
+        if mode == "sleep":
+            time.sleep(arg if arg is not None else 0.5)
     indptr, indices, probs = _payload_arrays(spec)
     counts = _simulate_range(
         indptr, indices, probs, seeds, entropy, call_key, lo, hi
@@ -234,18 +276,41 @@ def _get_executor(workers: int) -> ProcessPoolExecutor:
     return executor
 
 
+def _discard_executor(workers: int) -> None:
+    """Drop the pool for ``workers`` without waiting (broken-pool path).
+
+    The executor is removed from the registry first so a concurrent
+    :func:`_get_executor` builds a fresh one; shutdown of the broken
+    pool is best-effort — its workers may already be dead.
+    """
+    executor = _EXECUTORS.pop(workers, None)
+    if executor is None:
+        return
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - teardown best effort
+        pass
+
+
 def shutdown_pools() -> None:
     """Tear down every simulation pool and unlink leftover payloads.
 
     Registered atexit; safe to call explicitly (tests do) — the next
-    estimate simply recreates its pool.
+    estimate simply recreates its pool.  Payload release runs even when
+    a pool's shutdown fails (e.g. its workers crashed mid-call), so a
+    dead worker can never leak ``/dev/shm`` segments past teardown.
     """
-    for workers, executor in list(_EXECUTORS.items()):
-        with _obs.sim_pool_span("shutdown", workers):
-            executor.shutdown(wait=True, cancel_futures=True)
-        del _EXECUTORS[workers]
-    for payload in list(_LIVE_PAYLOADS.values()):
-        payload.release()
+    try:
+        for workers, executor in list(_EXECUTORS.items()):
+            try:
+                with _obs.sim_pool_span("shutdown", workers):
+                    executor.shutdown(wait=True, cancel_futures=True)
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+            _EXECUTORS.pop(workers, None)
+    finally:
+        for payload in list(_LIVE_PAYLOADS.values()):
+            payload.release()
 
 
 def pool_widths() -> tuple[int, ...]:
@@ -256,6 +321,22 @@ def pool_widths() -> tuple[int, ...]:
 # ----------------------------------------------------------------------
 # The estimator
 # ----------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class _ChunkTask:
+    """One dispatchable chunk of a batch: where its counts land.
+
+    Identity-hashed (``eq=False``) so waves can keep sets of pending
+    tasks without comparing the seed arrays.
+    """
+
+    row: int
+    chunk_id: int
+    key: tuple[int, ...]
+    seeds: np.ndarray
+    lo: int
+    hi: int
 
 
 class ParallelMonteCarloSpread:
@@ -281,6 +362,23 @@ class ParallelMonteCarloSpread:
         Load-balancing granularity — each estimate call is split into
         about ``workers * chunks_per_worker`` chunks.  Has no effect on
         the results, only on scheduling.
+    retry_policy:
+        Recovery budget for broken pools and failed chunks; ``None``
+        uses a short-backoff default whose attempt count follows the
+        ``REPRO_SIM_RETRIES`` environment knob.  Retried chunks are
+        bit-identical to their first attempt (streams are keyed by
+        ``(call, sim)``, not by worker), so recovery never changes
+        results.
+    allow_sequential_fallback:
+        When the retry budget is exhausted, run the unfinished chunks
+        inline in the parent (the default) instead of raising
+        :class:`~repro.errors.PoolBrokenError`.
+    task_timeout:
+        Seconds to wait for each outstanding chunk before declaring the
+        pool hung and rebuilding it; ``None`` (default) waits forever.
+    fault_plan:
+        Explicit :class:`~repro.resilience.FaultPlan` for chaos tests;
+        ``None`` follows the process-wide plan (``REPRO_FAULTS``).
 
     Use as a context manager (or call :meth:`close`) to unlink the
     shared-memory graph segments when done; the pool itself is shared
@@ -296,6 +394,10 @@ class ParallelMonteCarloSpread:
         seed=None,
         workers=None,
         chunks_per_worker: int = 4,
+        retry_policy: RetryPolicy | None = None,
+        allow_sequential_fallback: bool = True,
+        task_timeout: float | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if num_simulations < 1:
             raise ValueError(
@@ -305,12 +407,32 @@ class ParallelMonteCarloSpread:
             raise ValueError(
                 f"chunks_per_worker must be >= 1, got {chunks_per_worker}"
             )
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(
+                f"task_timeout must be positive or None, got {task_timeout}"
+            )
         if workers is None:
             self._workers = default_sim_workers()
         else:
             self._workers = resolve_workers(
                 workers, name="simulation_workers"
             )
+        if retry_policy is None:
+            retry_policy = RetryPolicy(
+                max_attempts=default_retry_attempts(),
+                base_delay=0.05,
+                max_delay=1.0,
+                retryable=(
+                    BrokenProcessPool,
+                    TimeoutError,
+                    OSError,
+                    InjectedFaultError,
+                ),
+            )
+        self._retry_policy = retry_policy
+        self._allow_sequential_fallback = bool(allow_sequential_fallback)
+        self._task_timeout = task_timeout
+        self._fault_plan = fault_plan
         self._num_simulations = int(num_simulations)
         self._chunks_per_worker = int(chunks_per_worker)
         self._indptr = graph.indptr
@@ -462,30 +584,148 @@ class ParallelMonteCarloSpread:
         return bounds
 
     def _dispatch(self, arrays, call_keys) -> list[np.ndarray]:
+        """Run a batch over the pool, recovering from worker failures.
+
+        Unfinished chunks are re-dispatched (pool rebuilt first when it
+        broke) up to the retry budget, then executed inline — results
+        are bit-identical on every path because the chunk streams never
+        depend on where a chunk runs.
+        """
         spec = self._ensure_payload().spec
         bounds = self._chunk_bounds(len(arrays))
+        plan = (
+            self._fault_plan
+            if self._fault_plan is not None
+            else get_fault_plan()
+        )
         tasks = [
-            (spec, self._entropy, key, seeds, lo, hi)
-            for seeds, key in zip(arrays, call_keys)
-            for lo, hi in bounds
+            _ChunkTask(row, chunk_id, key, seeds, lo, hi)
+            for row, (seeds, key) in enumerate(zip(arrays, call_keys))
+            for chunk_id, (lo, hi) in enumerate(bounds)
         ]
-        executor = _get_executor(self._workers)
         results = [
             np.empty(self._num_simulations, dtype=np.float64)
             for _ in arrays
         ]
         per_worker: dict[int, int] = {}
-        chunks_per_call = len(bounds)
-        for position, (pid, lo, hi, counts) in enumerate(
-            executor.map(_simulate_chunk, tasks)
-        ):
-            results[position // chunks_per_call][lo:hi] = counts
-            per_worker[pid] = per_worker.get(pid, 0) + (hi - lo)
+        pending = tasks
+        attempt = 0
+        while pending:
+            pending = self._run_wave(
+                spec, pending, plan, attempt, results, per_worker
+            )
+            if not pending:
+                break
+            attempt += 1
+            if attempt > self._retry_policy.max_attempts:
+                if not self._allow_sequential_fallback:
+                    raise PoolBrokenError(
+                        f"simulation pool failed {attempt} consecutive "
+                        f"times with {len(pending)} chunks unrecovered; "
+                        "raise the retry budget or enable sequential "
+                        "fallback"
+                    )
+                _obs.record_sequential_fallback()
+                self._run_inline(pending, results, per_worker)
+                pending = []
+                break
+            _obs.record_chunk_retries(len(pending))
+            self._retry_policy.sleep_before(attempt - 1)
         _obs.record_sim_chunks(len(tasks))
         for pid, count in per_worker.items():
             _obs.record_worker_simulations(pid, count)
         _obs.record_simulations(self._num_simulations * len(arrays))
         return results
+
+    def _run_wave(
+        self, spec, tasks, plan, attempt, results, per_worker
+    ) -> list[_ChunkTask]:
+        """Dispatch ``tasks`` once; returns the chunks needing a retry.
+
+        A broken or hung pool is discarded here (counted as a rebuild)
+        so the next wave's :func:`_get_executor` starts a fresh one.
+        """
+        executor = _get_executor(self._workers)
+        futures: dict = {}
+        broken = False
+        failed: list[_ChunkTask] = []
+        try:
+            for task in tasks:
+                fault = None
+                if plan is not None:
+                    fired = plan.fire(
+                        "chunk",
+                        call=int(task.key[-1]),
+                        chunk=task.chunk_id,
+                        attempt=attempt,
+                    )
+                    if fired is not None:
+                        fault = (fired.mode, fired.keep)
+                future = executor.submit(
+                    _simulate_chunk,
+                    (
+                        spec,
+                        self._entropy,
+                        task.key,
+                        task.seeds,
+                        task.lo,
+                        task.hi,
+                        fault,
+                    ),
+                )
+                futures[future] = task
+        except (BrokenProcessPool, RuntimeError):
+            # The pool died before accepting the whole wave; everything
+            # not yet submitted fails over to the next wave alongside
+            # whatever the submitted futures report below.
+            broken = True
+            submitted = set(futures.values())
+            failed.extend(t for t in tasks if t not in submitted)
+        for future, task in futures.items():
+            try:
+                pid, lo, hi, counts = future.result(
+                    timeout=self._task_timeout
+                )
+            except (BrokenProcessPool, TimeoutError):
+                broken = True
+                failed.append(task)
+                continue
+            except (OSError, InjectedFaultError):
+                # Worker survived but the chunk failed: retry it on the
+                # same pool.
+                failed.append(task)
+                continue
+            results[task.row][lo:hi] = counts
+            per_worker[pid] = per_worker.get(pid, 0) + (hi - lo)
+        if broken:
+            with _obs.pool_rebuild_span(self._workers):
+                _discard_executor(self._workers)
+        return failed
+
+    def _run_inline(self, tasks, results, per_worker) -> None:
+        """Sequential-fallback execution of ``tasks`` in the parent.
+
+        This is the degraded path of last resort: no pool, no shared
+        memory, no fault injection — just the same ``(call, sim)``
+        streams the workers would have used, so the estimates still
+        come out bit-identical.
+        """
+        pid = os.getpid()
+        for task in tasks:
+            counts = _simulate_range(
+                self._indptr,
+                self._indices,
+                self._probs,
+                task.seeds,
+                self._entropy,
+                task.key,
+                task.lo,
+                task.hi,
+            )
+            results[task.row][task.lo : task.hi] = counts
+            per_worker[pid] = per_worker.get(pid, 0) + (
+                task.hi - task.lo
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -35,11 +35,15 @@ class SpreadEstimate:
         Sample standard deviation of the per-simulation counts.
     num_simulations:
         How many cascades were simulated.
+    degraded:
+        ``True`` when a deadline cut the estimation short — the values
+        are honest but from fewer simulations than requested.
     """
 
     mean: float
     std: float
     num_simulations: int
+    degraded: bool = False
 
     @property
     def standard_error(self) -> float:
@@ -121,6 +125,7 @@ def estimate_spread_sequential(
     batch_size: int = 100,
     max_simulations: int = 20000,
     seed=None,
+    deadline=None,
 ) -> SpreadEstimate:
     """Monte-Carlo estimation with a precision-based stopping rule.
 
@@ -130,6 +135,12 @@ def estimate_spread_sequential(
     on easy (low-variance) instances and spends them where the cascade
     distribution is heavy-tailed — the right default when spread values
     feed into comparisons rather than fixed-budget tables.
+
+    ``deadline`` (a :class:`repro.resilience.Deadline`, or a number of
+    milliseconds) bounds the wall clock: when it expires before the
+    precision target is met, the partial estimate accumulated so far is
+    returned with ``degraded=True`` — at least one batch always runs,
+    so the result is never empty.
     """
     if not 0.0 < relative_halfwidth < 1.0:
         raise ValueError(
@@ -142,6 +153,10 @@ def estimate_spread_sequential(
             f"max_simulations ({max_simulations}) must be >= batch_size "
             f"({batch_size})"
         )
+    from repro.resilience.deadline import resolve_deadline
+
+    deadline = resolve_deadline(deadline)
+    degraded = False
     rng = resolve_rng(seed)
     probs = graph.item_probabilities(gamma)
     counts: list[float] = []
@@ -158,12 +173,17 @@ def estimate_spread_sequential(
             break
         if mean == 0.0:
             break  # empty seed set or isolated seeds: variance is 0
+        if deadline is not None and deadline.expired():
+            degraded = True
+            _obs.record_deadline_expired("spread")
+            break
     arr = np.asarray(counts)
     _obs.record_simulations(arr.size)
     return SpreadEstimate(
         mean=float(arr.mean()),
         std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
         num_simulations=int(arr.size),
+        degraded=degraded,
     )
 
 

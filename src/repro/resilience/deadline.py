@@ -1,0 +1,94 @@
+"""Deadline budgets for long-running operations.
+
+A :class:`Deadline` is a tiny monotonic-clock budget object threaded
+through query evaluation and spread estimation so a slow call can stop
+*doing more work* instead of hanging past its latency target.  The
+repo's convention (see ``docs/RESILIENCE.md``) is degradation over
+exceptions: code holding a deadline checks :meth:`Deadline.expired` at
+phase boundaries and returns a partial result flagged ``degraded=True``;
+:meth:`Deadline.check` exists for callers that prefer a hard
+:class:`~repro.errors.DeadlineExceededError`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.errors import DeadlineExceededError
+
+
+class Deadline:
+    """A wall-clock budget anchored at construction time.
+
+    Parameters
+    ----------
+    seconds:
+        Budget in seconds from *now*.  ``None`` means unlimited — the
+        deadline never expires, so call sites can thread one object
+        through unconditionally.
+    clock:
+        Monotonic clock used for all measurements (injectable for
+        tests).
+    """
+
+    __slots__ = ("_clock", "_expires_at", "_seconds")
+
+    def __init__(self, seconds: float | None, *, clock=time.monotonic) -> None:
+        if seconds is not None and (
+            not math.isfinite(seconds) or seconds < 0
+        ):
+            raise ValueError(
+                f"deadline seconds must be finite and >= 0, got {seconds}"
+            )
+        self._clock = clock
+        self._seconds = seconds
+        self._expires_at = None if seconds is None else clock() + seconds
+
+    @classmethod
+    def from_ms(cls, milliseconds: float | None, *, clock=time.monotonic) -> "Deadline":
+        """A deadline ``milliseconds`` from now (``None`` = unlimited)."""
+        if milliseconds is None:
+            return cls(None, clock=clock)
+        return cls(milliseconds / 1000.0, clock=clock)
+
+    @property
+    def seconds(self) -> float | None:
+        """The budget this deadline was created with (``None`` = unlimited)."""
+        return self._seconds
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (``inf`` when unlimited, floored at 0)."""
+        if self._expires_at is None:
+            return math.inf
+        return max(0.0, self._expires_at - self._clock())
+
+    def expired(self) -> bool:
+        """Whether the budget has been used up."""
+        return self._expires_at is not None and self._clock() >= self._expires_at
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent."""
+        if self.expired():
+            raise DeadlineExceededError(
+                f"{what} exceeded its {self._seconds:g}s deadline"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self._expires_at is None:
+            return "Deadline(unlimited)"
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+def resolve_deadline(deadline) -> Deadline | None:
+    """Normalize the spellings accepted by ``deadline_ms`` parameters.
+
+    Accepts an existing :class:`Deadline` (passed through so batch
+    callers can share one budget across many queries), a number of
+    milliseconds, or ``None``.
+    """
+    if deadline is None:
+        return None
+    if isinstance(deadline, Deadline):
+        return deadline
+    return Deadline.from_ms(float(deadline))

@@ -1,0 +1,121 @@
+"""Retry policies with exponential backoff and deterministic jitter.
+
+A :class:`RetryPolicy` bundles the three decisions every retry loop
+makes — *is this error worth retrying*, *how many times*, and *how long
+to wait* — so call sites (the simulation-pool dispatcher, primarily)
+share one tested implementation instead of ad-hoc loops.  Backoff
+delays are deterministic: the jitter for attempt ``n`` is drawn from a
+``SeedSequence(seed, spawn_key=(n,))`` stream, so two processes with
+the same policy back off identically and tests can assert exact
+schedules.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+
+class RetryPolicy:
+    """Classified-retry schedule: exponential backoff plus jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Number of *retries* after the initial try (``0`` disables
+        retrying entirely).
+    base_delay / multiplier / max_delay:
+        Backoff shape: retry ``n`` (0-based) waits
+        ``min(max_delay, base_delay * multiplier**n)`` seconds before
+        jitter.
+    jitter:
+        Fraction of the backoff added as deterministic noise: the wait
+        is ``backoff * (1 + jitter * u)`` with ``u ~ U[0, 1)`` drawn
+        from the seeded per-attempt stream.
+    retryable:
+        Exception classes considered transient.  Anything else raised
+        by :meth:`call` propagates immediately.
+    seed:
+        Root of the jitter streams.
+    sleep:
+        The sleep function (injectable so tests run instantly).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_attempts: int = 2,
+        base_delay: float = 0.1,
+        multiplier: float = 2.0,
+        max_delay: float = 5.0,
+        jitter: float = 0.5,
+        retryable: tuple[type[BaseException], ...] = (OSError, TimeoutError),
+        seed: int = 0,
+        sleep=time.sleep,
+    ) -> None:
+        if max_attempts < 0:
+            raise ValueError(
+                f"max_attempts must be >= 0, got {max_attempts}"
+            )
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must lie in [0, 1], got {jitter}")
+        self.max_attempts = int(max_attempts)
+        self._base_delay = float(base_delay)
+        self._multiplier = float(multiplier)
+        self._max_delay = float(max_delay)
+        self._jitter = float(jitter)
+        self._retryable = tuple(retryable)
+        self._seed = int(seed)
+        self._sleep = sleep
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Whether ``exc`` is one of the classified transient errors."""
+        return isinstance(exc, self._retryable)
+
+    def delay(self, attempt: int) -> float:
+        """Deterministic wait (seconds) before retry ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        backoff = min(
+            self._max_delay, self._base_delay * self._multiplier**attempt
+        )
+        if self._jitter == 0.0 or backoff == 0.0:
+            return backoff
+        u = np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=self._seed, spawn_key=(attempt,)
+            )
+        ).random()
+        return backoff * (1.0 + self._jitter * u)
+
+    def sleep_before(self, attempt: int) -> float:
+        """Sleep out the backoff for retry ``attempt``; returns the wait."""
+        wait = self.delay(attempt)
+        if wait > 0:
+            self._sleep(wait)
+        return wait
+
+    def call(self, fn, *args, **kwargs):
+        """Invoke ``fn`` with retries; re-raise the last error when spent.
+
+        Retries only errors matching the ``retryable`` classification;
+        everything else propagates from the first attempt.
+        """
+        for attempt in range(self.max_attempts + 1):
+            try:
+                return fn(*args, **kwargs)
+            except self._retryable:
+                if attempt >= self.max_attempts:
+                    raise
+                self.sleep_before(attempt)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_delay={self._base_delay}, jitter={self._jitter})"
+        )

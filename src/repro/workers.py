@@ -18,8 +18,10 @@ Accepted spellings everywhere a worker count is configurable:
 
 The environment variable ``REPRO_SIM_WORKERS`` supplies the default
 simulation worker count wherever none is passed explicitly; CI uses it
-to run the whole test suite through the parallel spread engine.  See
-``docs/PARALLELISM.md`` for how the two pool levels compose.
+to run the whole test suite through the parallel spread engine.
+``REPRO_SIM_RETRIES`` similarly supplies the default pool-recovery
+retry budget (see ``docs/RESILIENCE.md``).  See ``docs/PARALLELISM.md``
+for how the two pool levels compose.
 """
 
 from __future__ import annotations
@@ -32,6 +34,12 @@ AUTO = "auto"
 
 #: Environment variable holding the default simulation worker count.
 SIM_WORKERS_ENV = "REPRO_SIM_WORKERS"
+
+#: Environment variable holding the default pool-recovery retry budget.
+SIM_RETRIES_ENV = "REPRO_SIM_RETRIES"
+
+#: Retries granted to a broken simulation pool when the env is unset.
+DEFAULT_SIM_RETRIES = 2
 
 
 def cpu_count() -> int:
@@ -87,6 +95,32 @@ def default_sim_workers() -> int:
     return resolve_workers(
         os.environ.get(SIM_WORKERS_ENV), name=SIM_WORKERS_ENV
     )
+
+
+def default_retry_attempts() -> int:
+    """Pool-recovery retry budget implied by ``REPRO_SIM_RETRIES``.
+
+    How many times :class:`~repro.propagation.parallel.\
+ParallelMonteCarloSpread` rebuilds a broken pool and re-dispatches the
+    unfinished chunks before degrading to inline execution.  ``0``
+    disables retrying (the first failure falls straight through to the
+    sequential path).
+    """
+    raw = os.environ.get(SIM_RETRIES_ENV)
+    if raw is None:
+        return DEFAULT_SIM_RETRIES
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise ValueError(
+            f"{SIM_RETRIES_ENV} must be a non-negative integer, "
+            f"got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(
+            f"{SIM_RETRIES_ENV} must be >= 0, got {value}"
+        )
+    return value
 
 
 def resolve_worker_allocation(

@@ -24,6 +24,7 @@ from repro.propagation import (
     shutdown_pools,
 )
 from repro.propagation import parallel as parallel_mod
+from repro.resilience import get_fault_plan
 from repro.workers import (
     cpu_count,
     default_sim_workers,
@@ -211,6 +212,10 @@ class TestGreedyAlgorithmsOnParallelOracle:
 
 class TestPoolLifecycle:
     def test_pool_reused_across_calls_and_estimators(self, small_graph):
+        # Pool *identity* is only stable without fault injection: an
+        # injected worker crash (e.g. the CI chaos job's REPRO_FAULTS
+        # plan) legitimately rebuilds the pool mid-call.
+        check_identity = get_fault_plan() is None
         gamma = np.full(4, 0.25)
         with ParallelMonteCarloSpread(
             small_graph, gamma, num_simulations=16, seed=0, workers=2
@@ -218,14 +223,16 @@ class TestPoolLifecycle:
             estimator.estimate([0])
             first_pool = parallel_mod._get_executor(2)
             estimator.estimate([1, 2])
-            assert parallel_mod._get_executor(2) is first_pool
+            if check_identity:
+                assert parallel_mod._get_executor(2) is first_pool
             assert estimator.calls == 2
         # A second estimator with the same width shares the pool.
         with ParallelMonteCarloSpread(
             small_graph, gamma, num_simulations=16, seed=1, workers=2
         ) as other:
             other.estimate([3])
-            assert parallel_mod._get_executor(2) is first_pool
+            if check_identity:
+                assert parallel_mod._get_executor(2) is first_pool
         assert 2 in parallel_mod.pool_widths()
 
     def test_payload_created_once_per_estimator(self, small_graph):
