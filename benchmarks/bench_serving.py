@@ -1,0 +1,106 @@
+"""Serving throughput/latency benchmark -> ``BENCH_serving.json``.
+
+Builds a micro index, starts the asyncio query server in-process, and
+drives it with the seeded closed-loop load generator.  The acceptance
+bar from the serving issue: >= 500 QPS single-process with p99 under
+the configured deadline, zero 5xx, and a warm cache (non-zero hit
+rate).  The full report lands in ``BENCH_serving.json`` so CI can
+archive the run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+
+import pytest
+from conftest import register_report
+
+from repro import obs
+from repro.core import CachedIndex, InflexConfig, InflexIndex, ServingConfig
+from repro.datasets import generate_flixster_like
+from repro.serving import QueryServer, run_loadgen
+
+DEADLINE_MS = 250.0
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+@pytest.fixture(scope="module")
+def micro_index() -> InflexIndex:
+    """A small but real index — big enough that misses cost something."""
+    dataset = generate_flixster_like(
+        num_nodes=250,
+        num_topics=4,
+        num_items=80,
+        topics_per_node=1,
+        base_strength=0.2,
+        seed=13,
+    )
+    config = InflexConfig(
+        num_index_points=20,
+        num_dirichlet_samples=1500,
+        seed_list_length=12,
+        ris_num_sets=1200,
+        knn=6,
+        leaf_size=8,
+        seed=17,
+    )
+    return InflexIndex.build(dataset.graph, dataset.item_topics, config)
+
+
+def test_serving_throughput(micro_index):
+    obs.enable()
+    config = ServingConfig(
+        port=0, deadline_ms=DEADLINE_MS, cache_decimals=6
+    )
+
+    async def scenario():
+        server = QueryServer(micro_index, config)
+        await server.start()
+        try:
+            report = await run_loadgen(
+                "127.0.0.1",
+                server.port,
+                mode="closed",
+                duration_s=3.0,
+                concurrency=8,
+                k=10,
+                deadline_ms=DEADLINE_MS,
+                num_distinct=64,
+                skew=1.1,
+                seed=42,
+            )
+            stats = server.stats()
+        finally:
+            await server.aclose()
+        return report, stats
+
+    try:
+        report, stats = asyncio.run(scenario())
+    finally:
+        obs.disable()
+        obs.get_registry().reset()
+
+    payload = report.to_dict()
+    payload["server_stats"] = stats
+    OUT_PATH.write_text(json.dumps(payload, indent=2))
+    register_report("Serving throughput (closed loop)", report.render())
+
+    # Acceptance bar: no 5xx, sustained throughput, bounded tail, and a
+    # cache that actually absorbed the Zipf-skewed repeat traffic.
+    assert report.errors == 0
+    assert not any(s.startswith("5") for s in report.status_counts)
+    assert report.ok > 0
+    assert report.throughput_qps >= 500.0
+    assert report.latency_ms["p99"] < DEADLINE_MS
+    assert report.cache_hit_rate is not None and report.cache_hit_rate > 0.0
+
+
+def test_serving_query_hot_path(benchmark, micro_index):
+    """Micro-benchmark of the per-request cached query path."""
+    cached = CachedIndex(micro_index, decimals=6)
+    gamma = [0.4, 0.3, 0.2, 0.1]
+    cached.query(gamma, 10)
+    benchmark(cached.query, gamma, 10)
+    assert cached.hits > 0

@@ -13,6 +13,8 @@ Usage (after ``pip install -e .``)::
                           --sim-workers auto
     repro-inflex experiment fig6 --scale test
     repro-inflex autosize --data data/
+    repro-inflex serve    --data data/ --index data/index.npz --port 8171
+    repro-inflex loadgen  --port 8171 --duration 5 --out BENCH_serving.json
 
 ``build``, ``experiment`` and ``spread`` accept ``--sim-workers`` (and
 ``build`` additionally ``--workers``) to parallelize Monte-Carlo spread
@@ -28,6 +30,12 @@ degrades to the nearest neighbor's list), and ``build`` / ``spread``
 accept ``--faults`` with a deterministic fault-plan spec (same grammar
 as the ``REPRO_FAULTS`` environment variable) for chaos testing; see
 ``docs/RESILIENCE.md``.
+
+``serve`` runs the concurrent HTTP query service (micro-batching,
+admission control, result cache, graceful SIGTERM drain) and
+``loadgen`` drives it with a seeded synthetic workload, reporting
+latency quantiles, throughput, shed rate, and cache-hit rate; see
+``docs/SERVING.md``.
 
 All subcommands operate on a data directory holding ``graph.npz`` (the
 topic graph) and ``catalog.npy`` (item topic distributions), plus an
@@ -333,6 +341,74 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core import ServingConfig
+    from repro.serving import serve
+
+    data_dir = Path(args.data)
+    graph = load_graph(data_dir / "graph.npz")
+    index = load_index(args.index, graph)
+    if not args.no_obs:
+        from repro import obs
+
+        obs.enable()
+    config = ServingConfig(
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch_size,
+        max_batch_wait_us=args.max_batch_wait_us,
+        max_inflight=args.max_inflight,
+        max_queue_depth=args.max_queue_depth,
+        deadline_ms=args.deadline_ms,
+        cache_entries=args.cache_entries,
+        cache_ttl_s=args.cache_ttl,
+    )
+
+    def ready(server) -> None:
+        print(
+            f"serving {index} on {config.host}:{server.port} "
+            f"(SIGTERM drains gracefully)",
+            flush=True,
+        )
+
+    asyncio.run(serve(index, config, ready=ready))
+    print("drained; all accepted requests answered", flush=True)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.serving import run_loadgen
+
+    report = asyncio.run(
+        run_loadgen(
+            args.host,
+            args.port,
+            mode=args.mode,
+            duration_s=args.duration,
+            concurrency=args.concurrency,
+            qps=args.qps,
+            k=args.k,
+            strategy=args.strategy,
+            deadline_ms=args.deadline_ms,
+            num_topics=args.topics,
+            num_distinct=args.distinct,
+            alpha=args.alpha,
+            skew=args.skew,
+            seed=args.seed,
+        )
+    )
+    print(report.render())
+    if args.out:
+        Path(args.out).write_text(json.dumps(report.to_dict(), indent=2))
+        print(f"report written to {args.out}")
+    return 0
+
+
 def _cmd_summarize(args: argparse.Namespace) -> int:
     from repro.graph import summarize_graph
 
@@ -552,6 +628,134 @@ def build_parser() -> argparse.ArgumentParser:
         help="reset the registry and trace buffer after dumping",
     )
     obs_cmd.set_defaults(func=_cmd_obs)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the concurrent HTTP query service over a built index",
+    )
+    serve.add_argument("--data", required=True, help="dataset directory")
+    serve.add_argument("--index", required=True, help="index .npz path")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8171,
+        help="listen port (0 binds an ephemeral port and prints it)",
+    )
+    serve.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=32,
+        help="max requests folded into one query_batch call",
+    )
+    serve.add_argument(
+        "--max-batch-wait-us",
+        type=int,
+        default=2000,
+        help="micro-batching window in microseconds",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=256,
+        help="admission budget: concurrent admitted requests",
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=512,
+        help="batch-queue bound before shedding with 429",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=250.0,
+        help="default per-request deadline (degraded answer on expiry)",
+    )
+    serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=4096,
+        help="result-cache LRU capacity",
+    )
+    serve.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        help="result-cache entry TTL in seconds (default: no expiry)",
+    )
+    serve.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="do not enable observability (empties /metrics)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a running query server with a seeded synthetic load",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8171)
+    loadgen.add_argument(
+        "--mode",
+        default="closed",
+        choices=("closed", "open"),
+        help="closed-loop (fixed concurrency) or open-loop (fixed QPS)",
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=5.0, help="run length in seconds"
+    )
+    loadgen.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        help="closed-loop workers / open-loop connection pool size",
+    )
+    loadgen.add_argument(
+        "--qps", type=float, default=500.0, help="open-loop request rate"
+    )
+    loadgen.add_argument("--k", type=int, default=10)
+    loadgen.add_argument(
+        "--strategy",
+        default="inflex",
+        choices=("inflex", "exact-knn", "approx-knn", "approx-knn-sel", "approx-ad"),
+    )
+    loadgen.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline sent with every query",
+    )
+    loadgen.add_argument(
+        "--topics",
+        type=int,
+        default=None,
+        help="query dimensionality (default: ask the server's /healthz)",
+    )
+    loadgen.add_argument(
+        "--distinct",
+        type=int,
+        default=64,
+        help="distinct Dirichlet-sampled queries in the mix",
+    )
+    loadgen.add_argument(
+        "--alpha",
+        type=float,
+        default=0.8,
+        help="Dirichlet concentration of the query mix",
+    )
+    loadgen.add_argument(
+        "--skew",
+        type=float,
+        default=1.1,
+        help="Zipf popularity skew (0 = uniform mix)",
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--out", help="write the JSON report here (e.g. BENCH_serving.json)"
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     summarize = sub.add_parser(
         "summarize", help="print structural statistics of a graph"

@@ -4,7 +4,13 @@ Build an index once with :meth:`InflexIndex.build`, then answer TIM
 queries in milliseconds with :meth:`InflexIndex.query`.
 """
 
-from repro.core.config import AGGREGATORS, IM_ENGINES, InflexConfig, PAPER_CONFIG
+from repro.core.config import (
+    AGGREGATORS,
+    IM_ENGINES,
+    InflexConfig,
+    PAPER_CONFIG,
+    ServingConfig,
+)
 from repro.core.query import QueryTiming, TimAnswer, TimQuery
 from repro.core.index import STRATEGIES, InflexIndex
 from repro.core.aggregation import aggregate_seed_lists
@@ -49,6 +55,7 @@ __all__ = [
     "IM_ENGINES",
     "InflexConfig",
     "PAPER_CONFIG",
+    "ServingConfig",
     "QueryTiming",
     "TimAnswer",
     "TimQuery",

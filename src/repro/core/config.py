@@ -221,6 +221,127 @@ class InflexConfig:
         )
 
 
+@dataclass(frozen=True)
+class ServingConfig:
+    """Tunables of the concurrent query service (:mod:`repro.serving`).
+
+    Network
+    -------
+    host / port:
+        Listen address.  ``port=0`` binds an ephemeral port (the server
+        reports the actual one), which tests and benchmarks use.
+
+    Micro-batching
+    --------------
+    max_batch_size:
+        Upper bound on requests folded into one
+        :meth:`~repro.core.index.InflexIndex.query_batch` call.
+    max_batch_wait_us:
+        Batching window in microseconds: once the first request of a
+        batch arrives, the batcher waits at most this long for more
+        before dispatching.  0 disables the wait (every request
+        dispatches immediately, possibly still coalescing whatever is
+        already queued).
+
+    Admission control
+    -----------------
+    max_inflight:
+        Concurrent admitted requests (queued + executing).  Beyond it
+        the server sheds with 429 rather than queueing unboundedly.
+    max_queue_depth:
+        Bound on requests waiting in the batcher queue; exceeding it
+        also sheds with 429.
+    retry_after_s:
+        Value of the ``Retry-After`` header on shed (429/503)
+        responses, in seconds (rounded up to whole seconds on the
+        wire, as the header requires).
+
+    Deadlines
+    ---------
+    deadline_ms:
+        Default per-request wall-clock budget, measured from admission;
+        propagated into the index's ``deadline_ms`` machinery so an
+        over-budget query returns a degraded answer (see
+        ``docs/RESILIENCE.md``) instead of holding its batch hostage.
+        Requests may override it per call; ``None`` = unlimited.
+
+    Result cache
+    ------------
+    cache_entries / cache_decimals / cache_ttl_s:
+        Passed through to :class:`~repro.core.cache.CachedIndex`
+        (capacity, key rounding, optional entry TTL).
+
+    Lifecycle
+    ---------
+    drain_grace_s:
+        Upper bound on the graceful-drain wait (stop accepting, flush
+        the batcher, answer in-flight requests) before the server gives
+        up and closes remaining connections.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8171
+    max_batch_size: int = 32
+    max_batch_wait_us: int = 2000
+    max_inflight: int = 256
+    max_queue_depth: int = 512
+    retry_after_s: float = 0.05
+    deadline_ms: float | None = 250.0
+    cache_entries: int = 4096
+    cache_decimals: int = 3
+    cache_ttl_s: float | None = None
+    drain_grace_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ValueError(f"port must be in [0, 65535], got {self.port}")
+        if self.max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_batch_wait_us < 0:
+            raise ValueError(
+                f"max_batch_wait_us must be >= 0, got {self.max_batch_wait_us}"
+            )
+        if self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.retry_after_s < 0:
+            raise ValueError(
+                f"retry_after_s must be >= 0, got {self.retry_after_s}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(
+                f"deadline_ms must be positive or None, got {self.deadline_ms}"
+            )
+        if self.cache_entries < 1:
+            raise ValueError(
+                f"cache_entries must be >= 1, got {self.cache_entries}"
+            )
+        if self.cache_decimals < 1:
+            raise ValueError(
+                f"cache_decimals must be >= 1, got {self.cache_decimals}"
+            )
+        if self.cache_ttl_s is not None and self.cache_ttl_s <= 0:
+            raise ValueError(
+                f"cache_ttl_s must be positive or None, got {self.cache_ttl_s}"
+            )
+        if self.drain_grace_s <= 0:
+            raise ValueError(
+                f"drain_grace_s must be positive, got {self.drain_grace_s}"
+            )
+
+    @property
+    def max_batch_wait_s(self) -> float:
+        """The batching window in seconds (see ``max_batch_wait_us``)."""
+        return self.max_batch_wait_us / 1e6
+
+
 #: Paper-faithful parameter set (expensive: hours of precomputation even
 #: with the RIS engine at full scale — provided for completeness).
 PAPER_CONFIG = InflexConfig(

@@ -104,6 +104,45 @@ CACHE_EVICTIONS = _REGISTRY.counter(
 CACHE_ENTRIES = _REGISTRY.gauge(
     "repro_cache_entries", "Current CachedIndex occupancy"
 )
+CACHE_EXPIRATIONS = _REGISTRY.counter(
+    "repro_cache_expirations_total",
+    "CachedIndex entries dropped because their TTL elapsed",
+)
+
+# -- query serving ------------------------------------------------------
+SERVING_REQUESTS = _REGISTRY.counter(
+    "repro_serving_requests_total",
+    "HTTP requests answered by the query server, by route and status",
+    labels=("route", "status"),
+)
+SERVING_REQUEST_SECONDS = _REGISTRY.histogram(
+    "repro_serving_request_seconds",
+    "Request wall clock from admission to response write, by route",
+    labels=("route",),
+)
+SERVING_SHED = _REGISTRY.counter(
+    "repro_serving_shed_total",
+    "Requests rejected by admission control, by reason "
+    "(inflight/queue/draining)",
+    labels=("reason",),
+)
+SERVING_BATCH_SIZE = _REGISTRY.histogram(
+    "repro_serving_batch_size", "Requests folded into one query_batch call"
+)
+SERVING_BATCH_WAIT_SECONDS = _REGISTRY.histogram(
+    "repro_serving_batch_wait_seconds",
+    "Batching-window wait from first enqueue to dispatch",
+)
+SERVING_COALESCED = _REGISTRY.counter(
+    "repro_serving_singleflight_coalesced_total",
+    "Requests that piggybacked on an identical in-flight computation",
+)
+SERVING_INFLIGHT = _REGISTRY.gauge(
+    "repro_serving_inflight", "Currently admitted (queued + executing) requests"
+)
+SERVING_QUEUE_DEPTH = _REGISTRY.gauge(
+    "repro_serving_queue_depth", "Requests waiting in the micro-batch queue"
+)
 
 # -- offline construction ----------------------------------------------
 BUILD_STAGE_SECONDS = _REGISTRY.histogram(
@@ -289,6 +328,79 @@ def record_cache_eviction(entries: int) -> None:
         return
     CACHE_EVICTIONS.inc()
     CACHE_ENTRIES.set(entries)
+
+
+def record_cache_expiration(entries: int) -> None:
+    """Count one CachedIndex TTL expiration and update the occupancy
+    gauge."""
+    if not STATE.enabled:
+        return
+    CACHE_EXPIRATIONS.inc()
+    CACHE_ENTRIES.set(entries)
+
+
+_SERVING_REQUEST_COUNTERS: dict = {}
+_SERVING_ROUTE_HISTOGRAMS: dict = {}
+_SERVING_SHED_COUNTERS: dict = {}
+
+
+def record_http_request(route: str, status: int, seconds: float) -> None:
+    """Fold one served HTTP request into the registry."""
+    if not STATE.enabled:
+        return
+    key = (route, status)
+    counter = _SERVING_REQUEST_COUNTERS.get(key)
+    if counter is None:
+        counter = SERVING_REQUESTS.labels(route=route, status=str(status))
+        _SERVING_REQUEST_COUNTERS[key] = counter
+    counter.inc()
+    histogram = _SERVING_ROUTE_HISTOGRAMS.get(route)
+    if histogram is None:
+        histogram = SERVING_REQUEST_SECONDS.labels(route=route)
+        _SERVING_ROUTE_HISTOGRAMS[route] = histogram
+    histogram.observe(seconds)
+
+
+def record_shed(reason: str) -> None:
+    """Count one request rejected by admission control."""
+    if not STATE.enabled:
+        return
+    counter = _SERVING_SHED_COUNTERS.get(reason)
+    if counter is None:
+        counter = SERVING_SHED.labels(reason=reason)
+        _SERVING_SHED_COUNTERS[reason] = counter
+    counter.inc()
+
+
+def record_coalesced() -> None:
+    """Count one request coalesced into an identical in-flight one."""
+    if not STATE.enabled:
+        return
+    SERVING_COALESCED.inc()
+
+
+def set_serving_load(inflight: int, queue_depth: int) -> None:
+    """Update the admission-control load gauges."""
+    if not STATE.enabled:
+        return
+    SERVING_INFLIGHT.set(inflight)
+    SERVING_QUEUE_DEPTH.set(queue_depth)
+
+
+@contextlib.contextmanager
+def serving_batch_span(size: int, waited_s: float):
+    """Span + histograms around one micro-batch dispatch.
+
+    ``waited_s`` is the batching-window wait (first enqueue to
+    dispatch); the execution itself is timed by the span.
+    """
+    with get_tracer().span(
+        "serving.batch", category="serving", size=size
+    ) as span:
+        yield span
+    if STATE.enabled:
+        SERVING_BATCH_SIZE.observe(size)
+        SERVING_BATCH_WAIT_SECONDS.observe(waited_s)
 
 
 def record_gain_evaluations(engine: str, count: int) -> None:

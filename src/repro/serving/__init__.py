@@ -1,0 +1,56 @@
+"""Concurrent query serving: the online front door of the reproduction.
+
+The paper's whole point is *online* TIM answering — the INFLEX index
+exists so ``Q(gamma_q, k)`` resolves in milliseconds at serving time.
+This package turns the single-call library into a service built for
+heavy concurrent traffic, composing the layers the earlier PRs laid
+down:
+
+* :mod:`repro.serving.server` — stdlib-only asyncio HTTP/1.1 server
+  (``/query``, ``/query_batch``, ``/healthz``, ``/metrics``,
+  ``/stats``) with graceful SIGTERM drain;
+* :mod:`repro.serving.batcher` — micro-batching of concurrent requests
+  into :meth:`~repro.core.index.InflexIndex.query_batch` calls;
+* :mod:`repro.serving.admission` — in-flight/queue-depth admission
+  control with 429/503 + ``Retry-After`` load shedding;
+* :mod:`repro.serving.singleflight` — coalescing of identical
+  in-flight queries, fronting the TTL/LRU
+  :class:`~repro.core.cache.CachedIndex`;
+* :mod:`repro.serving.loadgen` — seeded closed-/open-loop load
+  generation with latency/throughput/shed/cache reporting;
+* :mod:`repro.serving.protocol` — the shared HTTP codec and JSON wire
+  format.
+
+Configuration lives in :class:`repro.core.config.ServingConfig`; the
+CLI entry points are ``repro-inflex serve`` and ``repro-inflex
+loadgen``.  See ``docs/SERVING.md``.
+"""
+
+from repro.serving.admission import AdmissionController, AdmissionSnapshot
+from repro.serving.batcher import (
+    BatcherStats,
+    BatchItem,
+    MicroBatcher,
+    QueueFullError,
+)
+from repro.serving.loadgen import LoadReport, build_query_mix, run_loadgen
+from repro.serving.protocol import HttpRequest, ProtocolError
+from repro.serving.server import QueryServer, serve
+from repro.serving.singleflight import SingleFlight
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionSnapshot",
+    "BatchItem",
+    "BatcherStats",
+    "HttpRequest",
+    "LoadReport",
+    "MicroBatcher",
+    "ProtocolError",
+    "QueryServer",
+    "QueueFullError",
+    "SingleFlight",
+    "build_query_mix",
+    "run_loadgen",
+    "serve",
+]

@@ -1,0 +1,129 @@
+"""Admission control and load shedding for the query service.
+
+The serving design (see ``docs/SERVING.md``) prefers *shedding* to
+*queueing*: past a configured in-flight budget or batch-queue depth the
+server answers 429 with ``Retry-After`` immediately instead of letting
+latency grow without bound.  A shed request costs microseconds; a
+queued one costs every later request its place in line.
+
+:class:`AdmissionController` is event-loop-confined state (plain
+counters — the asyncio server mutates it from one thread only), so it
+needs no lock; the executor thread never touches it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs import instruments as _obs
+
+#: Shed reasons reported in stats, metrics, and response bodies.
+SHED_INFLIGHT = "inflight"
+SHED_QUEUE = "queue"
+SHED_DRAINING = "draining"
+
+
+@dataclass
+class AdmissionSnapshot:
+    """Point-in-time admission statistics (JSON-friendly)."""
+
+    inflight: int
+    admitted_total: int
+    shed_total: int
+    shed_by_reason: dict[str, int]
+
+    def to_dict(self) -> dict:
+        """The snapshot as a plain dict."""
+        return {
+            "inflight": self.inflight,
+            "admitted_total": self.admitted_total,
+            "shed_total": self.shed_total,
+            "shed_by_reason": dict(self.shed_by_reason),
+        }
+
+
+class AdmissionController:
+    """Bounded in-flight budget with queue-depth backpressure.
+
+    Parameters
+    ----------
+    max_inflight:
+        Concurrent admitted requests (from admission to response
+        write).
+    max_queue_depth:
+        Bound on the micro-batch queue; checked via ``queue_depth`` so
+        the controller never reaches into the batcher.
+    queue_depth:
+        Zero-argument callable returning the current batch-queue depth.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int,
+        max_queue_depth: int,
+        *,
+        queue_depth=lambda: 0,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        self._max_inflight = int(max_inflight)
+        self._max_queue_depth = int(max_queue_depth)
+        self._queue_depth = queue_depth
+        self._inflight = 0
+        self._admitted_total = 0
+        self._shed: dict[str, int] = {}
+
+    @property
+    def inflight(self) -> int:
+        """Currently admitted (not yet released) requests."""
+        return self._inflight
+
+    def try_admit(self, weight: int = 1) -> str | None:
+        """Admit ``weight`` request units or return the shed reason.
+
+        ``weight`` lets ``/query_batch`` count as its member queries so
+        a 100-query batch cannot slip under a budget sized for single
+        requests.  Returns ``None`` on admission (the caller MUST pair
+        it with :meth:`release`), or one of the ``SHED_*`` reasons.
+        """
+        if self._inflight + weight > self._max_inflight:
+            return self.shed(SHED_INFLIGHT)
+        if self._queue_depth() >= self._max_queue_depth:
+            return self.shed(SHED_QUEUE)
+        self._inflight += weight
+        self._admitted_total += weight
+        _obs.set_serving_load(self._inflight, self._queue_depth())
+        return None
+
+    def shed(self, reason: str) -> str:
+        """Record one shed decision and return ``reason``.
+
+        Exposed so the server can funnel drain-time rejections
+        (``SHED_DRAINING``) through the same accounting.
+        """
+        self._shed[reason] = self._shed.get(reason, 0) + 1
+        _obs.record_shed(reason)
+        return reason
+
+    def release(self, weight: int = 1) -> None:
+        """Return ``weight`` admitted units to the budget."""
+        self._inflight = max(0, self._inflight - weight)
+        _obs.set_serving_load(self._inflight, self._queue_depth())
+
+    @property
+    def idle(self) -> bool:
+        """Whether no admitted request is outstanding."""
+        return self._inflight == 0
+
+    def snapshot(self) -> AdmissionSnapshot:
+        """Current counters as an :class:`AdmissionSnapshot`."""
+        return AdmissionSnapshot(
+            inflight=self._inflight,
+            admitted_total=self._admitted_total,
+            shed_total=sum(self._shed.values()),
+            shed_by_reason=dict(self._shed),
+        )

@@ -1,0 +1,429 @@
+"""Closed- and open-loop load generation against the query server.
+
+The generator builds a *seeded, Dirichlet-sampled query mix*: a pool of
+``num_distinct`` topic distributions drawn from ``Dirichlet(alpha)``,
+requested with Zipf-like popularity skew (``skew=0`` is uniform;
+higher values concentrate traffic on few hot queries, the shape that
+exercises the cache and singleflight layers).  Same seed, same mix —
+runs are reproducible end to end.
+
+Two driving modes, the standard pair from the serving literature:
+
+* **closed-loop** — ``concurrency`` workers each issue one request,
+  wait for the answer, and repeat; offered load adapts to the server
+  (throughput measurement).
+* **open-loop** — requests fire on a fixed ``qps`` schedule regardless
+  of completions; latency is measured from the *scheduled* send time,
+  so queueing delay is charged to the server, not hidden by
+  coordinated omission (tail-latency measurement).
+
+The report carries p50/p95/p99 latency, throughput, shed rate, error
+rate, and — scraped from the server's ``/metrics`` before and after
+the run — the cache-hit and singleflight-coalescing rates for the
+window.  ``benchmarks/bench_serving.py`` serializes it to
+``BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serving.protocol import (
+    ProtocolError,
+    encode_request,
+    json_body,
+    read_response,
+)
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcome of one load-generation run (JSON-friendly)."""
+
+    mode: str
+    duration_s: float
+    requests: int
+    ok: int
+    shed: int
+    errors: int
+    throughput_qps: float
+    latency_ms: dict = field(default_factory=dict)
+    degraded: int = 0
+    cache_hit_rate: float | None = None
+    coalesced: int | None = None
+    status_counts: dict = field(default_factory=dict)
+    config: dict = field(default_factory=dict)
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of issued requests answered 429/503."""
+        return self.shed / self.requests if self.requests else 0.0
+
+    def to_dict(self) -> dict:
+        """The report as a plain dict (what lands in BENCH_serving.json)."""
+        return {
+            "mode": self.mode,
+            "duration_s": round(self.duration_s, 3),
+            "requests": self.requests,
+            "ok": self.ok,
+            "shed": self.shed,
+            "shed_rate": round(self.shed_rate, 4),
+            "errors": self.errors,
+            "degraded": self.degraded,
+            "throughput_qps": round(self.throughput_qps, 1),
+            "latency_ms": self.latency_ms,
+            "cache_hit_rate": self.cache_hit_rate,
+            "coalesced": self.coalesced,
+            "status_counts": dict(self.status_counts),
+            "config": dict(self.config),
+        }
+
+    def render(self) -> str:
+        """Human-readable summary for the CLI."""
+        lines = [
+            f"mode: {self.mode}, duration: {self.duration_s:.2f}s",
+            f"requests: {self.requests} ({self.ok} ok, {self.shed} shed, "
+            f"{self.errors} errors, {self.degraded} degraded)",
+            f"throughput: {self.throughput_qps:.1f} qps, "
+            f"shed rate: {100 * self.shed_rate:.1f}%",
+        ]
+        if self.latency_ms:
+            lines.append(
+                "latency (ms): p50={p50:.2f} p95={p95:.2f} p99={p99:.2f} "
+                "max={max:.2f}".format(**self.latency_ms)
+            )
+        if self.cache_hit_rate is not None:
+            lines.append(
+                f"cache hit rate: {100 * self.cache_hit_rate:.1f}%"
+                + (
+                    f", coalesced: {self.coalesced}"
+                    if self.coalesced is not None
+                    else ""
+                )
+            )
+        return "\n".join(lines)
+
+
+def build_query_mix(
+    num_topics: int,
+    *,
+    num_distinct: int = 64,
+    alpha: float = 0.8,
+    skew: float = 1.1,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The seeded query mix: ``(pool, probabilities)``.
+
+    ``pool`` is ``(num_distinct, num_topics)`` of Dirichlet samples;
+    ``probabilities[i]`` is the Zipf-like request probability of row
+    ``i`` (``skew=0`` = uniform).
+    """
+    if num_topics < 2:
+        raise ValueError(f"num_topics must be >= 2, got {num_topics}")
+    if num_distinct < 1:
+        raise ValueError(f"num_distinct must be >= 1, got {num_distinct}")
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    if skew < 0:
+        raise ValueError(f"skew must be >= 0, got {skew}")
+    rng = np.random.default_rng(seed)
+    pool = rng.dirichlet(np.full(num_topics, alpha), size=num_distinct)
+    weights = 1.0 / np.arange(1, num_distinct + 1, dtype=np.float64) ** skew
+    return pool, weights / weights.sum()
+
+
+class _Connection:
+    """One persistent keep-alive client connection."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self._host = host
+        self._port = port
+        self._reader = None
+        self._writer = None
+        self.lock = asyncio.Lock()
+
+    async def _ensure_open(self) -> None:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self._host, self._port
+            )
+
+    async def request(
+        self, method: str, target: str, body: bytes = b""
+    ) -> tuple[int, dict, bytes]:
+        """Issue one request, transparently reopening a dead connection."""
+        for attempt in (0, 1):
+            await self._ensure_open()
+            try:
+                self._writer.write(
+                    encode_request(
+                        method, target, body, host=self._host
+                    )
+                )
+                await self._writer.drain()
+                return await read_response(self._reader)
+            except (
+                ConnectionError,
+                asyncio.IncompleteReadError,
+                ProtocolError,
+            ):
+                self.close()
+                if attempt:
+                    raise
+        raise RuntimeError("unreachable")  # pragma: no cover
+
+    def close(self) -> None:
+        """Drop the underlying socket (reopened lazily on next use)."""
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+            self._reader = None
+
+
+async def _scrape_counters(conn: _Connection) -> dict[str, float] | None:
+    """Fetch the counters the report needs from ``/metrics``."""
+    try:
+        status, _, body = await conn.request("GET", "/metrics")
+    except (ConnectionError, OSError, ProtocolError, asyncio.IncompleteReadError):
+        return None
+    if status != 200:
+        return None
+    wanted = (
+        "repro_cache_hits_total",
+        "repro_cache_misses_total",
+        "repro_serving_singleflight_coalesced_total",
+    )
+    counters = {}
+    for line in body.decode("utf-8").splitlines():
+        if line.startswith("#"):
+            continue
+        name, _, value = line.partition(" ")
+        if name in wanted:
+            try:
+                counters[name] = float(value)
+            except ValueError:
+                pass
+    return counters
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    *,
+    mode: str = "closed",
+    duration_s: float = 5.0,
+    concurrency: int = 8,
+    qps: float = 500.0,
+    k: int = 10,
+    strategy: str = "inflex",
+    deadline_ms: float | None = None,
+    num_topics: int | None = None,
+    num_distinct: int = 64,
+    alpha: float = 0.8,
+    skew: float = 1.1,
+    seed: int = 0,
+) -> LoadReport:
+    """Drive the server and return a :class:`LoadReport`.
+
+    ``num_topics`` defaults to the value reported by the server's
+    ``/healthz`` endpoint, so a plain invocation needs no knowledge of
+    the index being served.
+    """
+    if mode not in ("closed", "open"):
+        raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    if qps <= 0:
+        raise ValueError(f"qps must be positive, got {qps}")
+
+    control = _Connection(host, port)
+    if num_topics is None:
+        status, _, body = await control.request("GET", "/healthz")
+        if status != 200:
+            raise RuntimeError(
+                f"server not healthy (healthz returned {status})"
+            )
+        num_topics = int(json.loads(body)["num_topics"])
+
+    pool, probabilities = build_query_mix(
+        num_topics,
+        num_distinct=num_distinct,
+        alpha=alpha,
+        skew=skew,
+        seed=seed,
+    )
+    # Pre-encode every distinct request body once; the draw sequence is
+    # seeded separately so mix and schedule are independently stable.
+    bodies = [
+        json_body(
+            {
+                "gamma": [round(float(v), 6) for v in row],
+                "k": k,
+                "strategy": strategy,
+                **(
+                    {"deadline_ms": deadline_ms}
+                    if deadline_ms is not None
+                    else {}
+                ),
+            }
+        )
+        for row in pool
+    ]
+    draw_rng = np.random.default_rng(seed + 1)
+
+    before = await _scrape_counters(control)
+
+    latencies: list[float] = []
+    status_counts: dict[int, int] = {}
+    degraded = 0
+    errors = 0
+
+    def _record(status: int, latency_s: float, payload: bytes) -> None:
+        nonlocal degraded
+        status_counts[status] = status_counts.get(status, 0) + 1
+        if status == 200:
+            latencies.append(latency_s)
+            if b'"degraded":true' in payload:
+                degraded += 1
+
+    started = time.monotonic()
+    ends = started + duration_s
+
+    if mode == "closed":
+        async def worker(worker_id: int) -> None:
+            nonlocal errors
+            conn = _Connection(host, port)
+            # Per-worker stream: the mix each worker draws is stable
+            # across runs regardless of scheduling interleavings.
+            rng = np.random.default_rng([seed + 1, worker_id])
+            try:
+                while time.monotonic() < ends:
+                    body = bodies[
+                        int(rng.choice(len(bodies), p=probabilities))
+                    ]
+                    sent = time.monotonic()
+                    try:
+                        status, _, payload = await conn.request(
+                            "POST", "/query", body
+                        )
+                    except (ConnectionError, OSError, ProtocolError,
+                            asyncio.IncompleteReadError):
+                        errors += 1
+                        continue
+                    _record(status, time.monotonic() - sent, payload)
+            finally:
+                conn.close()
+
+        await asyncio.gather(*(worker(i) for i in range(concurrency)))
+    else:
+        # Open-loop: a fixed schedule of send times; each request is
+        # charged from its *scheduled* time so server-side queueing is
+        # visible (no coordinated omission).  ``concurrency`` persistent
+        # connections carry the traffic; a request waits for a free one
+        # with the clock already running.
+        conns = [_Connection(host, port) for _ in range(concurrency)]
+        interval = 1.0 / qps
+        tasks = []
+
+        async def fire(scheduled: float, body: bytes, conn: _Connection):
+            nonlocal errors
+            delay = scheduled - time.monotonic()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            async with conn.lock:
+                try:
+                    status, _, payload = await conn.request(
+                        "POST", "/query", body
+                    )
+                except (ConnectionError, OSError, ProtocolError,
+                        asyncio.IncompleteReadError):
+                    errors += 1
+                    return
+            _record(status, time.monotonic() - scheduled, payload)
+
+        n = 0
+        while True:
+            scheduled = started + n * interval
+            if scheduled >= ends:
+                break
+            body = bodies[
+                int(draw_rng.choice(len(bodies), p=probabilities))
+            ]
+            tasks.append(
+                asyncio.ensure_future(
+                    fire(scheduled, body, conns[n % concurrency])
+                )
+            )
+            n += 1
+        await asyncio.gather(*tasks)
+        for conn in conns:
+            conn.close()
+
+    elapsed = time.monotonic() - started
+
+    after = await _scrape_counters(control)
+    control.close()
+
+    cache_hit_rate = None
+    coalesced = None
+    if before is not None and after is not None:
+        hits = after.get("repro_cache_hits_total", 0.0) - before.get(
+            "repro_cache_hits_total", 0.0
+        )
+        misses = after.get("repro_cache_misses_total", 0.0) - before.get(
+            "repro_cache_misses_total", 0.0
+        )
+        if hits + misses > 0:
+            cache_hit_rate = round(hits / (hits + misses), 4)
+        coalesced = int(
+            after.get("repro_serving_singleflight_coalesced_total", 0.0)
+            - before.get("repro_serving_singleflight_coalesced_total", 0.0)
+        )
+
+    ok = status_counts.get(200, 0)
+    shed = status_counts.get(429, 0) + status_counts.get(503, 0)
+    requests = sum(status_counts.values()) + errors
+    latency_ms: dict = {}
+    if latencies:
+        values = np.asarray(latencies) * 1000.0
+        latency_ms = {
+            "p50": round(float(np.percentile(values, 50)), 3),
+            "p95": round(float(np.percentile(values, 95)), 3),
+            "p99": round(float(np.percentile(values, 99)), 3),
+            "mean": round(float(values.mean()), 3),
+            "max": round(float(values.max()), 3),
+        }
+    return LoadReport(
+        mode=mode,
+        duration_s=elapsed,
+        requests=requests,
+        ok=ok,
+        shed=shed,
+        errors=errors,
+        degraded=degraded,
+        throughput_qps=ok / elapsed if elapsed > 0 else 0.0,
+        latency_ms=latency_ms,
+        cache_hit_rate=cache_hit_rate,
+        coalesced=coalesced,
+        status_counts={str(s): c for s, c in sorted(status_counts.items())},
+        config={
+            "mode": mode,
+            "concurrency": concurrency,
+            "qps": qps if mode == "open" else None,
+            "k": k,
+            "strategy": strategy,
+            "deadline_ms": deadline_ms,
+            "num_topics": num_topics,
+            "num_distinct": num_distinct,
+            "alpha": alpha,
+            "skew": skew,
+            "seed": seed,
+        },
+    )

@@ -1,0 +1,462 @@
+"""The asyncio HTTP query server: the front door of the reproduction.
+
+Request path (see ``docs/SERVING.md`` for the full architecture)::
+
+    connection -> admission control -> cache lookup
+        -> singleflight -> micro-batcher -> executor thread
+            -> InflexIndex.query_batch (deadline-aware, PR 3)
+        -> CachedIndex.store -> response
+
+All protocol work happens on the event loop; all index math happens on
+one executor thread (query evaluation is CPU-bound pure Python, so one
+thread avoids GIL thrash while keeping the loop free to accept, shed,
+and serve cache hits).  Graceful drain — ``SIGTERM`` via the CLI, or
+:meth:`QueryServer.request_drain` — stops accepting, flushes the
+batcher, answers every admitted request, then closes.
+
+Routes
+------
+``POST /query``        one TIM query (JSON body, see ``protocol``)
+``POST /query_batch``  many queries in one round trip
+``GET  /healthz``      liveness + index shape (503 while draining)
+``GET  /metrics``      Prometheus text exposition of ``repro.obs``
+``GET  /stats``        JSON server/cache/batcher/admission counters
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import math
+import time
+
+from repro.core.cache import CachedIndex
+from repro.core.config import ServingConfig
+from repro.core.index import InflexIndex
+from repro.errors import InvalidDistributionError, QueryError
+from repro.obs import instruments as _obs
+from repro.obs.metrics import get_registry
+from repro.resilience.deadline import Deadline
+from repro.serving.admission import (
+    SHED_DRAINING,
+    AdmissionController,
+)
+from repro.serving.batcher import BatchItem, MicroBatcher, QueueFullError
+from repro.serving.protocol import (
+    HttpRequest,
+    ProtocolError,
+    answer_to_dict,
+    encode_response,
+    error_body,
+    json_body,
+    parse_query_payload,
+    read_request,
+)
+from repro.serving.singleflight import SingleFlight
+
+
+class QueryServer:
+    """Concurrent TIM query service over one :class:`InflexIndex`.
+
+    Parameters
+    ----------
+    index:
+        The index to serve.
+    config:
+        Serving knobs; defaults to :class:`ServingConfig()`.
+    cache:
+        Optional pre-built :class:`CachedIndex` (tests inject one with
+        a fake clock); by default one is constructed from ``config``.
+    """
+
+    def __init__(
+        self,
+        index: InflexIndex,
+        config: ServingConfig | None = None,
+        *,
+        cache: CachedIndex | None = None,
+    ) -> None:
+        self.config = config or ServingConfig()
+        self.index = index
+        self.cache = cache or CachedIndex(
+            index,
+            max_entries=self.config.cache_entries,
+            decimals=self.config.cache_decimals,
+            ttl_seconds=self.config.cache_ttl_s,
+        )
+        self.batcher = MicroBatcher(
+            self._execute_batch,
+            max_batch_size=self.config.max_batch_size,
+            max_wait_s=self.config.max_batch_wait_s,
+            max_queue_depth=self.config.max_queue_depth,
+        )
+        self.admission = AdmissionController(
+            self.config.max_inflight,
+            self.config.max_queue_depth,
+            queue_depth=lambda: self.batcher.depth,
+        )
+        self.singleflight = SingleFlight()
+        self._executor: concurrent.futures.ThreadPoolExecutor | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._active_http = 0
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._started_at: float | None = None
+        self.port: int | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        """Whether a graceful drain has been requested."""
+        return self._draining
+
+    async def start(self) -> None:
+        """Bind the listener and start the batch collector."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serving-query"
+        )
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+
+    def request_drain(self) -> None:
+        """Begin a graceful drain (idempotent, callable from a signal
+        handler): stop accepting, finish admitted work, then stop."""
+        if self._draining:
+            return
+        self._draining = True
+        asyncio.get_running_loop().create_task(self._drain())
+
+    async def _drain(self) -> None:
+        # 1. Stop accepting new connections.
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # 2. Wait (bounded) for every in-progress request — admitted
+        #    queries and the HTTP writes delivering their answers — to
+        #    finish; each already has a queue slot or an executor slot,
+        #    so this converges as fast as the index can answer.
+        grace_ends = time.monotonic() + self.config.drain_grace_s
+        while (
+            not (self.admission.idle and self._active_http == 0)
+            and time.monotonic() < grace_ends
+        ):
+            await asyncio.sleep(0.005)
+        # 3. Flush whatever the batcher still holds (normally empty by
+        #    now) and stop the collector.
+        await self.batcher.drain()
+        # 4. Close surviving keep-alive connections; their in-flight
+        #    responses were written in step 2, so only idle readers
+        #    remain.
+        for writer in list(self._connections):
+            writer.close()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        self._drained.set()
+
+    async def wait_drained(self) -> None:
+        """Block until a requested drain completes."""
+        await self._drained.wait()
+
+    async def aclose(self) -> None:
+        """Drain and wait — the programmatic equivalent of SIGTERM."""
+        self.request_drain()
+        await self.wait_drained()
+
+    # ------------------------------------------------------------------
+    # Query execution (runs on the event loop; math on the executor)
+    # ------------------------------------------------------------------
+    async def _execute_batch(self, items: list[BatchItem]) -> list:
+        """Run one homogeneous group through ``query_batch`` off-loop."""
+        k, strategy = items[0].group_key
+        gammas = [item.gamma for item in items]
+        # Tightest-member deadline: the whole group degrades together
+        # rather than one member holding the rest past budget.
+        remaining = [
+            item.deadline.remaining()
+            for item in items
+            if item.deadline is not None
+        ]
+        deadline = Deadline(min(remaining)) if remaining else None
+
+        def run() -> list:
+            answers = self.index.query_batch(
+                gammas, k, strategy=strategy, deadline_ms=deadline
+            )
+            for item, answer in zip(items, answers):
+                self.cache.store(
+                    self.cache.canonical_key(item.gamma, k, strategy), answer
+                )
+            return answers
+
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, run
+        )
+
+    async def _answer_query(
+        self, gamma, k: int, strategy: str, deadline_ms: float | None
+    ) -> dict:
+        """The cache -> singleflight -> batcher pipeline for one query."""
+        key = self.cache.canonical_key(gamma, k, strategy)
+        cached = self.cache.lookup(key)
+        if cached is not None:
+            return answer_to_dict(cached, cache_hit=True)
+        # The budget starts here, at admission — queue wait spends it.
+        deadline = (
+            Deadline.from_ms(deadline_ms) if deadline_ms is not None else None
+        )
+
+        async def compute():
+            future = asyncio.get_running_loop().create_future()
+            self.batcher.submit(
+                BatchItem(
+                    gamma=gamma,
+                    k=k,
+                    strategy=strategy,
+                    deadline=deadline,
+                    future=future,
+                )
+            )
+            return await future
+
+        answer, leader = await self.singleflight.run(key, compute)
+        return answer_to_dict(answer, coalesced=not leader)
+
+    # ------------------------------------------------------------------
+    # HTTP handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ProtocolError as exc:
+                    writer.write(
+                        encode_response(
+                            400, error_body(str(exc)), keep_alive=False
+                        )
+                    )
+                    await _safe_drain(writer)
+                    break
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                if request is None:
+                    break
+                keep_alive = request.keep_alive and not self._draining
+                # _active_http covers route + write so drain cannot
+                # close a connection between computing an answer and
+                # flushing it.
+                self._active_http += 1
+                try:
+                    response = await self._route(request, keep_alive)
+                    writer.write(response)
+                    try:
+                        await writer.drain()
+                    except ConnectionError:
+                        break
+                finally:
+                    self._active_http -= 1
+                if not keep_alive:
+                    break
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+
+    async def _route(self, request: HttpRequest, keep_alive: bool) -> bytes:
+        started = time.monotonic()
+        route = request.target.split("?", 1)[0]
+        content_type = "application/json"
+        try:
+            if route == "/healthz":
+                status, body, extra = self._handle_healthz()
+            elif route == "/metrics":
+                content_type = "text/plain; version=0.0.4"
+                status, body, extra = (
+                    200,
+                    get_registry().to_prometheus().encode("utf-8"),
+                    None,
+                )
+            elif route == "/stats":
+                status, body, extra = 200, json_body(self.stats()), None
+            elif route == "/query":
+                status, body, extra = await self._handle_query(request)
+            elif route == "/query_batch":
+                status, body, extra = await self._handle_query_batch(request)
+            else:
+                status, body, extra = (
+                    404,
+                    error_body(f"no such route: {route}"),
+                    None,
+                )
+        except (ProtocolError, QueryError, InvalidDistributionError) as exc:
+            status, body, extra = 400, error_body(str(exc)), None
+        except QueueFullError:
+            status, body, extra = (
+                429,
+                error_body("server is overloaded"),
+                self._retry_after(),
+            )
+        except Exception as exc:  # pragma: no cover - defensive
+            status, body, extra = (
+                500,
+                error_body(f"internal error: {type(exc).__name__}: {exc}"),
+                None,
+            )
+        _obs.record_http_request(route, status, time.monotonic() - started)
+        return encode_response(
+            status,
+            body,
+            content_type=content_type,
+            keep_alive=keep_alive,
+            extra_headers=extra,
+        )
+
+    def _retry_after(self) -> dict[str, str]:
+        # Retry-After takes whole seconds; round the configured hint up
+        # so sub-second values still tell clients to back off.
+        return {"Retry-After": str(max(1, math.ceil(self.config.retry_after_s)))}
+
+    def _handle_healthz(self):
+        if self._draining:
+            return 503, json_body({"status": "draining"}), None
+        return 200, json_body(
+            {
+                "status": "ok",
+                "num_topics": self.index.graph.num_topics,
+                "num_index_points": self.index.num_index_points,
+                "uptime_s": round(
+                    time.monotonic() - (self._started_at or time.monotonic()),
+                    3,
+                ),
+            }
+        ), None
+
+    async def _handle_query(self, request: HttpRequest):
+        if request.method != "POST":
+            return 405, error_body("use POST"), None
+        if self._draining:
+            self.admission.shed(SHED_DRAINING)
+            return 503, error_body("server is draining"), self._retry_after()
+        gamma, k, strategy, deadline_ms = parse_query_payload(
+            request.json(), default_deadline_ms=self.config.deadline_ms
+        )
+        reason = self.admission.try_admit()
+        if reason is not None:
+            return 429, error_body(f"shed: {reason}"), self._retry_after()
+        try:
+            payload = await self._answer_query(gamma, k, strategy, deadline_ms)
+            return 200, json_body(payload), None
+        finally:
+            self.admission.release()
+
+    async def _handle_query_batch(self, request: HttpRequest):
+        if request.method != "POST":
+            return 405, error_body("use POST"), None
+        if self._draining:
+            self.admission.shed(SHED_DRAINING)
+            return 503, error_body("server is draining"), self._retry_after()
+        body = request.json()
+        if not isinstance(body, dict) or not isinstance(
+            body.get("queries"), list
+        ):
+            raise ProtocolError("'queries' must be an array of query objects")
+        queries = body["queries"]
+        if not queries:
+            return 200, json_body({"answers": []}), None
+        parsed = [
+            parse_query_payload(
+                entry,
+                default_k=body.get("k"),
+                default_strategy=body.get("strategy", "inflex"),
+                default_deadline_ms=body.get(
+                    "deadline_ms", self.config.deadline_ms
+                ),
+            )
+            for entry in queries
+        ]
+        reason = self.admission.try_admit(weight=len(parsed))
+        if reason is not None:
+            return 429, error_body(f"shed: {reason}"), self._retry_after()
+        try:
+            results = await asyncio.gather(
+                *(
+                    self._answer_query(gamma, k, strategy, deadline_ms)
+                    for gamma, k, strategy, deadline_ms in parsed
+                ),
+                return_exceptions=True,
+            )
+        finally:
+            self.admission.release(weight=len(parsed))
+        answers = []
+        for result in results:
+            if isinstance(result, (ProtocolError, QueryError)):
+                answers.append({"error": str(result)})
+            elif isinstance(result, BaseException):
+                raise result
+            else:
+                answers.append(result)
+        return 200, json_body({"answers": answers}), None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Consistent operator snapshot across all serving components."""
+        return {
+            "draining": self._draining,
+            "admission": self.admission.snapshot().to_dict(),
+            "batcher": self.batcher.stats.to_dict(),
+            "cache": self.cache.stats(),
+            "singleflight_coalesced": self.singleflight.coalesced_total,
+        }
+
+
+async def serve(
+    index: InflexIndex,
+    config: ServingConfig | None = None,
+    *,
+    install_signal_handlers: bool = True,
+    ready=None,
+) -> None:
+    """Run a :class:`QueryServer` until drained.
+
+    Wires ``SIGTERM``/``SIGINT`` to a graceful drain when the loop
+    supports it (main thread on POSIX).  ``ready`` is an optional
+    callback invoked with the server once it is listening — the CLI
+    prints the bound address there, tests grab the port.
+    """
+    server = QueryServer(index, config)
+    await server.start()
+    if install_signal_handlers:
+        import signal
+
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, server.request_drain)
+            except (NotImplementedError, ValueError):
+                # Non-main-thread loops and non-POSIX platforms: rely
+                # on programmatic drain instead.
+                break
+    if ready is not None:
+        ready(server)
+    await server.wait_drained()
+
+
+async def _safe_drain(writer: asyncio.StreamWriter) -> None:
+    """``writer.drain()`` that swallows a peer reset."""
+    try:
+        await writer.drain()
+    except ConnectionError:
+        pass

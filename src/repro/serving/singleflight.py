@@ -1,0 +1,79 @@
+"""Singleflight: coalesce identical concurrent computations.
+
+When fifty connections ask the same ``(gamma, k, strategy)`` in the
+same instant — the normal shape of a trending-item burst — the result
+cache alone does not help: all fifty miss *before* the first answer is
+stored, and the index computes the identical answer fifty times.
+:class:`SingleFlight` closes that window: the first caller for a key
+becomes the *leader* and computes; every concurrent caller for the
+same key awaits the leader's future and shares its answer (or its
+exception).  Combined with the TTL/LRU cache in front, the steady-state
+cost of a hot key is one computation per cache lifetime, regardless of
+concurrency.
+
+The class is event-loop-confined (dict mutations happen only on the
+loop thread between awaits), so it needs no lock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.obs import instruments as _obs
+
+
+class SingleFlight:
+    """Per-key coalescing of concurrent async computations."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[object, asyncio.Future] = {}
+        self._coalesced = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def coalesced_total(self) -> int:
+        """Requests that piggybacked on a leader since construction."""
+        return self._coalesced
+
+    async def run(self, key, supplier):
+        """Return ``(result, leader)`` for ``supplier()`` under ``key``.
+
+        The first concurrent caller for ``key`` runs ``supplier`` (an
+        async zero-argument callable) and is the *leader*
+        (``leader=True``); the rest await the leader's outcome.  The
+        key is cleared when the leader finishes, so later calls start
+        a fresh flight — result reuse across flights is the cache's
+        job, not this class's.
+
+        A cancelled leader cancels its followers too (they were
+        promised exactly that computation); exceptions propagate to
+        every waiter.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self._coalesced += 1
+            _obs.record_coalesced()
+            return await asyncio.shield(existing), False
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            result = await supplier()
+        except BaseException as exc:
+            if not future.cancelled():
+                if isinstance(exc, asyncio.CancelledError):
+                    future.cancel()
+                else:
+                    future.set_exception(exc)
+                    # The leader re-raises below; followers consume the
+                    # exception via the future, so silence the "never
+                    # retrieved" warning for the no-follower case.
+                    future.exception()
+            raise
+        else:
+            if not future.cancelled():
+                future.set_result(result)
+            return result, True
+        finally:
+            self._inflight.pop(key, None)

@@ -382,6 +382,7 @@ class TestCacheInstrumentation:
             "hits": 0,
             "misses": 0,
             "evictions": 0,
+            "expirations": 0,
             "entries": 0,
             "max_entries": 2,
             "hit_rate": 0.0,
