@@ -15,6 +15,8 @@ Usage (after ``pip install -e .``)::
     repro-inflex autosize --data data/
     repro-inflex serve    --data data/ --index data/index.npz --port 8171
     repro-inflex loadgen  --port 8171 --duration 5 --out BENCH_serving.json
+    repro-inflex stream   --data data/ --index data/index.npz \
+                          --batches 20 --batch-size 8 --out stream_report.json
 
 ``build``, ``experiment`` and ``spread`` accept ``--sim-workers`` (and
 ``build`` additionally ``--workers``) to parallelize Monte-Carlo spread
@@ -35,7 +37,13 @@ as the ``REPRO_FAULTS`` environment variable) for chaos testing; see
 admission control, result cache, graceful SIGTERM drain) and
 ``loadgen`` drives it with a seeded synthetic workload, reporting
 latency quantiles, throughput, shed rate, and cache-hit rate; see
-``docs/SERVING.md``.
+``docs/SERVING.md``.  ``serve --stream`` additionally enables the
+evolving-graph routes (``/deltas``, ``/subscriptions``).
+
+``stream`` replays an edge-delta workload (generated or loaded from a
+delta log) against a built index with incremental sketch maintenance,
+reporting per-batch churn and latency tables; see
+``docs/STREAMING.md``.
 
 All subcommands operate on a data directory holding ``graph.npz`` (the
 topic graph) and ``catalog.npy`` (item topic distributions), plus an
@@ -354,6 +362,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro import obs
 
         obs.enable()
+    streaming = None
+    if args.stream:
+        from repro.streaming import StreamingEngine
+
+        streaming = StreamingEngine(
+            index,
+            num_sets=args.stream_sets,
+            decay_rate=args.decay_rate,
+        )
     config = ServingConfig(
         host=args.host,
         port=args.port,
@@ -373,7 +390,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             flush=True,
         )
 
-    asyncio.run(serve(index, config, ready=ready))
+    asyncio.run(serve(index, config, ready=ready, streaming=streaming))
     print("drained; all accepted requests answered", flush=True)
     return 0
 
@@ -405,6 +422,132 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     print(report.render())
     if args.out:
         Path(args.out).write_text(json.dumps(report.to_dict(), indent=2))
+        print(f"report written to {args.out}")
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.datasets import generate_delta_workload
+    from repro.experiments.reporting import format_table
+    from repro.streaming import DeltaLog, StreamingEngine
+
+    _apply_faults(args)
+    obs_module = _start_profiling()
+    data_dir = Path(args.data)
+    graph = load_graph(data_dir / "graph.npz")
+    index = load_index(args.index, graph)
+    if args.log:
+        log = DeltaLog.load(args.log)
+        print(f"replaying {log!r} from {args.log}")
+    else:
+        log = generate_delta_workload(
+            graph,
+            args.batches,
+            args.batch_size,
+            time_step=args.time_step,
+            seed=args.seed,
+        )
+        print(
+            f"generated a synthetic stream: {len(log)} batches, "
+            f"{log.num_deltas} deltas (seed {args.seed})"
+        )
+    if args.save_log:
+        log.save(args.save_log)
+        print(f"delta log saved to {args.save_log}")
+    engine = StreamingEngine(
+        index,
+        num_sets=args.num_sets,
+        seed=args.seed,
+        decay_rate=args.decay_rate,
+        workers=args.workers,
+    )
+    catalog = np.load(data_dir / "catalog.npy")
+    for i in range(args.subscriptions):
+        engine.subscribe(catalog[i % catalog.shape[0]], args.k)
+    rows = []
+    batch_records = []
+    for batch in log:
+        start = time.perf_counter()
+        report, updates = engine.apply(batch)
+        latency_ms = (time.perf_counter() - start) * 1000.0
+        mean_tau = (
+            float(np.mean([u.kendall_tau for u in updates]))
+            if updates
+            else 0.0
+        )
+        rows.append(
+            (
+                report.batch_id,
+                report.num_deltas,
+                report.rr_sets_resampled,
+                report.rr_sets_retained,
+                len(report.changed_points),
+                len(updates),
+                mean_tau,
+                latency_ms,
+            )
+        )
+        batch_records.append(
+            {
+                "report": report.to_dict(),
+                "updates": [u.to_dict() for u in updates],
+                "latency_ms": latency_ms,
+            }
+        )
+    print(
+        format_table(
+            (
+                "batch",
+                "deltas",
+                "resampled",
+                "retained",
+                "changed pts",
+                "updates",
+                "mean tau",
+                "ms",
+            ),
+            rows,
+            title="delta replay",
+        )
+    )
+    stats = engine.stats()
+    maintainer = stats["maintainer"]
+    print(
+        f"retained {maintainer['rr_sets_retained']} of "
+        f"{maintainer['rr_sets_retained'] + maintainer['rr_sets_resampled']} "
+        f"RR-set refreshes "
+        f"({maintainer['retain_fraction'] * 100:.1f}% incremental win); "
+        f"{stats['subscriptions']['updates_emitted']} subscription "
+        "updates emitted"
+    )
+    snapshot = obs_module.get_registry().snapshot()
+
+    def counter_total(name: str) -> float:
+        family = snapshot.get(name)
+        if not family:
+            return 0.0
+        return float(sum(s["value"] for s in family["series"]))
+
+    metrics = {
+        name: counter_total(name)
+        for name in (
+            "repro_stream_batches_applied_total",
+            "repro_stream_deltas_applied_total",
+            "repro_stream_rr_sets_resampled_total",
+            "repro_stream_rr_sets_retained_total",
+            "repro_stream_subscription_evals_total",
+            "repro_stream_updates_total",
+        )
+    }
+    if args.out:
+        payload = {
+            "batches": batch_records,
+            "stats": stats,
+            "metrics": metrics,
+        }
+        Path(args.out).write_text(json.dumps(payload, indent=2))
         print(f"report written to {args.out}")
     return 0
 
@@ -689,6 +832,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not enable observability (empties /metrics)",
     )
+    serve.add_argument(
+        "--stream",
+        action="store_true",
+        help="enable evolving-graph routes (/deltas and /subscriptions)",
+    )
+    serve.add_argument(
+        "--stream-sets",
+        type=int,
+        default=None,
+        help="RR sets per index-point sketch for --stream (default: "
+        "the index's ris_num_sets)",
+    )
+    serve.add_argument(
+        "--decay-rate",
+        type=float,
+        default=0.0,
+        help="exponential time-decay rate of edge strength for --stream",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     loadgen = sub.add_parser(
@@ -756,6 +917,70 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", help="write the JSON report here (e.g. BENCH_serving.json)"
     )
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    stream = sub.add_parser(
+        "stream",
+        help="replay an evolving-graph delta workload against an index",
+    )
+    stream.add_argument("--data", required=True, help="dataset directory")
+    stream.add_argument("--index", required=True, help="index .npz path")
+    stream.add_argument(
+        "--log",
+        default=None,
+        help="delta log file to replay (default: generate a synthetic "
+        "stream)",
+    )
+    stream.add_argument(
+        "--batches", type=int, default=20, help="synthetic stream length"
+    )
+    stream.add_argument(
+        "--batch-size", type=int, default=8, help="deltas per batch"
+    )
+    stream.add_argument(
+        "--time-step",
+        type=float,
+        default=1.0,
+        help="timestamp increment between synthetic batches",
+    )
+    stream.add_argument(
+        "--num-sets",
+        type=int,
+        default=None,
+        help="RR sets per index-point sketch (default: the index's "
+        "ris_num_sets)",
+    )
+    stream.add_argument(
+        "--subscriptions",
+        type=int,
+        default=4,
+        help="standing queries registered from the catalog head",
+    )
+    stream.add_argument("--k", type=int, default=10)
+    stream.add_argument(
+        "--decay-rate",
+        type=float,
+        default=0.0,
+        help="exponential time-decay rate of edge strength",
+    )
+    stream.add_argument(
+        "--workers",
+        default="1",
+        help="sketch-refresh thread count: a positive int or 'auto'",
+    )
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument(
+        "--save-log", default=None, help="also save the replayed stream here"
+    )
+    stream.add_argument(
+        "--out", help="write the JSON report here (e.g. stream_report.json)"
+    )
+    stream.add_argument(
+        "--faults",
+        default=None,
+        help="deterministic fault-plan spec for chaos testing "
+        "(REPRO_FAULTS grammar, e.g. 'delta-apply:mode=error')",
+    )
+    stream.set_defaults(func=_cmd_stream)
 
     summarize = sub.add_parser(
         "summarize", help="print structural statistics of a graph"

@@ -20,7 +20,12 @@ from repro.core.offline import (
     offline_seed_lists_batch,
     offline_tic_seed_list,
 )
-from repro.core.persistence import load_index, save_index
+from repro.core.persistence import (
+    atomic_write_bytes,
+    crc_of_bytes,
+    load_index,
+    save_index,
+)
 from repro.core.whatif import WhatIfReport, compare_positionings
 from repro.core.segment import (
     estimate_segment_spread,
@@ -66,6 +71,8 @@ __all__ = [
     "offline_seed_list",
     "offline_seed_lists_batch",
     "offline_tic_seed_list",
+    "atomic_write_bytes",
+    "crc_of_bytes",
     "load_index",
     "save_index",
 ]

@@ -246,3 +246,17 @@ class CachedIndex:
             self._misses = 0
             self._evictions = 0
             self._expirations = 0
+
+    def swap_index(self, index: InflexIndex) -> None:
+        """Replace the wrapped index and invalidate every cached answer.
+
+        The hot-swap hook for evolving-graph serving
+        (:mod:`repro.streaming`): after a delta batch produces a new
+        index, the old answers are stale by construction, so the swap
+        and the invalidation happen atomically under the cache lock.
+        Statistics survive — a swap is an operational event, not a
+        reset.
+        """
+        with self._lock:
+            self._index = index
+            self._entries.clear()

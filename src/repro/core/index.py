@@ -540,6 +540,50 @@ class InflexIndex:
             dirichlet=self._dirichlet,
         )
 
+    def with_added_points(
+        self, gammas, seed_lists: list[SeedList] | None = None
+    ) -> "InflexIndex":
+        """A new index with a batch of additional index points.
+
+        The batch form of :meth:`with_added_point`: seed lists for all
+        new points are precomputed in one
+        :func:`~repro.core.offline.offline_seed_lists_batch` call (so a
+        densification pass pays the process-pool spin-up once, not per
+        point) and the bb-tree is rebuilt once at the end instead of
+        once per insertion.  Each point's seed list uses the configured
+        engine with the index's own seed unless ``seed_lists`` supplies
+        precomputed ones (one per row of ``gammas``, in order).
+        """
+        raw = np.atleast_2d(np.asarray(gammas, dtype=np.float64))
+        if raw.shape[0] == 0:
+            return self
+        points = smooth(as_distribution_matrix(raw))
+        num_new = points.shape[0]
+        if seed_lists is None:
+            config = self._config
+            seed_lists = offline_seed_lists_batch(
+                self._graph,
+                points,
+                config.seed_list_length,
+                engine=config.im_engine,
+                ris_num_sets=config.ris_num_sets,
+                num_snapshots=config.num_snapshots,
+                num_simulations=config.num_simulations,
+                sim_workers=config.effective_simulation_workers,
+                seeds=[config.seed] * num_new,
+            )
+        if len(seed_lists) != num_new:
+            raise ValueError(
+                f"{len(seed_lists)} seed lists for {num_new} new points"
+            )
+        return InflexIndex(
+            self._graph,
+            np.vstack([self._points, points]),
+            self._seed_lists + list(seed_lists),
+            self._config,
+            dirichlet=self._dirichlet,
+        )
+
     def without_point(self, index_point_id: int) -> "InflexIndex":
         """A new index with one index point removed.
 

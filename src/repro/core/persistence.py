@@ -59,6 +59,33 @@ def _array_crc(array: np.ndarray) -> int:
     return zlib.crc32(np.ascontiguousarray(array).tobytes()) & 0xFFFFFFFF
 
 
+def crc_of_bytes(data: bytes) -> int:
+    """CRC32 of a byte string, masked to an unsigned 32-bit value.
+
+    The shared integrity primitive of every persisted artifact in this
+    package — index archives embed per-array values of it, and the
+    streaming delta log (:class:`repro.streaming.DeltaLog`) stamps each
+    record with one.
+    """
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def atomic_write_bytes(path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (same-dir tmp + rename).
+
+    The write-then-``os.replace`` dance used by :func:`save_index`,
+    exposed for other artifact writers (builder state, delta logs): a
+    crash mid-write leaves any existing file untouched, plus a
+    ``*.tmp-<pid>`` remnant that is safe to delete.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(f"{target.name}.tmp-{os.getpid()}")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+    os.replace(tmp, target)
+
+
 def save_index(index: InflexIndex, path, *, fault_plan=None) -> None:
     """Write ``index`` to ``path`` as a compressed ``.npz`` archive.
 

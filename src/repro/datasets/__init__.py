@@ -1,7 +1,11 @@
 """Synthetic datasets: the Flixster stand-in and query workloads."""
 
 from repro.datasets.flixster import FlixsterLikeDataset, generate_flixster_like
-from repro.datasets.workloads import QueryWorkload, generate_query_workload
+from repro.datasets.workloads import (
+    QueryWorkload,
+    generate_delta_workload,
+    generate_query_workload,
+)
 from repro.datasets.io import (
     load_catalog_csv,
     load_catalog_jsonl,
@@ -13,6 +17,7 @@ __all__ = [
     "FlixsterLikeDataset",
     "generate_flixster_like",
     "QueryWorkload",
+    "generate_delta_workload",
     "generate_query_workload",
     "load_catalog_csv",
     "load_catalog_jsonl",

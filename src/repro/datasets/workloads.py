@@ -1,9 +1,16 @@
-"""TIM query workload generation (Section 5 of the paper).
+"""Workload generation: TIM query items and evolving-graph deltas.
 
 The paper evaluates on 200 query items: half *data-driven* (sampled
 from the Dirichlet fitted to the catalog — queries that look like the
 indexed items) and half *random* (uniform on the simplex — stress test
 for queries far from the indexed distribution).
+:func:`generate_query_workload` reproduces that mix.
+
+:func:`generate_delta_workload` extends the evaluation to the online
+setting of :mod:`repro.streaming`: a seeded synthetic stream of edge
+add/remove/reweight batches that is always structurally valid against
+the evolving edge set (an ``add`` never duplicates an arc, a
+``remove``/``reweight`` never targets a missing one).
 """
 
 from __future__ import annotations
@@ -94,3 +101,127 @@ def generate_query_workload(
         kinds.extend(["uniform"] * num_uniform)
     items = smooth(np.vstack(parts))
     return QueryWorkload(items=items, kinds=tuple(kinds))
+
+
+def generate_delta_workload(
+    graph,
+    num_batches: int = 20,
+    batch_size: int = 8,
+    *,
+    add_fraction: float = 0.3,
+    remove_fraction: float = 0.2,
+    time_step: float = 1.0,
+    prob_low: float = 0.05,
+    prob_high: float = 0.6,
+    seed=None,
+):
+    """A seeded synthetic delta stream over ``graph``'s edge set.
+
+    Each batch mixes ``add`` / ``remove`` / ``reweight`` operations
+    drawn against the *evolving* edge set (the generator tracks every
+    change it emits), so the stream is always valid to replay in order:
+    added arcs are genuinely new, removed and reweighted arcs exist at
+    the time of the operation, and no batch touches the same arc twice.
+    Probabilities for ``add``/``reweight`` are uniform in
+    ``[prob_low, prob_high]`` per topic; batch timestamps advance by
+    ``time_step`` (drive the exponential time-decay of
+    :class:`~repro.streaming.IncrementalSketchMaintainer` by pairing a
+    positive step with a positive ``decay_rate`` there).
+
+    Parameters
+    ----------
+    graph:
+        The starting :class:`~repro.graph.topic_graph.TopicGraph`.
+    num_batches / batch_size:
+        Stream shape: how many batches, and how many deltas per batch.
+    add_fraction / remove_fraction:
+        Expected op mix; the remainder are reweights.  Falls back to a
+        reweight when the drawn op is infeasible (e.g. a remove on an
+        empty edge set).
+    time_step:
+        Timestamp increment between consecutive batches.
+    prob_low / prob_high:
+        Per-topic probability range of new/reweighted arcs.
+    seed:
+        Anything accepted by :func:`repro.rng.resolve_rng`.
+
+    Returns
+    -------
+    repro.streaming.DeltaLog
+        The generated stream (save it with ``log.save(path)``).
+    """
+    from repro.streaming import DeltaBatch, DeltaLog, EdgeDelta, EdgeState
+
+    if num_batches < 1:
+        raise ValueError(f"num_batches must be >= 1, got {num_batches}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if add_fraction < 0 or remove_fraction < 0 or (
+        add_fraction + remove_fraction > 1.0
+    ):
+        raise ValueError(
+            "add_fraction and remove_fraction must be nonnegative and "
+            f"sum to <= 1, got {add_fraction} + {remove_fraction}"
+        )
+    if not 0.0 <= prob_low <= prob_high <= 1.0:
+        raise ValueError(
+            f"need 0 <= prob_low <= prob_high <= 1, got "
+            f"[{prob_low}, {prob_high}]"
+        )
+    rng = resolve_rng(seed)
+    state = EdgeState.from_graph(graph)
+    n = graph.num_nodes
+    num_topics = graph.num_topics
+    log = DeltaLog()
+
+    def fresh_probs():
+        return tuple(
+            float(p)
+            for p in rng.uniform(prob_low, prob_high, size=num_topics)
+        )
+
+    for batch_id in range(num_batches):
+        deltas = []
+        touched: set[tuple[int, int]] = set()
+        for _ in range(batch_size):
+            u = rng.random()
+            if u < add_fraction:
+                op = "add"
+            elif u < add_fraction + remove_fraction:
+                op = "remove"
+            else:
+                op = "reweight"
+            existing = [a for a in state.edges if a not in touched]
+            if op in ("remove", "reweight") and not existing:
+                op = "add"
+            if op == "add":
+                for _attempt in range(64):
+                    tail = int(rng.integers(n))
+                    head = int(rng.integers(n))
+                    arc = (tail, head)
+                    if (
+                        tail != head
+                        and arc not in state.edges
+                        and arc not in touched
+                    ):
+                        break
+                else:  # dense graph: fall back to mutating an edge
+                    if not existing:
+                        continue
+                    op = "remove" if rng.random() < 0.5 else "reweight"
+            if op != "add":
+                arc = existing[int(rng.integers(len(existing)))]
+            touched.add(arc)
+            if op == "remove":
+                delta = EdgeDelta("remove", arc[0], arc[1])
+            else:
+                delta = EdgeDelta(op, arc[0], arc[1], fresh_probs())
+            state.apply_delta(delta)
+            deltas.append(delta)
+        log.append(
+            DeltaBatch(
+                deltas=tuple(deltas),
+                timestamp=batch_id * float(time_step),
+            )
+        )
+    return log

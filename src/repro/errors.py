@@ -70,6 +70,18 @@ class DeadlineExceededError(ReproError, TimeoutError):
     """
 
 
+class StreamError(ReproError, ValueError):
+    """An evolving-graph delta cannot be applied.
+
+    Raised by :mod:`repro.streaming` when a delta batch is structurally
+    invalid against the current graph: adding an arc that already
+    exists, removing or reweighting one that does not, endpoints out of
+    node range, probabilities outside ``[0, 1]``, or a batch timestamp
+    that runs backwards.  Delta application is transactional — when
+    this is raised, no state has changed.
+    """
+
+
 class PoolBrokenError(ReproError, RuntimeError):
     """The simulation process pool failed beyond its retry budget.
 

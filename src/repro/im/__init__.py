@@ -9,6 +9,7 @@ from repro.im.ris import (
     adaptive_ris_influence_maximization,
     ris_influence_maximization,
     ris_seed_selection,
+    sample_rr_set,
     sample_rr_sets,
 )
 from repro.im.heuristics import (
@@ -28,6 +29,7 @@ __all__ = [
     "adaptive_ris_influence_maximization",
     "ris_influence_maximization",
     "ris_seed_selection",
+    "sample_rr_set",
     "sample_rr_sets",
     "degree_discount_seeds",
     "degree_seeds",

@@ -58,6 +58,50 @@ class RRSetCollection:
         return self.num_nodes * covered / self.num_sets
 
 
+def sample_rr_set(in_indptr, in_tails, in_probs, visited, rng) -> np.ndarray:
+    """Walk one reverse-reachable set over a prepared in-adjacency view.
+
+    The shared primitive behind :func:`sample_rr_sets` and the streaming
+    maintainer (:mod:`repro.streaming.maintainer`), which resamples
+    individual RR sets with per-set RNG streams.  ``visited`` is a
+    reusable ``(num_nodes,)`` boolean scratch buffer that must be all
+    ``False`` on entry and is restored to all ``False`` before
+    returning.  Randomness consumption is a pure function of the
+    in-adjacency view and the generator state, which is what makes
+    retained-set replay in the incremental maintainer bit-identical
+    (see ``docs/STREAMING.md``).
+    """
+    n = visited.shape[0]
+    root = int(rng.integers(n))
+    visited[root] = True
+    members = [root]
+    frontier = np.asarray([root], dtype=np.int64)
+    while frontier.size:
+        # Gather all in-arcs of the frontier in one ragged pass and
+        # flip every coin at once (mirror of the forward cascade).
+        starts = in_indptr[frontier]
+        counts = in_indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        offsets = np.repeat(starts, counts)
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        arc_pos = offsets + within
+        success = rng.random(total) < in_probs[arc_pos]
+        parents = in_tails[arc_pos[success]]
+        parents = parents[~visited[parents]]
+        if parents.size == 0:
+            break
+        frontier = np.unique(parents)
+        visited[frontier] = True
+        members.extend(int(v) for v in frontier)
+    result = np.asarray(members, dtype=np.int64)
+    visited[result] = False
+    return result
+
+
 def sample_rr_sets(
     graph: TopicGraph, gamma, num_sets: int, *, seed=None
 ) -> RRSetCollection:
@@ -72,33 +116,9 @@ def sample_rr_sets(
     visited = np.zeros(n, dtype=bool)
     sets: list[np.ndarray] = []
     for _ in range(num_sets):
-        root = int(rng.integers(n))
-        visited[root] = True
-        members = [root]
-        frontier = np.asarray([root], dtype=np.int64)
-        while frontier.size:
-            # Gather all in-arcs of the frontier in one ragged pass and
-            # flip every coin at once (mirror of the forward cascade).
-            starts = in_indptr[frontier]
-            counts = in_indptr[frontier + 1] - starts
-            total = int(counts.sum())
-            if total == 0:
-                break
-            offsets = np.repeat(starts, counts)
-            within = np.arange(total, dtype=np.int64) - np.repeat(
-                np.cumsum(counts) - counts, counts
-            )
-            arc_pos = offsets + within
-            success = rng.random(total) < in_probs[arc_pos]
-            parents = in_tails[arc_pos[success]]
-            parents = parents[~visited[parents]]
-            if parents.size == 0:
-                break
-            frontier = np.unique(parents)
-            visited[frontier] = True
-            members.extend(int(v) for v in frontier)
-        sets.append(np.asarray(members, dtype=np.int64))
-        visited[np.asarray(members, dtype=np.int64)] = False
+        sets.append(
+            sample_rr_set(in_indptr, in_tails, in_probs, visited, rng)
+        )
     return RRSetCollection(tuple(sets), n)
 
 

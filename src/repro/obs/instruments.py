@@ -144,6 +144,43 @@ SERVING_QUEUE_DEPTH = _REGISTRY.gauge(
     "repro_serving_queue_depth", "Requests waiting in the micro-batch queue"
 )
 
+# -- streaming (evolving graph) ----------------------------------------
+STREAM_BATCHES = _REGISTRY.counter(
+    "repro_stream_batches_applied_total",
+    "Delta batches applied to the incremental sketch maintainer",
+)
+STREAM_DELTAS = _REGISTRY.counter(
+    "repro_stream_deltas_applied_total",
+    "Edge deltas applied, by op (add/remove/reweight)",
+    labels=("op",),
+)
+STREAM_RR_RESAMPLED = _REGISTRY.counter(
+    "repro_stream_rr_sets_resampled_total",
+    "RR sets invalidated and resampled by delta application",
+)
+STREAM_RR_RETAINED = _REGISTRY.counter(
+    "repro_stream_rr_sets_retained_total",
+    "RR sets untouched by delta application (replay bit-identical)",
+)
+STREAM_SUBSCRIPTION_EVALS = _REGISTRY.counter(
+    "repro_stream_subscription_evals_total",
+    "Standing-subscription re-evaluations triggered by batches",
+)
+STREAM_UPDATES = _REGISTRY.counter(
+    "repro_stream_updates_total",
+    "SeedSetUpdate events emitted, by whether the seed set changed",
+    labels=("changed",),
+)
+STREAM_SUBSCRIPTIONS = _REGISTRY.gauge(
+    "repro_stream_subscriptions",
+    "Standing TIM subscriptions currently registered",
+)
+STREAM_APPLY_SECONDS = _REGISTRY.histogram(
+    "repro_stream_apply_seconds",
+    "Wall clock of one delta-batch application (decay, deltas, "
+    "resample, seed-list refresh)",
+)
+
 # -- offline construction ----------------------------------------------
 BUILD_STAGE_SECONDS = _REGISTRY.histogram(
     "repro_build_stage_seconds",
@@ -497,6 +534,73 @@ def sim_pool_span(event: str, workers: int):
         yield span
     if STATE.enabled:
         SIM_POOL_EVENTS.labels(event=event).inc()
+
+
+@contextlib.contextmanager
+def stream_apply_span(batch_id: int, num_deltas: int):
+    """Span + metrics around one delta-batch application.
+
+    Wraps the whole transactional apply (decay, delta replay, RR-set
+    resampling, seed-list refresh); the caller records the per-batch
+    resample/retain counts separately via :func:`record_stream_batch`.
+    """
+    with get_tracer().span(
+        "stream.apply",
+        category="streaming",
+        batch=batch_id,
+        deltas=num_deltas,
+    ) as span:
+        yield span
+    if STATE.enabled and span.duration is not None:
+        STREAM_APPLY_SECONDS.observe(span.duration)
+
+
+_STREAM_DELTA_COUNTERS: dict = {}
+
+
+def record_stream_batch(report) -> None:
+    """Fold one applied batch's :class:`~repro.streaming.ApplyReport`
+    into the registry."""
+    if not STATE.enabled:
+        return
+    STREAM_BATCHES.inc()
+    for op, count in report.deltas_by_op.items():
+        counter = _STREAM_DELTA_COUNTERS.get(op)
+        if counter is None:
+            counter = STREAM_DELTAS.labels(op=op)
+            _STREAM_DELTA_COUNTERS[op] = counter
+        counter.inc(count)
+    STREAM_RR_RESAMPLED.inc(report.rr_sets_resampled)
+    STREAM_RR_RETAINED.inc(report.rr_sets_retained)
+
+
+_STREAM_UPDATE_COUNTERS: dict = {}
+
+
+def record_stream_update(changed: bool) -> None:
+    """Count one emitted SeedSetUpdate event."""
+    if not STATE.enabled:
+        return
+    key = "yes" if changed else "no"
+    counter = _STREAM_UPDATE_COUNTERS.get(key)
+    if counter is None:
+        counter = STREAM_UPDATES.labels(changed=key)
+        _STREAM_UPDATE_COUNTERS[key] = counter
+    counter.inc()
+
+
+def record_subscription_evals(count: int) -> None:
+    """Add ``count`` standing-subscription re-evaluations."""
+    if not STATE.enabled or count <= 0:
+        return
+    STREAM_SUBSCRIPTION_EVALS.inc(count)
+
+
+def set_stream_subscriptions(count: int) -> None:
+    """Update the registered-subscriptions gauge."""
+    if not STATE.enabled:
+        return
+    STREAM_SUBSCRIPTIONS.set(count)
 
 
 @contextlib.contextmanager

@@ -17,14 +17,16 @@ identity, so an injected-fault run is exactly reproducible.
 
 Injection sites (the coordinates each receives):
 
-========== =============================== ===========================
-site        hook                            coordinates
-========== =============================== ===========================
-chunk       simulation worker chunk         ``call``, ``chunk``, ``attempt``
-checkpoint  builder per-item checkpoint     ``item``
-save-index  ``save_index`` tmp→rename step  (none)
-index-load  ``load_index`` after read       (none)
-========== =============================== ===========================
+=========== =============================== ===========================
+site         hook                            coordinates
+=========== =============================== ===========================
+chunk        simulation worker chunk         ``call``, ``chunk``, ``attempt``
+checkpoint   builder per-item checkpoint     ``item``
+save-index   ``save_index`` tmp→rename step  (none)
+index-load   ``load_index`` after read       (none)
+delta-apply  streaming batch application     ``batch``
+resample     per-point RR-set resampling     ``batch``, ``point``
+=========== =============================== ===========================
 
 Plans come from three places, in precedence order: an explicit plan
 passed to the component, a process-wide plan installed with
@@ -54,7 +56,14 @@ from repro.obs import instruments as _obs
 FAULTS_ENV = "REPRO_FAULTS"
 
 #: Injection sites known to the call sites wired through this module.
-SITES = ("chunk", "checkpoint", "save-index", "index-load")
+SITES = (
+    "chunk",
+    "checkpoint",
+    "save-index",
+    "index-load",
+    "delta-apply",
+    "resample",
+)
 
 #: Modes accepted per site (parse-time validation catches typos early).
 SITE_MODES = {
@@ -62,6 +71,8 @@ SITE_MODES = {
     "checkpoint": ("truncate",),
     "save-index": ("crash",),
     "index-load": ("bitflip", "error"),
+    "delta-apply": ("error",),
+    "resample": ("error",),
 }
 
 #: Spec option keys parsed as floats; everything else (except ``mode``)

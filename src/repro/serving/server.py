@@ -16,11 +16,25 @@ batcher, answers every admitted request, then closes.
 
 Routes
 ------
-``POST /query``        one TIM query (JSON body, see ``protocol``)
-``POST /query_batch``  many queries in one round trip
-``GET  /healthz``      liveness + index shape (503 while draining)
-``GET  /metrics``      Prometheus text exposition of ``repro.obs``
-``GET  /stats``        JSON server/cache/batcher/admission counters
+``POST /query``         one TIM query (JSON body, see ``protocol``)
+``POST /query_batch``   many queries in one round trip
+``GET  /healthz``       liveness + index shape (503 while draining)
+``GET  /metrics``       Prometheus text exposition of ``repro.obs``
+``GET  /stats``         JSON server/cache/batcher/admission counters
+
+With a :class:`~repro.streaming.StreamingEngine` attached, three more
+routes keep the served index current on an evolving graph (404 when
+streaming is not enabled):
+
+``POST /deltas``                       apply one delta batch
+``POST /subscriptions``                register a standing TIM query
+``GET  /subscriptions``                list registered subscriptions
+``GET  /subscriptions/<id>/updates``   drain a subscription's updates
+
+Delta application runs on the same single executor thread as query
+evaluation, so it serializes naturally with in-flight queries; the new
+index and the invalidated cache are swapped in atomically before the
+next batch item runs.
 """
 
 from __future__ import annotations
@@ -33,7 +47,7 @@ import time
 from repro.core.cache import CachedIndex
 from repro.core.config import ServingConfig
 from repro.core.index import InflexIndex
-from repro.errors import InvalidDistributionError, QueryError
+from repro.errors import InvalidDistributionError, QueryError, StreamError
 from repro.obs import instruments as _obs
 from repro.obs.metrics import get_registry
 from repro.resilience.deadline import Deadline
@@ -67,6 +81,11 @@ class QueryServer:
     cache:
         Optional pre-built :class:`CachedIndex` (tests inject one with
         a fake clock); by default one is constructed from ``config``.
+    streaming:
+        Optional :class:`~repro.streaming.StreamingEngine`; when given,
+        the server serves ``streaming.index`` (ignoring ``index`` if it
+        differs) and enables the ``/deltas`` and ``/subscriptions``
+        routes.
     """
 
     def __init__(
@@ -75,8 +94,12 @@ class QueryServer:
         config: ServingConfig | None = None,
         *,
         cache: CachedIndex | None = None,
+        streaming=None,
     ) -> None:
         self.config = config or ServingConfig()
+        self.streaming = streaming
+        if streaming is not None:
+            index = streaming.index
         self.index = index
         self.cache = cache or CachedIndex(
             index,
@@ -293,13 +316,26 @@ class QueryServer:
                 status, body, extra = await self._handle_query(request)
             elif route == "/query_batch":
                 status, body, extra = await self._handle_query_batch(request)
+            elif route == "/deltas":
+                status, body, extra = await self._handle_deltas(request)
+            elif route == "/subscriptions" or route.startswith(
+                "/subscriptions/"
+            ):
+                status, body, extra = await self._handle_subscriptions(
+                    request, route
+                )
             else:
                 status, body, extra = (
                     404,
                     error_body(f"no such route: {route}"),
                     None,
                 )
-        except (ProtocolError, QueryError, InvalidDistributionError) as exc:
+        except (
+            ProtocolError,
+            QueryError,
+            InvalidDistributionError,
+            StreamError,
+        ) as exc:
             status, body, extra = 400, error_body(str(exc)), None
         except QueueFullError:
             status, body, extra = (
@@ -409,17 +445,120 @@ class QueryServer:
         return 200, json_body({"answers": answers}), None
 
     # ------------------------------------------------------------------
+    # Streaming routes (active only with a StreamingEngine attached)
+    # ------------------------------------------------------------------
+    async def _handle_deltas(self, request: HttpRequest):
+        if request.method != "POST":
+            return 405, error_body("use POST"), None
+        if self.streaming is None:
+            return 404, error_body("streaming is not enabled"), None
+        if self._draining:
+            self.admission.shed(SHED_DRAINING)
+            return 503, error_body("server is draining"), self._retry_after()
+        from repro.streaming import DeltaBatch
+
+        batch = DeltaBatch.from_dict(request.json())
+        reason = self.admission.try_admit()
+        if reason is not None:
+            return 429, error_body(f"shed: {reason}"), self._retry_after()
+        try:
+
+            def run():
+                # Runs on the single index executor thread, so the
+                # apply serializes with query batches; the new index
+                # and the emptied cache become visible atomically
+                # before the next queued computation runs.
+                report, updates = self.streaming.apply(batch)
+                self.index = self.streaming.index
+                self.cache.swap_index(self.index)
+                return report, updates
+
+            report, updates = await asyncio.get_running_loop().run_in_executor(
+                self._executor, run
+            )
+            payload = {
+                "report": report.to_dict(),
+                "updates": [update.to_dict() for update in updates],
+            }
+            return 200, json_body(payload), None
+        finally:
+            self.admission.release()
+
+    async def _handle_subscriptions(self, request: HttpRequest, route: str):
+        if self.streaming is None:
+            return 404, error_body("streaming is not enabled"), None
+        if route == "/subscriptions":
+            if request.method == "GET":
+                payload = {
+                    "subscriptions": [
+                        sub.to_dict()
+                        for sub in self.streaming.registry.list()
+                    ]
+                }
+                return 200, json_body(payload), None
+            if request.method != "POST":
+                return 405, error_body("use GET or POST"), None
+            if self._draining:
+                self.admission.shed(SHED_DRAINING)
+                return (
+                    503,
+                    error_body("server is draining"),
+                    self._retry_after(),
+                )
+            gamma, k, strategy, _deadline = parse_query_payload(
+                request.json(), default_deadline_ms=None
+            )
+            reason = self.admission.try_admit()
+            if reason is not None:
+                return 429, error_body(f"shed: {reason}"), self._retry_after()
+            try:
+                subscription, baseline = (
+                    await asyncio.get_running_loop().run_in_executor(
+                        self._executor,
+                        lambda: self.streaming.subscribe(
+                            gamma, k, strategy=strategy
+                        ),
+                    )
+                )
+                payload = {
+                    "subscription": subscription.to_dict(),
+                    "baseline": baseline.to_dict(),
+                }
+                return 200, json_body(payload), None
+            finally:
+                self.admission.release()
+        # /subscriptions/<id>/updates
+        parts = route.strip("/").split("/")
+        if len(parts) == 3 and parts[2] == "updates":
+            if request.method != "GET":
+                return 405, error_body("use GET"), None
+            try:
+                subscription_id = int(parts[1])
+            except ValueError:
+                return 404, error_body(f"no such route: {route}"), None
+            try:
+                updates = self.streaming.poll(subscription_id)
+            except StreamError as exc:
+                return 404, error_body(str(exc)), None
+            payload = {"updates": [update.to_dict() for update in updates]}
+            return 200, json_body(payload), None
+        return 404, error_body(f"no such route: {route}"), None
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Consistent operator snapshot across all serving components."""
-        return {
+        summary = {
             "draining": self._draining,
             "admission": self.admission.snapshot().to_dict(),
             "batcher": self.batcher.stats.to_dict(),
             "cache": self.cache.stats(),
             "singleflight_coalesced": self.singleflight.coalesced_total,
         }
+        if self.streaming is not None:
+            summary["streaming"] = self.streaming.stats()
+        return summary
 
 
 async def serve(
@@ -428,15 +567,18 @@ async def serve(
     *,
     install_signal_handlers: bool = True,
     ready=None,
+    streaming=None,
 ) -> None:
     """Run a :class:`QueryServer` until drained.
 
     Wires ``SIGTERM``/``SIGINT`` to a graceful drain when the loop
     supports it (main thread on POSIX).  ``ready`` is an optional
     callback invoked with the server once it is listening — the CLI
-    prints the bound address there, tests grab the port.
+    prints the bound address there, tests grab the port.  ``streaming``
+    optionally attaches a :class:`~repro.streaming.StreamingEngine`
+    (enabling the ``/deltas`` and ``/subscriptions`` routes).
     """
-    server = QueryServer(index, config)
+    server = QueryServer(index, config, streaming=streaming)
     await server.start()
     if install_signal_handlers:
         import signal

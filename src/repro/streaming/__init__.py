@@ -1,0 +1,52 @@
+"""Online maintenance of INFLEX on an evolving topic graph.
+
+The paper's index is built once over a static graph; this subsystem
+makes the whole stack work while the graph changes underneath it:
+
+* :mod:`repro.streaming.deltas` — the append-only edge-delta model
+  (:class:`EdgeDelta`, :class:`DeltaBatch`, the CRC-checked
+  :class:`DeltaLog`, and the mutable :class:`EdgeState` overlay);
+* :mod:`repro.streaming.maintainer` — incremental RR-sketch
+  maintenance with a differential guarantee (incremental state is
+  bit-identical to a from-scratch rebuild at the same RNG streams);
+* :mod:`repro.streaming.subscriptions` — standing TIM queries
+  re-evaluated only when their neighbors' seed lists change;
+* :mod:`repro.streaming.engine` — the façade gluing those to a live
+  :class:`~repro.core.InflexIndex` (used by the serving layer's
+  ``/deltas`` and ``/subscriptions`` routes and the
+  ``repro-inflex stream`` CLI).
+
+See ``docs/STREAMING.md`` for the design and the invalidation lemma.
+"""
+
+from repro.streaming.deltas import (
+    DELTA_OPS,
+    DeltaBatch,
+    DeltaLog,
+    EdgeDelta,
+    EdgeState,
+)
+from repro.streaming.maintainer import (
+    ApplyReport,
+    IncrementalSketchMaintainer,
+)
+from repro.streaming.subscriptions import (
+    SeedSetUpdate,
+    Subscription,
+    SubscriptionRegistry,
+)
+from repro.streaming.engine import StreamingEngine
+
+__all__ = [
+    "DELTA_OPS",
+    "DeltaBatch",
+    "DeltaLog",
+    "EdgeDelta",
+    "EdgeState",
+    "ApplyReport",
+    "IncrementalSketchMaintainer",
+    "SeedSetUpdate",
+    "Subscription",
+    "SubscriptionRegistry",
+    "StreamingEngine",
+]

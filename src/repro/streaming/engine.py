@@ -1,0 +1,170 @@
+"""The streaming engine: one object tying deltas to live TIM answers.
+
+:class:`StreamingEngine` wraps an :class:`~repro.core.InflexIndex` and
+keeps it queryable while the underlying graph evolves:
+
+* an :class:`~repro.streaming.maintainer.IncrementalSketchMaintainer`
+  owns the per-index-point RR sketches and refreshes exactly the
+  invalidated ones per delta batch;
+* after each batch the engine swaps in a new index (same points, same
+  bb-tree — deltas never move the point cloud — fresh seed lists);
+* a :class:`~repro.streaming.subscriptions.SubscriptionRegistry`
+  re-evaluates the standing queries whose neighbors changed and queues
+  :class:`~repro.streaming.subscriptions.SeedSetUpdate` events.
+
+On construction the engine re-derives every seed list from its own
+sketches, so answers are consistent with the maintained state from the
+first query on (the build-time lists may come from a different engine
+or RNG stream than the maintainer's).
+"""
+
+from __future__ import annotations
+
+from repro.core.index import InflexIndex
+from repro.streaming.deltas import DeltaBatch
+from repro.streaming.maintainer import ApplyReport, IncrementalSketchMaintainer
+from repro.streaming.subscriptions import SubscriptionRegistry
+
+
+class StreamingEngine:
+    """Keeps an INFLEX index live on an evolving graph.
+
+    Parameters
+    ----------
+    index:
+        The index to maintain; its points, configuration, and bb-tree
+        are reused, its seed lists are re-derived from the maintained
+        sketches.
+    num_sets:
+        RR sets per index-point sketch (default
+        ``index.config.ris_num_sets``).
+    seed:
+        Root entropy of the sketch RNG streams (default
+        ``index.config.seed``).
+    decay_rate / workers / fault_plan:
+        Forwarded to the
+        :class:`~repro.streaming.maintainer.IncrementalSketchMaintainer`.
+    max_pending:
+        Per-subscription update-queue bound.
+    """
+
+    def __init__(
+        self,
+        index: InflexIndex,
+        *,
+        num_sets: int | None = None,
+        seed: int | None = None,
+        decay_rate: float = 0.0,
+        workers=1,
+        fault_plan=None,
+        max_pending: int = 256,
+    ) -> None:
+        config = index.config
+        self._maintainer = IncrementalSketchMaintainer(
+            index.graph,
+            index.index_points,
+            num_sets=(
+                config.ris_num_sets if num_sets is None else num_sets
+            ),
+            seed_list_length=config.seed_list_length,
+            seed=config.seed if seed is None else seed,
+            decay_rate=decay_rate,
+            workers=workers,
+            fault_plan=fault_plan,
+        )
+        self._registry = SubscriptionRegistry(max_pending=max_pending)
+        self._template = index
+        self._index = self._rebuild_index()
+
+    def _rebuild_index(self) -> InflexIndex:
+        """A fresh index over the maintainer's current seed lists.
+
+        The point cloud and bb-tree are structural invariants of the
+        stream (deltas change the graph, not the simplex geometry), so
+        both are shared with the original index; only the seed lists —
+        and the graph reference — are new.
+        """
+        template = self._template
+        return InflexIndex(
+            self._maintainer.graph,
+            template.index_points,
+            list(self._maintainer.seed_lists),
+            template.config,
+            dirichlet=template.dirichlet,
+            tree=template.tree,
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> InflexIndex:
+        """The current queryable index (replaced after each batch)."""
+        return self._index
+
+    @property
+    def maintainer(self) -> IncrementalSketchMaintainer:
+        """The underlying sketch maintainer."""
+        return self._maintainer
+
+    @property
+    def registry(self) -> SubscriptionRegistry:
+        """The standing-query registry."""
+        return self._registry
+
+    # ------------------------------------------------------------------
+    # Stream operations
+    # ------------------------------------------------------------------
+    def apply(self, batch) -> tuple[ApplyReport, tuple]:
+        """Apply one delta batch end to end.
+
+        Runs the transactional sketch maintenance, swaps in the new
+        index, and re-evaluates the affected subscriptions.  Returns
+        the maintainer's :class:`ApplyReport` and the emitted
+        :class:`~repro.streaming.subscriptions.SeedSetUpdate` events.
+        """
+        if not isinstance(batch, DeltaBatch):
+            batch = DeltaBatch.from_dict(batch)
+        report = self._maintainer.apply_batch(batch)
+        if report.changed_points or report.decayed:
+            self._index = self._rebuild_index()
+        updates = self._registry.notify(
+            report.batch_id, report.changed_points, self._index
+        )
+        return report, updates
+
+    def replay(self, log):
+        """Apply every batch of a :class:`~repro.streaming.DeltaLog`.
+
+        Yields ``(report, updates)`` pairs in stream order; stops (and
+        leaves the last good state in place) on the first failing
+        batch, letting the caller decide whether to resume.
+        """
+        for batch in log:
+            yield self.apply(batch)
+
+    def subscribe(self, gamma, k: int, *, strategy: str = "inflex"):
+        """Register a standing query against the current index.
+
+        Returns ``(Subscription, baseline SeedSetUpdate)``.
+        """
+        return self._registry.register(
+            self._index, gamma, k, strategy=strategy
+        )
+
+    def poll(self, subscription_id: int):
+        """Drain the queued updates of one subscription."""
+        return self._registry.poll(subscription_id)
+
+    def stats(self) -> dict:
+        """Combined maintainer + registry counters (JSON-friendly)."""
+        return {
+            "maintainer": self._maintainer.stats(),
+            "subscriptions": self._registry.stats(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamingEngine({self._maintainer!r}, "
+            f"{len(self._registry)} subscriptions)"
+        )

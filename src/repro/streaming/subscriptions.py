@@ -1,0 +1,282 @@
+"""Standing TIM queries re-evaluated as the graph evolves.
+
+A *subscription* is a TIM query ``Q(gamma, k)`` an operator wants kept
+current: "who should seed the next campaign for this item, as of now".
+Rather than polling the index after every delta batch, the registry
+exploits the structure of INFLEX answers: an answer depends only on the
+index points (static — deltas change seed lists, never the point
+cloud or the bb-tree geometry) and on the seed lists of the neighbors
+the search retained.  The retained neighbor set of a fixed query is
+therefore itself static, so a subscription needs re-evaluation **iff**
+a batch changed the seed list of at least one of its neighbors —
+exactly the ``changed_points`` reported by the sketch maintainer.
+
+Each re-evaluation emits a :class:`SeedSetUpdate` carrying the fresh
+seed list plus churn diagnostics against the previous answer: the
+paper's top-``l`` Kendall-tau distance (Fagin's extension, ``p = 0.5``)
+and rank-biased overlap (``p = 0.9``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+
+from repro.errors import StreamError
+from repro.obs import instruments as _obs
+from repro.ranking import kendall_tau_top, rank_biased_overlap
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """One standing TIM query.
+
+    Attributes
+    ----------
+    subscription_id:
+        Registry-assigned identifier.
+    gamma:
+        The query item's topic distribution.
+    k:
+        Requested seed-set size.
+    strategy:
+        Index query strategy (one of ``repro.core.STRATEGIES``).
+    neighbor_ids:
+        Index points whose seed lists the answer is built from —
+        the static re-evaluation trigger set.
+    """
+
+    subscription_id: int
+    gamma: tuple[float, ...]
+    k: int
+    strategy: str
+    neighbor_ids: tuple[int, ...]
+
+    def to_dict(self) -> dict:
+        """JSON-native form for the serving API."""
+        return {
+            "subscription_id": self.subscription_id,
+            "gamma": list(self.gamma),
+            "k": self.k,
+            "strategy": self.strategy,
+            "neighbor_ids": list(self.neighbor_ids),
+        }
+
+
+@dataclass(frozen=True)
+class SeedSetUpdate:
+    """One re-evaluation result emitted to a subscription.
+
+    Attributes
+    ----------
+    subscription_id / batch_id:
+        Which subscription, after which delta batch (``-1`` for the
+        registration-time baseline).
+    seeds / previous_seeds:
+        The fresh and prior answers (node id tuples).
+    kendall_tau:
+        Fagin top-``l`` Kendall-tau distance between them (0 = same
+        ranking, 1 = maximally churned).
+    rbo:
+        Rank-biased overlap similarity (1 = identical).
+    changed:
+        Whether the seed *ranking* differs from the previous answer.
+    """
+
+    subscription_id: int
+    batch_id: int
+    seeds: tuple[int, ...]
+    previous_seeds: tuple[int, ...]
+    kendall_tau: float
+    rbo: float
+    changed: bool
+
+    def to_dict(self) -> dict:
+        """JSON-native form for the serving API and CLI reports."""
+        return {
+            "subscription_id": self.subscription_id,
+            "batch_id": self.batch_id,
+            "seeds": list(self.seeds),
+            "previous_seeds": list(self.previous_seeds),
+            "kendall_tau": self.kendall_tau,
+            "rbo": self.rbo,
+            "changed": self.changed,
+        }
+
+
+class SubscriptionRegistry:
+    """Registers standing queries and re-evaluates the affected ones.
+
+    Thread-safe: the serving layer registers/polls from request
+    handlers while :meth:`notify` runs on the index executor thread.
+    Updates accumulate per subscription until drained with
+    :meth:`poll` (bounded by ``max_pending``, oldest dropped first).
+    """
+
+    def __init__(self, *, max_pending: int = 256) -> None:
+        if max_pending < 1:
+            raise StreamError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        self._max_pending = int(max_pending)
+        self._lock = threading.Lock()
+        self._ids = itertools.count()
+        self._subscriptions: dict[int, Subscription] = {}
+        self._answers: dict[int, tuple[int, ...]] = {}
+        self._pending: dict[int, list[SeedSetUpdate]] = {}
+        self._evals = 0
+        self._updates = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._subscriptions)
+
+    def register(
+        self, index, gamma, k: int, *, strategy: str = "inflex"
+    ) -> tuple[Subscription, SeedSetUpdate]:
+        """Register a standing query and evaluate its baseline answer.
+
+        Returns the stored :class:`Subscription` (whose
+        ``neighbor_ids`` were captured from the baseline evaluation)
+        and the baseline :class:`SeedSetUpdate` (``batch_id=-1``,
+        ``changed=True``).
+        """
+        answer = index.query(gamma, k, strategy=strategy)
+        seeds = tuple(int(v) for v in answer.seeds.nodes)
+        with self._lock:
+            subscription_id = next(self._ids)
+            subscription = Subscription(
+                subscription_id=subscription_id,
+                gamma=tuple(float(g) for g in gamma),
+                k=int(k),
+                strategy=strategy,
+                neighbor_ids=tuple(int(i) for i in answer.neighbor_ids),
+            )
+            self._subscriptions[subscription_id] = subscription
+            self._answers[subscription_id] = seeds
+            self._pending[subscription_id] = []
+            count = len(self._subscriptions)
+        _obs.set_stream_subscriptions(count)
+        update = SeedSetUpdate(
+            subscription_id=subscription.subscription_id,
+            batch_id=-1,
+            seeds=seeds,
+            previous_seeds=(),
+            kendall_tau=1.0,
+            rbo=0.0,
+            changed=True,
+        )
+        return subscription, update
+
+    def unregister(self, subscription_id: int) -> bool:
+        """Drop a subscription; returns whether it existed."""
+        with self._lock:
+            existed = self._subscriptions.pop(subscription_id, None)
+            self._answers.pop(subscription_id, None)
+            self._pending.pop(subscription_id, None)
+            count = len(self._subscriptions)
+        _obs.set_stream_subscriptions(count)
+        return existed is not None
+
+    def get(self, subscription_id: int) -> Subscription | None:
+        """The stored subscription, or ``None``."""
+        with self._lock:
+            return self._subscriptions.get(subscription_id)
+
+    def list(self) -> tuple[Subscription, ...]:
+        """All registered subscriptions, by id."""
+        with self._lock:
+            return tuple(
+                self._subscriptions[sid]
+                for sid in sorted(self._subscriptions)
+            )
+
+    def current_answer(self, subscription_id: int) -> tuple[int, ...] | None:
+        """The latest seed set of a subscription, or ``None``."""
+        with self._lock:
+            return self._answers.get(subscription_id)
+
+    def notify(
+        self, batch_id: int, changed_points, index
+    ) -> tuple[SeedSetUpdate, ...]:
+        """Re-evaluate every subscription touched by a delta batch.
+
+        ``changed_points`` is the maintainer's set of index points
+        whose seed lists changed; only subscriptions whose (static)
+        neighbor set intersects it are re-run against ``index``.  Each
+        re-evaluation emits a :class:`SeedSetUpdate` (queued for
+        :meth:`poll` and returned).
+        """
+        changed_set = {int(p) for p in changed_points}
+        if not changed_set:
+            return ()
+        with self._lock:
+            due = [
+                sub
+                for sub in self._subscriptions.values()
+                if changed_set.intersection(sub.neighbor_ids)
+            ]
+        updates = []
+        for sub in due:
+            answer = index.query(sub.gamma, sub.k, strategy=sub.strategy)
+            seeds = tuple(int(v) for v in answer.seeds.nodes)
+            with self._lock:
+                if sub.subscription_id not in self._subscriptions:
+                    continue  # unregistered mid-notify
+                previous = self._answers[sub.subscription_id]
+                changed = seeds != previous
+                update = SeedSetUpdate(
+                    subscription_id=sub.subscription_id,
+                    batch_id=int(batch_id),
+                    seeds=seeds,
+                    previous_seeds=previous,
+                    kendall_tau=(
+                        kendall_tau_top(seeds, previous)
+                        if previous
+                        else 1.0
+                    ),
+                    rbo=(
+                        rank_biased_overlap(seeds, previous)
+                        if previous
+                        else 0.0
+                    ),
+                    changed=changed,
+                )
+                self._answers[sub.subscription_id] = seeds
+                queue = self._pending[sub.subscription_id]
+                queue.append(update)
+                if len(queue) > self._max_pending:
+                    del queue[: len(queue) - self._max_pending]
+                self._evals += 1
+                self._updates += 1
+            _obs.record_stream_update(changed)
+            updates.append(update)
+        _obs.record_subscription_evals(len(due))
+        return tuple(updates)
+
+    def poll(self, subscription_id: int) -> tuple[SeedSetUpdate, ...]:
+        """Drain and return the queued updates of one subscription.
+
+        Raises :class:`~repro.errors.StreamError` for an unknown id.
+        """
+        with self._lock:
+            if subscription_id not in self._subscriptions:
+                raise StreamError(
+                    f"unknown subscription {subscription_id}"
+                )
+            updates = tuple(self._pending[subscription_id])
+            self._pending[subscription_id] = []
+        return updates
+
+    def stats(self) -> dict:
+        """Registry counters for dashboards and the stats route."""
+        with self._lock:
+            return {
+                "subscriptions": len(self._subscriptions),
+                "evals": self._evals,
+                "updates_emitted": self._updates,
+                "pending_updates": sum(
+                    len(q) for q in self._pending.values()
+                ),
+            }
