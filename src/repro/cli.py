@@ -15,6 +15,7 @@ Usage (after ``pip install -e .``)::
     repro-inflex autosize --data data/
     repro-inflex serve    --data data/ --index data/index.npz --port 8171
     repro-inflex loadgen  --port 8171 --duration 5 --out BENCH_serving.json
+    repro-inflex top      --port 8171 --interval 2
     repro-inflex stream   --data data/ --index data/index.npz \
                           --batches 20 --batch-size 8 --out stream_report.json
 
@@ -38,7 +39,13 @@ admission control, result cache, graceful SIGTERM drain) and
 ``loadgen`` drives it with a seeded synthetic workload, reporting
 latency quantiles, throughput, shed rate, and cache-hit rate; see
 ``docs/SERVING.md``.  ``serve --stream`` additionally enables the
-evolving-graph routes (``/deltas``, ``/subscriptions``).
+evolving-graph routes (``/deltas``, ``/subscriptions``).  ``serve``
+also exposes the request-scoped telemetry surfaces —
+``/debug/requests``, ``/debug/slow``, ``/debug/slo`` — tunable via
+``--slow-ms`` / ``--flight-records`` / ``--slo-latency-ms`` /
+``--slo-target``, with ``--log-json`` switching on structured JSON
+logs; ``top`` renders a live terminal view over a running server's
+``/metrics``.  See ``docs/OBSERVABILITY.md``.
 
 ``stream`` replays an edge-delta workload (generated or loaded from a
 delta log) against a built index with incremental sketch maintenance,
@@ -234,9 +241,25 @@ def _cmd_query(args: argparse.Namespace) -> int:
         catalog = np.load(data_dir / "catalog.npy")
         gamma = catalog[args.item]
     obs_module = _start_profiling() if args.profile else None
-    answer = index.query(
-        gamma, args.k, strategy=args.strategy, deadline_ms=args.deadline_ms
-    )
+    context = None
+    if obs_module is not None:
+        from repro.obs import context as _ctx
+
+        context = _ctx.new_request_context()
+        with _ctx.bind(context):
+            answer = index.query(
+                gamma,
+                args.k,
+                strategy=args.strategy,
+                deadline_ms=args.deadline_ms,
+            )
+    else:
+        answer = index.query(
+            gamma,
+            args.k,
+            strategy=args.strategy,
+            deadline_ms=args.deadline_ms,
+        )
     print(f"query gamma: {np.round(gamma, 4)}")
     print(f"strategy: {answer.strategy}")
     print(f"seeds (ranked): {list(answer.seeds)}")
@@ -250,6 +273,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"{answer.num_neighbors_used} index lists" + notes
     )
     if obs_module is not None:
+        print(f"trace id: {context.trace_id}")
         _print_answer_profile(answer)
         _write_trace(obs_module, args.trace_out)
     return 0
@@ -328,7 +352,10 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     index = load_index(args.index, graph)
     catalog = np.load(data_dir / "catalog.npy")
     rows = catalog[np.arange(args.queries) % catalog.shape[0]]
-    index.query_batch(rows, args.k, strategy=args.strategy)
+    from repro.obs import context as _ctx
+
+    with _ctx.bind(_ctx.new_request_context()):
+        index.query_batch(rows, args.k, strategy=args.strategy)
     registry = obs_module.get_registry()
     text = (
         registry.to_json()
@@ -362,6 +389,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro import obs
 
         obs.enable()
+    if args.log_json:
+        from repro.obs.logs import configure_json_logging
+
+        configure_json_logging()
     streaming = None
     if args.stream:
         from repro.streaming import StreamingEngine
@@ -381,6 +412,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         deadline_ms=args.deadline_ms,
         cache_entries=args.cache_entries,
         cache_ttl_s=args.cache_ttl,
+        slow_ms=args.slow_ms,
+        flight_records=args.flight_records,
+        slo_latency_ms=args.slo_latency_ms,
+        slo_target=args.slo_target,
     )
 
     def ready(server) -> None:
@@ -424,6 +459,18 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         Path(args.out).write_text(json.dumps(report.to_dict(), indent=2))
         print(f"report written to {args.out}")
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.serving.topview import run_top
+
+    return run_top(
+        args.host,
+        args.port,
+        interval=args.interval,
+        iterations=args.iterations,
+        clear=not args.no_clear,
+    )
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
@@ -833,6 +880,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="do not enable observability (empties /metrics)",
     )
     serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=100.0,
+        help="slow-query threshold: requests over this latency are "
+        "captured with their full span tree on /debug/slow",
+    )
+    serve.add_argument(
+        "--flight-records",
+        type=int,
+        default=1024,
+        help="flight-recorder ring capacity (per-request records "
+        "on /debug/requests)",
+    )
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON log lines (trace-correlated) "
+        "on stderr",
+    )
+    serve.add_argument(
+        "--slo-latency-ms",
+        type=float,
+        default=250.0,
+        help="SLO latency threshold: requests over this count "
+        "against the latency objective",
+    )
+    serve.add_argument(
+        "--slo-target",
+        type=float,
+        default=0.99,
+        help="latency-objective target fraction in (0, 1)",
+    )
+    serve.add_argument(
         "--stream",
         action="store_true",
         help="enable evolving-graph routes (/deltas and /subscriptions)",
@@ -917,6 +997,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", help="write the JSON report here (e.g. BENCH_serving.json)"
     )
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal view over a running server's /metrics",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=8171)
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="refresh period in seconds",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="stop after N refreshes (0 = run until Ctrl-C)",
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append refreshes instead of redrawing in place",
+    )
+    top.set_defaults(func=_cmd_top)
 
     stream = sub.add_parser(
         "stream",

@@ -277,6 +277,23 @@ class ServingConfig:
         Upper bound on the graceful-drain wait (stop accepting, flush
         the batcher, answer in-flight requests) before the server gives
         up and closes remaining connections.
+
+    Request-scoped telemetry
+    ------------------------
+    slow_ms:
+        Requests slower than this are copied into the slow-query ring
+        with their full span tree (``GET /debug/slow``).
+    flight_records:
+        Capacity of the flight-recorder ring (``GET /debug/requests``).
+    slo_latency_ms / slo_target:
+        The latency objective: ``slo_target`` of requests (e.g. 0.99)
+        should finish within ``slo_latency_ms``.
+    slo_error_target / slo_degraded_target:
+        Good-fraction targets for the error (no 5xx) and degradation
+        (full-quality answer) objectives.
+    slo_fast_window_s / slo_window_s:
+        The burn-rate windows: a fast window that reacts to incidents
+        and the slow window that defines the objectives.
     """
 
     host: str = "127.0.0.1"
@@ -291,6 +308,14 @@ class ServingConfig:
     cache_decimals: int = 3
     cache_ttl_s: float | None = None
     drain_grace_s: float = 10.0
+    slow_ms: float = 100.0
+    flight_records: int = 1024
+    slo_latency_ms: float = 250.0
+    slo_target: float = 0.99
+    slo_error_target: float = 0.999
+    slo_degraded_target: float = 0.99
+    slo_fast_window_s: float = 60.0
+    slo_window_s: float = 300.0
 
     def __post_init__(self) -> None:
         if not 0 <= self.port <= 65535:
@@ -334,6 +359,25 @@ class ServingConfig:
         if self.drain_grace_s <= 0:
             raise ValueError(
                 f"drain_grace_s must be positive, got {self.drain_grace_s}"
+            )
+        if self.slow_ms <= 0:
+            raise ValueError(f"slow_ms must be positive, got {self.slow_ms}")
+        if self.flight_records < 1:
+            raise ValueError(
+                f"flight_records must be >= 1, got {self.flight_records}"
+            )
+        if self.slo_latency_ms <= 0:
+            raise ValueError(
+                f"slo_latency_ms must be positive, got {self.slo_latency_ms}"
+            )
+        for name in ("slo_target", "slo_error_target", "slo_degraded_target"):
+            value = getattr(self, name)
+            if not 0.0 < value < 1.0:
+                raise ValueError(f"{name} must be in (0, 1), got {value}")
+        if not 0 < self.slo_fast_window_s <= self.slo_window_s:
+            raise ValueError(
+                "need 0 < slo_fast_window_s <= slo_window_s, got "
+                f"{self.slo_fast_window_s} / {self.slo_window_s}"
             )
 
     @property

@@ -245,6 +245,40 @@ RESILIENCE_CORRUPT_ARTIFACTS = _REGISTRY.counter(
     labels=("artifact",),
 )
 
+# -- request-scoped telemetry -------------------------------------------
+SLO_REQUESTS = _REGISTRY.counter(
+    "repro_slo_requests_total",
+    "Requests judged against each SLO objective, by verdict (good/bad)",
+    labels=("objective", "verdict"),
+)
+SLO_BURN_RATE = _REGISTRY.gauge(
+    "repro_slo_burn_rate",
+    "Error-budget burn rate per objective and window (1.0 = budget "
+    "consumed exactly as fast as it accrues)",
+    labels=("objective", "window"),
+)
+SLO_HEALTHY = _REGISTRY.gauge(
+    "repro_slo_healthy",
+    "1 while no SLO objective is breached in both windows, else 0",
+)
+FLIGHT_RECORDS = _REGISTRY.gauge(
+    "repro_flight_records",
+    "Requests currently held in the flight-recorder ring",
+)
+SERVING_SLOW_REQUESTS = _REGISTRY.counter(
+    "repro_serving_slow_requests_total",
+    "Requests over the slow-query threshold (span tree captured)",
+)
+LOG_RECORDS = _REGISTRY.counter(
+    "repro_log_records_total",
+    "Structured log records emitted, by level",
+    labels=("level",),
+)
+LOG_SUPPRESSED = _REGISTRY.counter(
+    "repro_log_suppressed_total",
+    "Structured log records dropped by the rate limiter",
+)
+
 
 # ----------------------------------------------------------------------
 # Recording helpers (each is a no-op while observability is disabled)
@@ -610,3 +644,69 @@ def build_stage(stage: str):
         yield span
     if STATE.enabled and span.duration is not None:
         BUILD_STAGE_SECONDS.labels(stage=stage).observe(span.duration)
+
+
+_SLO_VERDICT_COUNTERS: dict = {}
+_SLO_BURN_GAUGES: dict = {}
+_LOG_LEVEL_COUNTERS: dict = {}
+
+
+def record_slo_verdicts(verdicts: dict) -> None:
+    """Fold one request's per-objective verdicts (``True`` = bad, as
+    returned by :meth:`~repro.obs.slo.SLOMonitor.observe`) into the
+    registry."""
+    if not STATE.enabled:
+        return
+    for objective, bad in verdicts.items():
+        key = (objective, "bad" if bad else "good")
+        counter = _SLO_VERDICT_COUNTERS.get(key)
+        if counter is None:
+            counter = SLO_REQUESTS.labels(objective=key[0], verdict=key[1])
+            _SLO_VERDICT_COUNTERS[key] = counter
+        counter.inc()
+
+
+def publish_slo_status(status: dict) -> None:
+    """Push an :meth:`~repro.obs.slo.SLOMonitor.status` dict into the
+    ``repro_slo_burn_rate`` / ``repro_slo_healthy`` gauges."""
+    if not STATE.enabled:
+        return
+    for objective, detail in status["objectives"].items():
+        for window in ("fast", "slow"):
+            key = (objective, window)
+            gauge = _SLO_BURN_GAUGES.get(key)
+            if gauge is None:
+                gauge = SLO_BURN_RATE.labels(
+                    objective=objective, window=window
+                )
+                _SLO_BURN_GAUGES[key] = gauge
+            gauge.set(detail[window]["burn_rate"])
+    SLO_HEALTHY.set(1.0 if status["healthy"] else 0.0)
+
+
+def record_flight(records: int, slow: bool) -> None:
+    """Update the flight-recorder gauge (and the slow-request counter
+    when the request crossed the slow threshold)."""
+    if not STATE.enabled:
+        return
+    FLIGHT_RECORDS.set(records)
+    if slow:
+        SERVING_SLOW_REQUESTS.inc()
+
+
+def record_log_event(level: str) -> None:
+    """Count one emitted structured log record."""
+    if not STATE.enabled:
+        return
+    counter = _LOG_LEVEL_COUNTERS.get(level)
+    if counter is None:
+        counter = LOG_RECORDS.labels(level=level)
+        _LOG_LEVEL_COUNTERS[level] = counter
+    counter.inc()
+
+
+def record_log_suppressed(count: int) -> None:
+    """Add ``count`` rate-limiter-dropped log records to the total."""
+    if not STATE.enabled or count <= 0:
+        return
+    LOG_SUPPRESSED.inc(count)

@@ -1,0 +1,209 @@
+"""Structured JSON event logging, trace-correlated and rate-limited.
+
+Serving, streaming, and resilience paths emit discrete *events*
+(request shed, deadline degraded, pool worker replaced, delta batch
+applied) that belong in a log, not a metric.  This module builds them
+on stdlib :mod:`logging`:
+
+* :func:`get_logger` returns a logger under the ``repro`` hierarchy
+  with an :func:`event` convenience — one call producing a single JSON
+  line with machine-parseable fields;
+* :class:`JsonFormatter` renders records as one-line JSON with the
+  active request context's ``trace_id``/``request_id`` stamped in
+  automatically (events correlate with spans and flight records);
+* :class:`RateLimitFilter` is a per-logger token bucket so an error
+  storm (e.g. every request shedding during overload) cannot swamp the
+  log — dropped records are counted and reported in a periodic
+  ``suppressed`` summary line;
+* :func:`configure_json_logging` installs a JSON handler on the
+  ``repro`` root logger idempotently, and :func:`reset_logging`
+  removes it (tests).
+
+Library modules log unconditionally (stdlib logging is already cheap
+and a ``NullHandler`` swallows everything until the application opts
+in); metric accounting of log volume is gated on the observability
+switch like every other instrument.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+
+from repro.obs.context import current_context
+from repro.obs.instruments import record_log_event, record_log_suppressed
+
+#: Name of the root logger for all repro events.
+ROOT_LOGGER_NAME = "repro"
+
+#: Default sustained events/second allowed per logger by the limiter.
+DEFAULT_RATE_PER_S = 50.0
+
+#: Default burst size of the limiter's token bucket.
+DEFAULT_BURST = 100.0
+
+
+class JsonFormatter(logging.Formatter):
+    """Formats records as one-line JSON.
+
+    Fields: ``ts`` (unix seconds), ``level``, ``logger``, ``event``
+    (the message), plus ``trace_id``/``request_id`` when a request
+    context is bound, and any extras passed via the record's
+    ``event_fields`` attribute (see :func:`event`).
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        context = current_context()
+        if context is not None:
+            payload["trace_id"] = context.trace_id
+            payload["request_id"] = context.request_id
+        fields = getattr(record, "event_fields", None)
+        if fields:
+            for key, value in fields.items():
+                if key not in payload:
+                    payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str, separators=(",", ":"))
+
+
+class RateLimitFilter(logging.Filter):
+    """Token-bucket rate limiter for a logger.
+
+    Allows bursts of up to ``burst`` records and a sustained
+    ``rate_per_s`` beyond that; suppressed records are counted and a
+    summary record is injected when the storm subsides (the next
+    allowed record carries a ``suppressed`` field).
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float = DEFAULT_RATE_PER_S,
+        burst: float = DEFAULT_BURST,
+        *,
+        clock=time.monotonic,
+    ) -> None:
+        super().__init__()
+        if rate_per_s <= 0 or burst < 1:
+            raise ValueError(
+                f"need rate_per_s > 0 and burst >= 1, got "
+                f"{rate_per_s} / {burst}"
+            )
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tokens = float(burst)
+        self._last = clock()
+        self._suppressed = 0
+        self._suppressed_total = 0
+
+    @property
+    def suppressed_total(self) -> int:
+        """Records dropped by this filter since creation."""
+        return self._suppressed_total
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        now = self._clock()
+        with self._lock:
+            self._tokens = min(
+                self.burst,
+                self._tokens + (now - self._last) * self.rate_per_s,
+            )
+            self._last = now
+            if self._tokens < 1.0:
+                self._suppressed += 1
+                self._suppressed_total += 1
+                record_log_suppressed(1)
+                return False
+            self._tokens -= 1.0
+            if self._suppressed:
+                fields = getattr(record, "event_fields", None)
+                if fields is None:
+                    fields = {}
+                    record.event_fields = fields
+                fields["suppressed"] = self._suppressed
+                self._suppressed = 0
+        record_log_event(record.levelname.lower())
+        return True
+
+
+class EventLogger(logging.LoggerAdapter):
+    """A :class:`logging.LoggerAdapter` adding the :meth:`event` call.
+
+    ``logger.event("request.shed", level=logging.WARNING, route="/query")``
+    emits one structured record whose extra keyword arguments become
+    JSON fields.  Standard adapter methods (``info`` etc.) still work.
+    """
+
+    def event(self, name: str, *, level: int = logging.INFO, **fields):
+        """Log one structured event with ``fields`` as JSON keys."""
+        if self.logger.isEnabledFor(level):
+            self.logger.log(
+                level, name, extra={"event_fields": fields}, stacklevel=2
+            )
+
+    def process(self, msg, kwargs):
+        """Pass records through unchanged (adapter protocol)."""
+        return msg, kwargs
+
+
+#: Per-name adapter cache so repeated get_logger calls share filters.
+_ADAPTERS: dict[str, EventLogger] = {}
+_ADAPTERS_LOCK = threading.Lock()
+
+
+def get_logger(name: str = "") -> EventLogger:
+    """The structured event logger for ``name`` (joined under the
+    ``repro`` hierarchy; ``get_logger("serving")`` →
+    ``repro.serving``)."""
+    full = f"{ROOT_LOGGER_NAME}.{name}" if name else ROOT_LOGGER_NAME
+    with _ADAPTERS_LOCK:
+        adapter = _ADAPTERS.get(full)
+        if adapter is None:
+            adapter = EventLogger(logging.getLogger(full), {})
+            _ADAPTERS[full] = adapter
+        return adapter
+
+
+def configure_json_logging(
+    *,
+    level: int = logging.INFO,
+    stream=None,
+    rate_per_s: float = DEFAULT_RATE_PER_S,
+    burst: float = DEFAULT_BURST,
+) -> logging.Handler:
+    """Install a JSON handler (with rate limiting) on the ``repro``
+    root logger; idempotent — a second call replaces the previous
+    handler rather than stacking.  Returns the installed handler."""
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    reset_logging()
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonFormatter())
+    handler.addFilter(RateLimitFilter(rate_per_s, burst))
+    handler.set_name("repro-json")
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return handler
+
+
+def reset_logging() -> None:
+    """Remove any handler installed by :func:`configure_json_logging`."""
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if handler.get_name() == "repro-json":
+            root.removeHandler(handler)
+    root.propagate = True
+
+
+# Default: swallow events until an application configures logging.
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())

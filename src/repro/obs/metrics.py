@@ -244,6 +244,30 @@ class Histogram:
             summary[f"p{int(q * 100)}"] = self.quantile(q)
         return summary
 
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs for Prometheus
+        ``histogram`` exposition.
+
+        Only buckets that change the cumulative count are emitted (plus
+        the mandatory ``+Inf`` bound), so the exposition stays compact
+        despite the fine-grained geometric grid.  Bounds are the
+        bucket *upper* edges; the underflow bucket reports at the
+        ``lowest`` bound and the overflow bucket folds into ``+Inf``.
+        """
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        pairs: list[tuple[float, int]] = []
+        cumulative = 0
+        for index, bucket_count in enumerate(counts[:-1]):
+            if bucket_count == 0:
+                continue
+            cumulative += bucket_count
+            upper = self._bucket_bounds(index)[1]
+            pairs.append((upper, cumulative))
+        pairs.append((math.inf, total))
+        return pairs
+
 
 _KIND_FACTORIES = {
     "counter": Counter,
@@ -358,6 +382,21 @@ class MetricsRegistry:
         with self._lock:
             return sorted(self._metrics)
 
+    def describe(self) -> dict:
+        """Registration metadata per metric: ``{name: {kind, help,
+        labels}}`` — what the documentation catalog must match."""
+        with self._lock:
+            return {
+                name: {
+                    "kind": kind,
+                    "help": help,
+                    "labels": tuple(labels),
+                }
+                for name, (kind, help, labels, _) in sorted(
+                    self._metrics.items()
+                )
+            }
+
     # -- lifecycle ------------------------------------------------------
     def reset(self) -> None:
         """Zero every metric while keeping all registrations live."""
@@ -396,21 +435,31 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition (histograms as summaries)."""
+        """Prometheus text exposition.
+
+        Histograms use the native ``histogram`` type — cumulative
+        ``{name}_bucket{{le="..."}}`` series plus ``_sum``/``_count`` —
+        so scrape-side aggregation (``histogram_quantile`` across
+        shards) works; :meth:`to_json` keeps reporting interpolated
+        quantiles for humans.
+        """
         lines: list[str] = []
         for name, kind, help, _, series in self._iter_series():
-            exposition_type = "summary" if kind == "histogram" else kind
             if help:
                 lines.append(f"# HELP {name} {help}")
-            lines.append(f"# TYPE {name} {exposition_type}")
+            lines.append(f"# TYPE {name} {kind}")
             for labels, metric in series:
                 if kind == "histogram":
-                    for q in DEFAULT_QUANTILES:
-                        quantile_labels = dict(labels)
-                        quantile_labels["quantile"] = str(q)
+                    for upper, cumulative in metric.cumulative_buckets():
+                        bucket_labels = dict(labels)
+                        bucket_labels["le"] = (
+                            "+Inf"
+                            if math.isinf(upper)
+                            else _format_number(upper)
+                        )
                         lines.append(
-                            f"{name}{_format_labels(quantile_labels)} "
-                            f"{_format_number(metric.quantile(q))}"
+                            f"{name}_bucket{_format_labels(bucket_labels)} "
+                            f"{cumulative}"
                         )
                     lines.append(
                         f"{name}_sum{_format_labels(labels)} "

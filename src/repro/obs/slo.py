@@ -1,0 +1,223 @@
+"""Rolling-window SLO tracking with burn-rate computation.
+
+The serving layer promises objectives of the form "99% of requests
+complete within 250 ms over a 5-minute window".  This module tracks
+three such objectives — **latency** (request under the threshold),
+**error** (no 5xx), and **degraded** (full-quality answer: not
+deadline-degraded, not shed) — over two aligned windows:
+
+* a **slow** window (default 300 s) that defines the objective, and
+* a **fast** window (default 60 s) that reacts quickly to incidents.
+
+For each the monitor reports the *burn rate*: the observed bad
+fraction divided by the error budget ``1 - target``.  Burn rate 1.0
+means the budget is being consumed exactly as fast as it accrues;
+above 1.0 the objective will be violated if the rate persists.  An
+objective is **breached** when both windows burn above 1.0 — the
+standard multi-window rule that ignores single-request blips on quiet
+services while still flagging sustained trouble within seconds.
+
+Observations land in per-second bins kept in a deque with running
+totals, so both :meth:`SLOMonitor.observe` and
+:meth:`SLOMonitor.status` are O(1) amortized.  The clock is injectable
+for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+#: Objective names in reporting order.
+OBJECTIVES = ("latency", "error", "degraded")
+
+
+class _SecondBins:
+    """Per-second (total, bad) bins over a fixed trailing window, with
+    running sums maintained on eviction."""
+
+    __slots__ = ("window_s", "_bins", "_total", "_bad")
+
+    def __init__(self, window_s: float) -> None:
+        self.window_s = int(window_s)
+        self._bins: deque = deque()  # [second, total, bad]
+        self._total = 0
+        self._bad = 0
+
+    def observe(self, now: float, bad: bool) -> None:
+        second = int(now)
+        bad_n = 1 if bad else 0
+        if self._bins and self._bins[-1][0] == second:
+            last = self._bins[-1]
+            last[1] += 1
+            last[2] += bad_n
+        else:
+            self._bins.append([second, 1, bad_n])
+        self._total += 1
+        self._bad += bad_n
+        self._evict(second)
+
+    def _evict(self, second: int) -> None:
+        cutoff = second - self.window_s
+        bins = self._bins
+        while bins and bins[0][0] <= cutoff:
+            _, total, bad = bins.popleft()
+            self._total -= total
+            self._bad -= bad
+
+    def totals(self, now: float) -> tuple[int, int]:
+        self._evict(int(now))
+        return self._total, self._bad
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Targets and windows for the serving SLOs.
+
+    ``latency_threshold_s`` is the per-request latency objective;
+    ``*_target`` are the good-fraction targets in ``(0, 1)``;
+    ``fast_window_s`` must not exceed ``slow_window_s``.
+    """
+
+    latency_threshold_s: float = 0.25
+    latency_target: float = 0.99
+    error_target: float = 0.999
+    degraded_target: float = 0.99
+    fast_window_s: float = 60.0
+    slow_window_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.latency_threshold_s <= 0:
+            raise ValueError(
+                "latency_threshold_s must be > 0, got "
+                f"{self.latency_threshold_s}"
+            )
+        for name in ("latency_target", "error_target", "degraded_target"):
+            value = getattr(self, name)
+            if not 0.0 < value < 1.0:
+                raise ValueError(f"{name} must be in (0, 1), got {value}")
+        if not 0 < self.fast_window_s <= self.slow_window_s:
+            raise ValueError(
+                "need 0 < fast_window_s <= slow_window_s, got "
+                f"{self.fast_window_s} / {self.slow_window_s}"
+            )
+
+
+class SLOMonitor:
+    """Tracks the three serving objectives over fast and slow windows.
+
+    Parameters
+    ----------
+    config:
+        Targets and window sizes (defaults to :class:`SLOConfig`).
+    clock:
+        A monotonic ``() -> float`` used to timestamp observations;
+        injectable so tests can steer time.
+    """
+
+    def __init__(
+        self,
+        config: SLOConfig | None = None,
+        *,
+        clock=time.monotonic,
+    ) -> None:
+        self.config = config or SLOConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._targets = {
+            "latency": self.config.latency_target,
+            "error": self.config.error_target,
+            "degraded": self.config.degraded_target,
+        }
+        self._bins = {
+            name: (
+                _SecondBins(self.config.fast_window_s),
+                _SecondBins(self.config.slow_window_s),
+            )
+            for name in OBJECTIVES
+        }
+
+    def observe(
+        self,
+        duration_s: float,
+        *,
+        error: bool = False,
+        degraded: bool = False,
+    ) -> dict:
+        """Record one finished request; returns the per-objective
+        good/bad verdicts (``True`` = bad) that were recorded."""
+        now = self._clock()
+        verdicts = {
+            "latency": duration_s > self.config.latency_threshold_s,
+            "error": bool(error),
+            "degraded": bool(degraded),
+        }
+        with self._lock:
+            for name, bad in verdicts.items():
+                fast, slow = self._bins[name]
+                fast.observe(now, bad)
+                slow.observe(now, bad)
+        return verdicts
+
+    @staticmethod
+    def _burn(total: int, bad: int, target: float) -> float:
+        if total == 0:
+            return 0.0
+        return (bad / total) / (1.0 - target)
+
+    def status(self) -> dict:
+        """Current per-objective totals, burn rates, and breach flags.
+
+        The top-level ``healthy`` flag is ``True`` iff no objective is
+        breached (burning above 1.0 in *both* windows).
+        """
+        now = self._clock()
+        objectives = {}
+        healthy = True
+        with self._lock:
+            for name in OBJECTIVES:
+                fast, slow = self._bins[name]
+                fast_total, fast_bad = fast.totals(now)
+                slow_total, slow_bad = slow.totals(now)
+                target = self._targets[name]
+                fast_burn = self._burn(fast_total, fast_bad, target)
+                slow_burn = self._burn(slow_total, slow_bad, target)
+                breached = fast_burn > 1.0 and slow_burn > 1.0
+                healthy = healthy and not breached
+                objectives[name] = {
+                    "target": target,
+                    "fast": {
+                        "window_s": self.config.fast_window_s,
+                        "total": fast_total,
+                        "bad": fast_bad,
+                        "burn_rate": fast_burn,
+                    },
+                    "slow": {
+                        "window_s": self.config.slow_window_s,
+                        "total": slow_total,
+                        "bad": slow_bad,
+                        "burn_rate": slow_burn,
+                    },
+                    "breached": breached,
+                }
+        return {
+            "healthy": healthy,
+            "latency_threshold_ms": self.config.latency_threshold_s * 1e3,
+            "objectives": objectives,
+        }
+
+    @property
+    def healthy(self) -> bool:
+        """Whether no objective is currently breached."""
+        return self.status()["healthy"]
+
+    def clear(self) -> None:
+        """Drop all observations."""
+        with self._lock:
+            for name in OBJECTIVES:
+                self._bins[name] = (
+                    _SecondBins(self.config.fast_window_s),
+                    _SecondBins(self.config.slow_window_s),
+                )

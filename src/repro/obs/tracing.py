@@ -20,6 +20,13 @@ Two costs are deliberately separated:
 Finished spans are exported as plain JSON or as the Chrome
 ``trace_event`` format (load the file at ``chrome://tracing`` or
 https://ui.perfetto.dev).
+
+Spans are *request-aware*: while a :class:`repro.obs.context.RequestContext`
+is bound, every recorded span is stamped with its ``trace_id``, and
+root spans (no in-thread parent) attach to the context's
+``parent_span_id`` — the mechanism that stitches one request's spans
+across the event loop, executor threads, and (via :meth:`Tracer.adopt`)
+pool worker processes into a single tree.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.obs._state import STATE
+from repro.obs.context import current_context
 
 
 @dataclass
@@ -52,6 +60,7 @@ class SpanRecord:
     span_id: int
     parent_id: int | None
     thread_id: int
+    trace_id: str | None = None
     args: dict = field(default_factory=dict)
 
 
@@ -72,6 +81,7 @@ class Span:
         "span_id",
         "parent_id",
         "thread_id",
+        "trace_id",
         "_tracer",
         "_recording",
     )
@@ -85,6 +95,7 @@ class Span:
         self.span_id: int | None = None
         self.parent_id: int | None = None
         self.thread_id = 0
+        self.trace_id: str | None = None
         self._tracer = tracer
         self._recording = False
 
@@ -148,6 +159,44 @@ class Tracer:
         """A new (not yet entered) span bound to this tracer."""
         return Span(self, name, category, args)
 
+    def open_span(
+        self,
+        name: str,
+        *,
+        category: str = "repro",
+        trace_id: str | None = None,
+        parent_id: int | None = None,
+        **args,
+    ) -> Span:
+        """A manually managed span: started now, closed with
+        :meth:`close_span`, never pushed on the per-thread stack.
+
+        For regions that span ``await`` points on the event loop —
+        stack-based nesting would mis-parent spans of interleaved
+        tasks, so parentage is explicit here (``trace_id`` /
+        ``parent_id``) and concurrent children link to it through a
+        bound :class:`~repro.obs.context.RequestContext` instead of the
+        stack.
+        """
+        span = Span(self, name, category, args)
+        if STATE.enabled:
+            span.span_id = next(self._ids)
+            span.parent_id = parent_id
+            span.trace_id = trace_id
+            span.thread_id = threading.get_ident()
+        span.start = time.perf_counter()
+        return span
+
+    def close_span(self, span: Span) -> None:
+        """Finish a span from :meth:`open_span` and record it (when it
+        was opened while recording was enabled)."""
+        span.duration = time.perf_counter() - span.start
+        if span.span_id is not None:
+            if len(self._records) < self._max_spans:
+                self._records.append(span)
+            else:
+                self._dropped += 1
+
     def _stack(self) -> list:
         try:
             return self._local.stack
@@ -158,7 +207,18 @@ class Tracer:
     def _enter(self, span: Span) -> None:
         stack = self._stack()
         span.span_id = next(self._ids)
-        span.parent_id = stack[-1].span_id if stack else None
+        if stack:
+            top = stack[-1]
+            span.parent_id = top.span_id
+            span.trace_id = top.trace_id
+        else:
+            # Root span on this thread: attach to the bound request
+            # context (cross-thread/cross-process parent link).  This
+            # contextvar read happens only while recording is enabled.
+            context = current_context()
+            if context is not None:
+                span.parent_id = context.parent_span_id
+                span.trace_id = context.trace_id
         span.thread_id = threading.get_ident()
         stack.append(span)
 
@@ -177,6 +237,7 @@ class Tracer:
                 span.span_id or 0,
                 span.parent_id,
                 span.thread_id,
+                span.trace_id,
                 span.args,
             )
             for span in finished
@@ -186,6 +247,13 @@ class Tracer:
         """Recorded spans with this exact name."""
         return [record for record in self.spans() if record.name == name]
 
+    def find_trace(self, trace_id: str) -> list[SpanRecord]:
+        """All spans stamped with this trace id, in completion order —
+        one request's full tree, including adopted worker spans."""
+        return [
+            record for record in self.spans() if record.trace_id == trace_id
+        ]
+
     def children_of(self, span_id: int) -> list[SpanRecord]:
         """Direct children of the given span, in completion order."""
         return [
@@ -193,6 +261,56 @@ class Tracer:
             for record in self.spans()
             if record.parent_id == span_id
         ]
+
+    def adopt(
+        self,
+        payload: list[dict],
+        *,
+        trace_id: str | None = None,
+        parent_id: int | None = None,
+    ) -> int:
+        """Stitch remotely recorded spans into this tracer's buffer.
+
+        ``payload`` entries are plain dicts shipped across a process
+        boundary (see :func:`span_payload`): ``name``, ``wall_start``
+        (``time.time()`` seconds), ``duration``, plus optional
+        ``category``, ``args``, ``trace_id``, ``pid``, and
+        ``local_id``/``local_parent`` for intra-payload nesting.
+        Adopted spans get fresh ids from this tracer (remote per-process
+        counters would collide); entries without a ``local_parent``
+        attach to ``parent_id``.  Wall-clock starts are converted onto
+        this process's monotonic timeline.  Returns the number of spans
+        adopted (0 when observability is disabled).
+        """
+        if not STATE.enabled or not payload:
+            return 0
+        # mono = wall - (wall_now - mono_now): maps a remote wall-clock
+        # stamp onto this process's perf_counter timeline.
+        offset = time.time() - time.perf_counter()
+        id_map: dict = {}
+        adopted = 0
+        for entry in payload:
+            span = Span(
+                self,
+                str(entry["name"]),
+                str(entry.get("category", "repro")),
+                dict(entry.get("args", ())),
+            )
+            span.span_id = next(self._ids)
+            local_id = entry.get("local_id")
+            if local_id is not None:
+                id_map[local_id] = span.span_id
+            span.parent_id = id_map.get(entry.get("local_parent"), parent_id)
+            span.trace_id = entry.get("trace_id", trace_id)
+            span.thread_id = int(entry.get("pid", 0))
+            span.start = float(entry["wall_start"]) - offset
+            span.duration = float(entry["duration"])
+            if len(self._records) < self._max_spans:
+                self._records.append(span)
+                adopted += 1
+            else:
+                self._dropped += 1
+        return adopted
 
     @property
     def dropped(self) -> int:
@@ -218,6 +336,7 @@ class Tracer:
                 "span_id": record.span_id,
                 "parent_id": record.parent_id,
                 "thread_id": record.thread_id,
+                "trace_id": record.trace_id,
                 "args": record.args,
             }
             for record in self.spans()
@@ -238,6 +357,8 @@ class Tracer:
             args["span_id"] = record.span_id
             if record.parent_id is not None:
                 args["parent_id"] = record.parent_id
+            if record.trace_id is not None:
+                args["trace_id"] = record.trace_id
             events.append(
                 {
                     "name": record.name,
@@ -271,6 +392,7 @@ class Tracer:
             args = dict(event.get("args", {}))
             span_id = int(args.pop("span_id", 0))
             parent_raw = args.pop("parent_id", None)
+            trace_raw = args.pop("trace_id", None)
             records.append(
                 SpanRecord(
                     name=event["name"],
@@ -280,10 +402,40 @@ class Tracer:
                     span_id=span_id,
                     parent_id=None if parent_raw is None else int(parent_raw),
                     thread_id=int(event.get("tid", 0)),
+                    trace_id=None if trace_raw is None else str(trace_raw),
                     args=args,
                 )
             )
         return records
+
+
+def span_payload(
+    name: str,
+    wall_start: float,
+    duration: float,
+    *,
+    category: str = "repro",
+    trace_id: str | None = None,
+    **args,
+) -> dict:
+    """A wire-format span dict for :meth:`Tracer.adopt`.
+
+    Built on the *remote* side of a process boundary (pool workers) from
+    ``time.time()`` stamps — workers don't share the parent's monotonic
+    epoch, so wall clock is the only usable cross-process timebase.
+    """
+    payload = {
+        "name": name,
+        "wall_start": float(wall_start),
+        "duration": float(duration),
+        "category": category,
+        "pid": os.getpid(),
+    }
+    if trace_id is not None:
+        payload["trace_id"] = trace_id
+    if args:
+        payload["args"] = args
+    return payload
 
 
 _GLOBAL_TRACER = Tracer()

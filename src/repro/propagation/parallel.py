@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import atexit
 import itertools
+import logging
 import os
 import time
 import weakref
@@ -56,6 +57,10 @@ import numpy as np
 from repro.errors import PoolBrokenError
 from repro.graph.topic_graph import TopicGraph
 from repro.obs import instruments as _obs
+from repro.obs._state import STATE
+from repro.obs.context import current_context
+from repro.obs.logs import get_logger
+from repro.obs.tracing import get_tracer, span_payload
 from repro.propagation.cascade import simulate_cascade
 from repro.propagation.spread import SpreadEstimate
 from repro.resilience.faults import (
@@ -221,7 +226,7 @@ def _simulate_range(
     return counts
 
 
-def _simulate_chunk(task) -> tuple[int, int, int, np.ndarray]:
+def _simulate_chunk(task) -> tuple[int, int, int, np.ndarray, dict | None]:
     """Worker entry point: run one chunk, tagged with the worker pid.
 
     ``fault`` is the injection directive the parent attached when the
@@ -230,8 +235,15 @@ def _simulate_chunk(task) -> tuple[int, int, int, np.ndarray]:
     recovery), ``("error", _)`` raises a retryable exception, and
     ``("sleep", seconds)`` stalls before computing (exercising the
     dispatch timeout).  The fault-free path pays one ``is None`` check.
+
+    ``trace`` is the dispatching request's trace id (or ``None`` when
+    no context was bound / observability was off): when present the
+    chunk is timed on the wall clock and a
+    :func:`~repro.obs.tracing.span_payload` rides home with the counts
+    for the parent tracer to adopt — worker-side spans stitching into
+    the parent's cross-process trace.
     """
-    spec, entropy, call_key, seeds, lo, hi, fault = task
+    spec, entropy, call_key, seeds, lo, hi, fault, trace = task
     if fault is not None:
         mode, arg = fault
         if mode == "crash":
@@ -242,11 +254,26 @@ def _simulate_chunk(task) -> tuple[int, int, int, np.ndarray]:
             )
         if mode == "sleep":
             time.sleep(arg if arg is not None else 0.5)
+    if trace is not None:
+        wall_start = time.time()
+        tick = time.perf_counter()
     indptr, indices, probs = _payload_arrays(spec)
     counts = _simulate_range(
         indptr, indices, probs, seeds, entropy, call_key, lo, hi
     )
-    return os.getpid(), lo, hi, counts
+    span = None
+    if trace is not None:
+        span = span_payload(
+            "spread.chunk",
+            wall_start,
+            time.perf_counter() - tick,
+            category="simpool",
+            trace_id=trace,
+            lo=lo,
+            hi=hi,
+            simulations=hi - lo,
+        )
+    return os.getpid(), lo, hi, counts, span
 
 
 # ----------------------------------------------------------------------
@@ -607,30 +634,56 @@ class ParallelMonteCarloSpread:
             np.empty(self._num_simulations, dtype=np.float64)
             for _ in arrays
         ]
+        # Cross-process tracing: when a request context is bound (and
+        # recording is on) the trace id travels inside every task, and
+        # workers send span payloads back with their counts.
+        tracer = get_tracer()
+        context = current_context() if STATE.enabled else None
+        trace_id = context.trace_id if context is not None else None
+        remote_spans: list[dict] = []
         per_worker: dict[int, int] = {}
         pending = tasks
         attempt = 0
-        while pending:
-            pending = self._run_wave(
-                spec, pending, plan, attempt, results, per_worker
+        with tracer.span(
+            "spread.dispatch",
+            category="simpool",
+            chunks=len(tasks),
+            calls=len(arrays),
+        ) as dispatch_span:
+            while pending:
+                pending = self._run_wave(
+                    spec,
+                    pending,
+                    plan,
+                    attempt,
+                    results,
+                    per_worker,
+                    trace_id,
+                    remote_spans,
+                )
+                if not pending:
+                    break
+                attempt += 1
+                if attempt > self._retry_policy.max_attempts:
+                    if not self._allow_sequential_fallback:
+                        raise PoolBrokenError(
+                            f"simulation pool failed {attempt} consecutive "
+                            f"times with {len(pending)} chunks unrecovered; "
+                            "raise the retry budget or enable sequential "
+                            "fallback"
+                        )
+                    _obs.record_sequential_fallback()
+                    self._run_inline(pending, results, per_worker)
+                    pending = []
+                    break
+                _obs.record_chunk_retries(len(pending))
+                self._retry_policy.sleep_before(attempt - 1)
+        if remote_spans:
+            tracer.adopt(
+                remote_spans,
+                trace_id=trace_id,
+                parent_id=dispatch_span.span_id,
             )
-            if not pending:
-                break
-            attempt += 1
-            if attempt > self._retry_policy.max_attempts:
-                if not self._allow_sequential_fallback:
-                    raise PoolBrokenError(
-                        f"simulation pool failed {attempt} consecutive "
-                        f"times with {len(pending)} chunks unrecovered; "
-                        "raise the retry budget or enable sequential "
-                        "fallback"
-                    )
-                _obs.record_sequential_fallback()
-                self._run_inline(pending, results, per_worker)
-                pending = []
-                break
-            _obs.record_chunk_retries(len(pending))
-            self._retry_policy.sleep_before(attempt - 1)
         _obs.record_sim_chunks(len(tasks))
         for pid, count in per_worker.items():
             _obs.record_worker_simulations(pid, count)
@@ -638,12 +691,22 @@ class ParallelMonteCarloSpread:
         return results
 
     def _run_wave(
-        self, spec, tasks, plan, attempt, results, per_worker
+        self,
+        spec,
+        tasks,
+        plan,
+        attempt,
+        results,
+        per_worker,
+        trace_id=None,
+        remote_spans=None,
     ) -> list[_ChunkTask]:
         """Dispatch ``tasks`` once; returns the chunks needing a retry.
 
         A broken or hung pool is discarded here (counted as a rebuild)
         so the next wave's :func:`_get_executor` starts a fresh one.
+        Worker-side span payloads (present when ``trace_id`` is set)
+        accumulate into ``remote_spans`` for the caller to adopt.
         """
         executor = _get_executor(self._workers)
         futures: dict = {}
@@ -671,6 +734,7 @@ class ParallelMonteCarloSpread:
                         task.lo,
                         task.hi,
                         fault,
+                        trace_id,
                     ),
                 )
                 futures[future] = task
@@ -683,7 +747,7 @@ class ParallelMonteCarloSpread:
             failed.extend(t for t in tasks if t not in submitted)
         for future, task in futures.items():
             try:
-                pid, lo, hi, counts = future.result(
+                pid, lo, hi, counts, span = future.result(
                     timeout=self._task_timeout
                 )
             except (BrokenProcessPool, TimeoutError):
@@ -697,9 +761,18 @@ class ParallelMonteCarloSpread:
                 continue
             results[task.row][lo:hi] = counts
             per_worker[pid] = per_worker.get(pid, 0) + (hi - lo)
+            if span is not None and remote_spans is not None:
+                remote_spans.append(span)
         if broken:
             with _obs.pool_rebuild_span(self._workers):
                 _discard_executor(self._workers)
+            get_logger("resilience").event(
+                "simpool.rebuild",
+                level=logging.WARNING,
+                workers=self._workers,
+                failed_chunks=len(failed),
+                attempt=attempt,
+            )
         return failed
 
     def _run_inline(self, tasks, results, per_worker) -> None:
@@ -711,17 +784,25 @@ class ParallelMonteCarloSpread:
         come out bit-identical.
         """
         pid = os.getpid()
+        tracer = get_tracer()
         for task in tasks:
-            counts = _simulate_range(
-                self._indptr,
-                self._indices,
-                self._probs,
-                task.seeds,
-                self._entropy,
-                task.key,
-                task.lo,
-                task.hi,
-            )
+            with tracer.span(
+                "spread.chunk",
+                category="simpool",
+                lo=task.lo,
+                hi=task.hi,
+                inline=True,
+            ):
+                counts = _simulate_range(
+                    self._indptr,
+                    self._indices,
+                    self._probs,
+                    task.seeds,
+                    self._entropy,
+                    task.key,
+                    task.lo,
+                    task.hi,
+                )
             results[task.row][task.lo : task.hi] = counts
             per_worker[pid] = per_worker.get(pid, 0) + (
                 task.hi - task.lo

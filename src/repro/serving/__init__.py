@@ -19,7 +19,9 @@ down:
 * :mod:`repro.serving.loadgen` — seeded closed-/open-loop load
   generation with latency/throughput/shed/cache reporting;
 * :mod:`repro.serving.protocol` — the shared HTTP codec and JSON wire
-  format.
+  format;
+* :mod:`repro.serving.topview` — the ``repro-inflex top`` live
+  terminal view over ``/metrics``.
 
 Configuration lives in :class:`repro.core.config.ServingConfig`; the
 CLI entry points are ``repro-inflex serve`` and ``repro-inflex
@@ -37,6 +39,13 @@ from repro.serving.loadgen import LoadReport, build_query_mix, run_loadgen
 from repro.serving.protocol import HttpRequest, ProtocolError
 from repro.serving.server import QueryServer, serve
 from repro.serving.singleflight import SingleFlight
+from repro.serving.topview import (
+    MetricsSample,
+    parse_prometheus,
+    quantile_from_buckets,
+    render_top,
+    run_top,
+)
 
 __all__ = [
     "AdmissionController",
@@ -45,12 +54,17 @@ __all__ = [
     "BatcherStats",
     "HttpRequest",
     "LoadReport",
+    "MetricsSample",
     "MicroBatcher",
     "ProtocolError",
     "QueryServer",
     "QueueFullError",
     "SingleFlight",
     "build_query_mix",
+    "parse_prometheus",
+    "quantile_from_buckets",
+    "render_top",
     "run_loadgen",
+    "run_top",
     "serve",
 ]

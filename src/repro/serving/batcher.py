@@ -24,6 +24,7 @@ import asyncio
 import time
 from dataclasses import dataclass, field
 
+from repro.obs import context as _ctx
 from repro.obs import instruments as _obs
 from repro.resilience.deadline import Deadline
 
@@ -35,7 +36,15 @@ class QueueFullError(RuntimeError):
 
 @dataclass
 class BatchItem:
-    """One enqueued query awaiting batch dispatch."""
+    """One enqueued query awaiting batch dispatch.
+
+    ``ctx`` carries the submitting request's
+    :class:`~repro.obs.context.RequestContext` across the queue: the
+    dispatch binds the *first* item's context (the batch leader), so
+    executor-side spans stitch into the leader's trace while co-batched
+    requests reference the shared ``batch_id`` (stamped at dispatch)
+    from their flight records.
+    """
 
     gamma: object
     k: int
@@ -43,6 +52,8 @@ class BatchItem:
     deadline: Deadline | None
     future: asyncio.Future = field(repr=False)
     enqueued_at: float = 0.0
+    ctx: object = None
+    batch_id: int | None = None
 
     @property
     def group_key(self) -> tuple[int, str]:
@@ -195,9 +206,15 @@ class MicroBatcher:
         self.stats.max_batch_size = max(
             self.stats.max_batch_size, len(group)
         )
+        batch_id = self.stats.batches_total
+        for item in group:
+            item.batch_id = batch_id
+        leader_ctx = group[0].ctx
         try:
-            with _obs.serving_batch_span(len(group), waited):
-                results = await self._execute(group)
+            with _ctx.bind(leader_ctx):
+                with _obs.serving_batch_span(len(group), waited) as span:
+                    with _ctx.bind_child_of(span):
+                        results = await self._execute(group)
             if len(results) != len(group):
                 raise RuntimeError(
                     f"batch executor returned {len(results)} results "

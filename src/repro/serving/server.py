@@ -14,13 +14,24 @@ and serve cache hits).  Graceful drain — ``SIGTERM`` via the CLI, or
 :meth:`QueryServer.request_drain` — stops accepting, flushes the
 batcher, answers every admitted request, then closes.
 
+Every request is minted a :class:`~repro.obs.context.RequestContext`
+(honoring ``X-Trace-Id`` / ``X-Request-Id`` request headers, echoed in
+the response) whose trace id stitches the request's spans — serving
+span, batch span, executor-side query phases, even pool-worker chunks —
+into one tree, leaves a record in the flight recorder, and feeds the
+rolling SLO monitor.
+
 Routes
 ------
 ``POST /query``         one TIM query (JSON body, see ``protocol``)
 ``POST /query_batch``   many queries in one round trip
-``GET  /healthz``       liveness + index shape (503 while draining)
+``GET  /healthz``       liveness + index shape + SLO detail (503 while
+                        draining)
 ``GET  /metrics``       Prometheus text exposition of ``repro.obs``
 ``GET  /stats``         JSON server/cache/batcher/admission counters
+``GET  /debug/requests``  recent flight-recorder entries (``?n=``)
+``GET  /debug/slow``      slow requests with captured span trees
+``GET  /debug/slo``       burn rates and breach flags per objective
 
 With a :class:`~repro.streaming.StreamingEngine` attached, three more
 routes keep the served index current on an evolving graph (404 when
@@ -41,15 +52,22 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import logging
 import math
 import time
+from urllib.parse import parse_qs, urlsplit
 
 from repro.core.cache import CachedIndex
 from repro.core.config import ServingConfig
 from repro.core.index import InflexIndex
 from repro.errors import InvalidDistributionError, QueryError, StreamError
+from repro.obs import context as _ctx
 from repro.obs import instruments as _obs
+from repro.obs.flightrec import FlightRecord, FlightRecorder, gamma_fingerprint
+from repro.obs.logs import get_logger
 from repro.obs.metrics import get_registry
+from repro.obs.slo import SLOConfig, SLOMonitor
+from repro.obs.tracing import get_tracer
 from repro.resilience.deadline import Deadline
 from repro.serving.admission import (
     SHED_DRAINING,
@@ -67,6 +85,11 @@ from repro.serving.protocol import (
     read_request,
 )
 from repro.serving.singleflight import SingleFlight
+
+#: Routes excluded from SLO accounting and the flight recorder: they
+#: observe the service rather than do its work, so scraping /metrics
+#: or tailing /debug/requests must not perturb what they report.
+_OBSERVER_ROUTES = frozenset({"/healthz", "/metrics", "/stats"})
 
 
 class QueryServer:
@@ -119,6 +142,21 @@ class QueryServer:
             queue_depth=lambda: self.batcher.depth,
         )
         self.singleflight = SingleFlight()
+        self.flight = FlightRecorder(
+            self.config.flight_records,
+            slow_threshold_s=self.config.slow_ms / 1e3,
+        )
+        self.slo = SLOMonitor(
+            SLOConfig(
+                latency_threshold_s=self.config.slo_latency_ms / 1e3,
+                latency_target=self.config.slo_target,
+                error_target=self.config.slo_error_target,
+                degraded_target=self.config.slo_degraded_target,
+                fast_window_s=self.config.slo_fast_window_s,
+                slow_window_s=self.config.slo_window_s,
+            )
+        )
+        self._log = get_logger("serving")
         self._executor: concurrent.futures.ThreadPoolExecutor | None = None
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.StreamWriter] = set()
@@ -156,6 +194,7 @@ class QueryServer:
         if self._draining:
             return
         self._draining = True
+        self._log.event("server.drain.begin")
         asyncio.get_running_loop().create_task(self._drain())
 
     async def _drain(self) -> None:
@@ -183,6 +222,7 @@ class QueryServer:
             writer.close()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+        self._log.event("server.drain.complete")
         self._drained.set()
 
     async def wait_drained(self) -> None:
@@ -220,38 +260,83 @@ class QueryServer:
                 )
             return answers
 
+        # run_in_executor does not propagate contextvars; wrap captures
+        # the batch-dispatch context here (the leader's trace, parented
+        # at the batch span) so executor-side spans stitch into it.
         return await asyncio.get_running_loop().run_in_executor(
-            self._executor, run
+            self._executor, _ctx.wrap(run)
         )
 
     async def _answer_query(
-        self, gamma, k: int, strategy: str, deadline_ms: float | None
+        self,
+        gamma,
+        k: int,
+        strategy: str,
+        deadline_ms: float | None,
+        info: dict | None = None,
     ) -> dict:
-        """The cache -> singleflight -> batcher pipeline for one query."""
+        """The cache -> singleflight -> batcher pipeline for one query.
+
+        ``info``, when given, is filled with the query's flight-recorder
+        fields (fingerprint, outcome flags, per-phase timings, batch id).
+        """
         key = self.cache.canonical_key(gamma, k, strategy)
         cached = self.cache.lookup(key)
         if cached is not None:
-            return answer_to_dict(cached, cache_hit=True)
+            payload = answer_to_dict(cached, cache_hit=True)
+            if info is not None:
+                self._fill_info(info, gamma, k, strategy, cached, payload, None)
+            return payload
         # The budget starts here, at admission — queue wait spends it.
         deadline = (
             Deadline.from_ms(deadline_ms) if deadline_ms is not None else None
         )
+        submitted: list[BatchItem] = []
 
         async def compute():
             future = asyncio.get_running_loop().create_future()
-            self.batcher.submit(
-                BatchItem(
-                    gamma=gamma,
-                    k=k,
-                    strategy=strategy,
-                    deadline=deadline,
-                    future=future,
-                )
+            item = BatchItem(
+                gamma=gamma,
+                k=k,
+                strategy=strategy,
+                deadline=deadline,
+                future=future,
+                ctx=_ctx.current_context(),
             )
+            submitted.append(item)
+            self.batcher.submit(item)
             return await future
 
         answer, leader = await self.singleflight.run(key, compute)
-        return answer_to_dict(answer, coalesced=not leader)
+        payload = answer_to_dict(answer, coalesced=not leader)
+        if info is not None:
+            batch_id = submitted[0].batch_id if submitted else None
+            self._fill_info(info, gamma, k, strategy, answer, payload, batch_id)
+        return payload
+
+    @staticmethod
+    def _fill_info(
+        info: dict, gamma, k: int, strategy: str, answer, payload, batch_id
+    ) -> None:
+        """Populate one query's flight-recorder fields from its answer."""
+        timing = answer.timing
+        info.update(
+            fingerprint=gamma_fingerprint(gamma),
+            k=k,
+            strategy=strategy,
+            cache_hit=payload["cache_hit"],
+            coalesced=payload["coalesced"],
+            degraded=payload["degraded"],
+            epsilon_match=payload["epsilon_match"],
+            num_neighbors_used=payload["num_neighbors_used"],
+            batch_id=batch_id,
+            timings={
+                "search": timing.search,
+                "selection": timing.selection,
+                "aggregation": timing.aggregation,
+                "total": timing.total,
+            },
+        )
 
     # ------------------------------------------------------------------
     # HTTP handling
@@ -299,64 +384,187 @@ class QueryServer:
     async def _route(self, request: HttpRequest, keep_alive: bool) -> bytes:
         started = time.monotonic()
         route = request.target.split("?", 1)[0]
+        context = _ctx.new_request_context(
+            trace_id=request.headers.get("x-trace-id"),
+            request_id=request.headers.get("x-request-id"),
+        )
+        tracer = get_tracer()
+        # Manually managed span: it crosses awaits on the event loop,
+        # where stack-based nesting would mis-parent interleaved tasks.
+        span = tracer.open_span(
+            "serving.request",
+            category="serving",
+            trace_id=context.trace_id,
+            route=route,
+        )
         content_type = "application/json"
-        try:
-            if route == "/healthz":
-                status, body, extra = self._handle_healthz()
-            elif route == "/metrics":
-                content_type = "text/plain; version=0.0.4"
+        info: dict = {}
+        with _ctx.bind(context.child_of(span)):
+            try:
+                if route == "/healthz":
+                    status, body, extra = self._handle_healthz()
+                elif route == "/metrics":
+                    content_type = "text/plain; version=0.0.4"
+                    status, body, extra = (
+                        200,
+                        get_registry().to_prometheus().encode("utf-8"),
+                        None,
+                    )
+                elif route == "/stats":
+                    status, body, extra = 200, json_body(self.stats()), None
+                elif route == "/debug/requests":
+                    status, body, extra = self._handle_debug_requests(request)
+                elif route == "/debug/slow":
+                    status, body, extra = self._handle_debug_slow(request)
+                elif route == "/debug/slo":
+                    status, body, extra = 200, json_body(self.slo.status()), None
+                elif route == "/query":
+                    status, body, extra = await self._handle_query(
+                        request, info
+                    )
+                elif route == "/query_batch":
+                    status, body, extra = await self._handle_query_batch(
+                        request, info
+                    )
+                elif route == "/deltas":
+                    status, body, extra = await self._handle_deltas(request)
+                elif route == "/subscriptions" or route.startswith(
+                    "/subscriptions/"
+                ):
+                    status, body, extra = await self._handle_subscriptions(
+                        request, route
+                    )
+                else:
+                    status, body, extra = (
+                        404,
+                        error_body(f"no such route: {route}"),
+                        None,
+                    )
+            except (
+                ProtocolError,
+                QueryError,
+                InvalidDistributionError,
+                StreamError,
+            ) as exc:
+                status, body, extra = 400, error_body(str(exc)), None
+            except QueueFullError:
                 status, body, extra = (
-                    200,
-                    get_registry().to_prometheus().encode("utf-8"),
+                    429,
+                    error_body("server is overloaded"),
+                    self._retry_after(),
+                )
+            except Exception as exc:  # pragma: no cover - defensive
+                status, body, extra = (
+                    500,
+                    error_body(f"internal error: {type(exc).__name__}: {exc}"),
                     None,
                 )
-            elif route == "/stats":
-                status, body, extra = 200, json_body(self.stats()), None
-            elif route == "/query":
-                status, body, extra = await self._handle_query(request)
-            elif route == "/query_batch":
-                status, body, extra = await self._handle_query_batch(request)
-            elif route == "/deltas":
-                status, body, extra = await self._handle_deltas(request)
-            elif route == "/subscriptions" or route.startswith(
-                "/subscriptions/"
-            ):
-                status, body, extra = await self._handle_subscriptions(
-                    request, route
+                self._log.event(
+                    "request.error",
+                    level=logging.ERROR,
+                    route=route,
+                    error=f"{type(exc).__name__}: {exc}",
                 )
-            else:
-                status, body, extra = (
-                    404,
-                    error_body(f"no such route: {route}"),
-                    None,
-                )
-        except (
-            ProtocolError,
-            QueryError,
-            InvalidDistributionError,
-            StreamError,
-        ) as exc:
-            status, body, extra = 400, error_body(str(exc)), None
-        except QueueFullError:
-            status, body, extra = (
-                429,
-                error_body("server is overloaded"),
-                self._retry_after(),
-            )
-        except Exception as exc:  # pragma: no cover - defensive
-            status, body, extra = (
-                500,
-                error_body(f"internal error: {type(exc).__name__}: {exc}"),
-                None,
-            )
-        _obs.record_http_request(route, status, time.monotonic() - started)
+        tracer.close_span(span)
+        elapsed = time.monotonic() - started
+        _obs.record_http_request(route, status, elapsed)
+        if not (route in _OBSERVER_ROUTES or route.startswith("/debug/")):
+            self._finish_request(context, route, status, elapsed, info)
+        headers = dict(extra) if extra else {}
+        headers.setdefault("X-Trace-Id", context.trace_id)
+        headers.setdefault("X-Request-Id", context.request_id)
         return encode_response(
             status,
             body,
             content_type=content_type,
             keep_alive=keep_alive,
-            extra_headers=extra,
+            extra_headers=headers,
         )
+
+    def _finish_request(
+        self,
+        context,
+        route: str,
+        status: int,
+        elapsed: float,
+        info: dict,
+    ) -> None:
+        """Post-response accounting: SLO observation, flight record,
+        slow-query capture, and the shed/slow log events."""
+        shed = status == 429
+        degraded = bool(info.get("degraded")) or shed
+        verdicts = self.slo.observe(
+            elapsed, error=status >= 500, degraded=degraded
+        )
+        _obs.record_slo_verdicts(verdicts)
+        _obs.publish_slo_status(self.slo.status())
+        if shed:
+            self._log.event(
+                "request.shed", level=logging.WARNING, route=route
+            )
+        record = FlightRecord(
+            request_id=context.request_id,
+            trace_id=context.trace_id,
+            route=route,
+            fingerprint=info.get("fingerprint", ""),
+            k=int(info.get("k", 0)),
+            strategy=info.get("strategy", ""),
+            status=status,
+            duration_s=elapsed,
+            cache_hit=bool(info.get("cache_hit")),
+            coalesced=bool(info.get("coalesced")),
+            degraded=bool(info.get("degraded")),
+            shed=shed,
+            epsilon_match=bool(info.get("epsilon_match")),
+            num_neighbors_used=int(info.get("num_neighbors_used", 0)),
+            batch_id=info.get("batch_id"),
+            timings=info.get("timings", {}),
+        )
+        slow = self.flight.record(record, get_tracer())
+        _obs.record_flight(len(self.flight), slow)
+        if slow:
+            self._log.event(
+                "request.slow",
+                level=logging.WARNING,
+                route=route,
+                request_id=context.request_id,
+                trace_id=context.trace_id,
+                duration_ms=round(elapsed * 1e3, 3),
+                status=status,
+            )
+
+    @staticmethod
+    def _debug_limit(request: HttpRequest, default: int = 50) -> int:
+        """The ``?n=`` limit of a debug route (bounded, default 50)."""
+        query = urlsplit(request.target).query
+        values = parse_qs(query).get("n")
+        if not values:
+            return default
+        try:
+            return max(1, min(10_000, int(values[0])))
+        except ValueError:
+            return default
+
+    def _handle_debug_requests(self, request: HttpRequest):
+        limit = self._debug_limit(request)
+        payload = {
+            "total": self.flight.total,
+            "requests": [
+                record.to_dict() for record in self.flight.recent(limit)
+            ],
+        }
+        return 200, json_body(payload), None
+
+    def _handle_debug_slow(self, request: HttpRequest):
+        limit = self._debug_limit(request)
+        payload = {
+            "slow_total": self.flight.slow_total,
+            "slow_threshold_ms": self.config.slow_ms,
+            "requests": [
+                record.to_dict() for record in self.flight.slow(limit)
+            ],
+        }
+        return 200, json_body(payload), None
 
     def _retry_after(self) -> dict[str, str]:
         # Retry-After takes whole seconds; round the configured hint up
@@ -366,19 +574,26 @@ class QueryServer:
     def _handle_healthz(self):
         if self._draining:
             return 503, json_body({"status": "draining"}), None
+        slo = self.slo.status()
+        breached = [
+            name
+            for name, detail in slo["objectives"].items()
+            if detail["breached"]
+        ]
         return 200, json_body(
             {
-                "status": "ok",
+                "status": "ok" if not breached else "degraded",
                 "num_topics": self.index.graph.num_topics,
                 "num_index_points": self.index.num_index_points,
                 "uptime_s": round(
                     time.monotonic() - (self._started_at or time.monotonic()),
                     3,
                 ),
+                "slo": {"healthy": slo["healthy"], "breached": breached},
             }
         ), None
 
-    async def _handle_query(self, request: HttpRequest):
+    async def _handle_query(self, request: HttpRequest, info: dict):
         if request.method != "POST":
             return 405, error_body("use POST"), None
         if self._draining:
@@ -391,12 +606,14 @@ class QueryServer:
         if reason is not None:
             return 429, error_body(f"shed: {reason}"), self._retry_after()
         try:
-            payload = await self._answer_query(gamma, k, strategy, deadline_ms)
+            payload = await self._answer_query(
+                gamma, k, strategy, deadline_ms, info
+            )
             return 200, json_body(payload), None
         finally:
             self.admission.release()
 
-    async def _handle_query_batch(self, request: HttpRequest):
+    async def _handle_query_batch(self, request: HttpRequest, info: dict):
         if request.method != "POST":
             return 405, error_body("use POST"), None
         if self._draining:
@@ -424,11 +641,14 @@ class QueryServer:
         reason = self.admission.try_admit(weight=len(parsed))
         if reason is not None:
             return 429, error_body(f"shed: {reason}"), self._retry_after()
+        sub_infos = [dict() for _ in parsed]
         try:
             results = await asyncio.gather(
                 *(
-                    self._answer_query(gamma, k, strategy, deadline_ms)
-                    for gamma, k, strategy, deadline_ms in parsed
+                    self._answer_query(gamma, k, strategy, deadline_ms, sub)
+                    for (gamma, k, strategy, deadline_ms), sub in zip(
+                        parsed, sub_infos
+                    )
                 ),
                 return_exceptions=True,
             )
@@ -442,7 +662,39 @@ class QueryServer:
                 raise result
             else:
                 answers.append(result)
+        self._merge_batch_info(info, sub_infos)
         return 200, json_body({"answers": answers}), None
+
+    @staticmethod
+    def _merge_batch_info(info: dict, sub_infos: list[dict]) -> None:
+        """Fold per-query flight fields into one record for the whole
+        ``/query_batch`` request (identity from the first query, outcome
+        flags OR-ed across members)."""
+        filled = [sub for sub in sub_infos if sub]
+        if not filled:
+            return
+        first = filled[0]
+        info.update(
+            fingerprint=first.get("fingerprint", ""),
+            k=first.get("k", 0),
+            strategy=first.get("strategy", ""),
+            timings=first.get("timings", {}),
+            cache_hit=any(sub.get("cache_hit") for sub in filled),
+            coalesced=any(sub.get("coalesced") for sub in filled),
+            degraded=any(sub.get("degraded") for sub in filled),
+            epsilon_match=any(sub.get("epsilon_match") for sub in filled),
+            num_neighbors_used=max(
+                int(sub.get("num_neighbors_used", 0)) for sub in filled
+            ),
+            batch_id=next(
+                (
+                    sub["batch_id"]
+                    for sub in filled
+                    if sub.get("batch_id") is not None
+                ),
+                None,
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Streaming routes (active only with a StreamingEngine attached)
@@ -474,7 +726,7 @@ class QueryServer:
                 return report, updates
 
             report, updates = await asyncio.get_running_loop().run_in_executor(
-                self._executor, run
+                self._executor, _ctx.wrap(run)
             )
             payload = {
                 "report": report.to_dict(),
@@ -555,6 +807,12 @@ class QueryServer:
             "batcher": self.batcher.stats.to_dict(),
             "cache": self.cache.stats(),
             "singleflight_coalesced": self.singleflight.coalesced_total,
+            "flight": {
+                "records": len(self.flight),
+                "total": self.flight.total,
+                "slow_total": self.flight.slow_total,
+            },
+            "slo": self.slo.status(),
         }
         if self.streaming is not None:
             summary["streaming"] = self.streaming.stats()

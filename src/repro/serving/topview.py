@@ -1,0 +1,286 @@
+"""``repro-inflex top``: a live terminal view over ``/metrics``.
+
+The server's Prometheus exposition already carries everything an
+operator wants at a glance — request and shed rates, latency
+histograms, cache efficiency, SLO burn rates, flight-recorder
+occupancy.  This module polls ``/metrics``, diffs consecutive samples
+to turn counters into per-second rates, derives latency quantiles from
+the cumulative histogram buckets, and renders a compact one-screen
+summary that refreshes in place (like ``top``).
+
+Everything here is stdlib-only and pure-functional below
+:func:`run_top`: :func:`parse_prometheus` → :class:`MetricsSample` →
+:func:`render_top` are all directly unit-testable without a server.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+import urllib.request
+from dataclasses import dataclass, field
+
+#: ANSI "clear screen and home cursor" prefix used between refreshes.
+CLEAR_SCREEN = "\x1b[2J\x1b[H"
+
+
+def fetch_metrics(
+    host: str, port: int, *, timeout: float = 5.0
+) -> str:
+    """Fetch the Prometheus exposition text from a running server."""
+    url = f"http://{host}:{port}/metrics"
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read().decode("utf-8")
+
+
+def _parse_labels(text: str) -> tuple[tuple[str, str], ...]:
+    """Parse ``a="x",b="y"`` into a sorted tuple of pairs."""
+    pairs = []
+    for part in text.split('",'):
+        part = part.strip()
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        pairs.append((key.strip(), value.strip().strip('"')))
+    return tuple(sorted(pairs))
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse exposition text into ``{(name, labels): value}``.
+
+    ``labels`` is a sorted tuple of ``(key, value)`` pairs (empty for
+    unlabelled series).  ``# HELP``/``# TYPE`` comments are skipped;
+    malformed lines are ignored rather than raised on, so a partially
+    written exposition never kills the top loop.
+    """
+    series: dict = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            continue
+        try:
+            value = float(value_part)
+        except ValueError:
+            continue
+        if "{" in name_part:
+            name, _, labels_text = name_part.partition("{")
+            labels = _parse_labels(labels_text.rstrip("}"))
+        else:
+            name, labels = name_part, ()
+        series[(name.strip(), labels)] = value
+    return series
+
+
+@dataclass
+class MetricsSample:
+    """One parsed ``/metrics`` scrape with aggregation helpers."""
+
+    series: dict
+    at: float = field(default_factory=time.monotonic)
+
+    @classmethod
+    def scrape(
+        cls, host: str, port: int, *, timeout: float = 5.0
+    ) -> "MetricsSample":
+        """Fetch and parse one sample from a running server."""
+        return cls(parse_prometheus(fetch_metrics(host, port, timeout=timeout)))
+
+    def value(self, name: str, **labels) -> float:
+        """The value of one exact series (0.0 when absent)."""
+        return self.series.get(
+            (name, tuple(sorted(labels.items()))), 0.0
+        )
+
+    def total(self, name: str, **labels) -> float:
+        """Sum over every series of ``name`` matching ``labels``.
+
+        Series carrying extra labels beyond the given ones still
+        match, so ``total("repro_serving_requests_total")`` sums all
+        routes and statuses.
+        """
+        want = set(labels.items())
+        out = 0.0
+        for (series_name, series_labels), value in self.series.items():
+            if series_name == name and want <= set(series_labels):
+                out += value
+        return out
+
+    def buckets(self, name: str, **labels) -> list:
+        """Cumulative ``(upper_bound, count)`` pairs of a histogram.
+
+        Bucket series matching ``labels`` are summed per ``le`` (the
+        sum of cumulative series is still cumulative), returned sorted
+        by bound with ``+Inf`` last.
+        """
+        want = set(labels.items())
+        by_bound: dict = {}
+        for (series_name, series_labels), value in self.series.items():
+            if series_name != name + "_bucket":
+                continue
+            label_map = dict(series_labels)
+            bound_text = label_map.pop("le", None)
+            if bound_text is None or not want <= set(label_map.items()):
+                continue
+            bound = (
+                math.inf if bound_text == "+Inf" else float(bound_text)
+            )
+            by_bound[bound] = by_bound.get(bound, 0.0) + value
+        return sorted(by_bound.items())
+
+
+def quantile_from_buckets(pairs, q: float) -> float:
+    """Estimate the ``q``-quantile from cumulative histogram buckets.
+
+    Linear interpolation inside the bucket holding the target rank;
+    the unbounded ``+Inf`` bucket reports its lower edge (the largest
+    finite bound).  Returns 0.0 for an empty histogram.
+    """
+    if not pairs:
+        return 0.0
+    total = pairs[-1][1]
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    lower_bound, lower_count = 0.0, 0.0
+    for bound, count in pairs:
+        if count >= rank:
+            if math.isinf(bound):
+                return lower_bound
+            width = bound - lower_bound
+            in_bucket = count - lower_count
+            if in_bucket <= 0:
+                return bound
+            return lower_bound + width * (rank - lower_count) / in_bucket
+        lower_bound, lower_count = bound, count
+    return lower_bound
+
+
+def _rate(curr: MetricsSample, prev, name: str, **labels) -> float:
+    """Per-second increase of a counter between two samples."""
+    if prev is None:
+        return 0.0
+    elapsed = curr.at - prev.at
+    if elapsed <= 0:
+        return 0.0
+    delta = curr.total(name, **labels) - prev.total(name, **labels)
+    return max(0.0, delta) / elapsed
+
+
+def _format_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def render_top(
+    curr: MetricsSample, prev=None, *, title: str = ""
+) -> str:
+    """Render one refresh of the top view as a multi-line string."""
+    lines = []
+    lines.append(f"repro-inflex top — {title}".rstrip(" —"))
+    req_rate = _rate(curr, prev, "repro_serving_requests_total")
+    shed_rate = _rate(curr, prev, "repro_serving_shed_total")
+    slow_total = curr.total("repro_serving_slow_requests_total")
+    lines.append(
+        f"requests {req_rate:8.1f}/s    shed {shed_rate:6.1f}/s    "
+        f"slow total {slow_total:.0f}"
+    )
+    pairs = curr.buckets("repro_serving_request_seconds")
+    if pairs:
+        lines.append(
+            "latency  p50 "
+            + _format_ms(quantile_from_buckets(pairs, 0.50))
+            + "   p90 "
+            + _format_ms(quantile_from_buckets(pairs, 0.90))
+            + "   p99 "
+            + _format_ms(quantile_from_buckets(pairs, 0.99))
+        )
+    hits = curr.total("repro_cache_hits_total")
+    misses = curr.total("repro_cache_misses_total")
+    lookups = hits + misses
+    coalesced_rate = _rate(
+        curr, prev, "repro_serving_singleflight_coalesced_total"
+    )
+    lines.append(
+        f"cache    hit rate "
+        f"{(hits / lookups * 100.0) if lookups else 0.0:5.1f}%    "
+        f"coalesced {coalesced_rate:6.1f}/s"
+    )
+    healthy = curr.value("repro_slo_healthy")
+    slo_bits = []
+    for objective in ("latency", "error", "degraded"):
+        fast = curr.value(
+            "repro_slo_burn_rate", objective=objective, window="fast"
+        )
+        slo_bits.append(f"{objective} {fast:.2f}")
+    lines.append(
+        "SLO burn " + "   ".join(slo_bits)
+        + f"    healthy: {'yes' if healthy else 'NO'}"
+    )
+    lines.append(
+        f"flight   {curr.value('repro_flight_records'):.0f} records"
+        f"    log suppressed "
+        f"{curr.total('repro_log_suppressed_total'):.0f}"
+    )
+    # Per-route rates, busiest first.
+    routes: dict = {}
+    for (name, labels), _ in curr.series.items():
+        if name == "repro_serving_requests_total":
+            route = dict(labels).get("route")
+            if route:
+                routes[route] = _rate(
+                    curr, prev, "repro_serving_requests_total", route=route
+                )
+    if routes:
+        lines.append("routes:")
+        for route, rate in sorted(
+            routes.items(), key=lambda item: -item[1]
+        ):
+            route_pairs = curr.buckets(
+                "repro_serving_request_seconds", route=route
+            )
+            p95 = quantile_from_buckets(route_pairs, 0.95)
+            lines.append(
+                f"  {route:<16} {rate:8.1f}/s   p95 {_format_ms(p95)}"
+            )
+    return "\n".join(lines)
+
+
+def run_top(
+    host: str,
+    port: int,
+    *,
+    interval: float = 2.0,
+    iterations: int = 0,
+    clear: bool = True,
+    out=print,
+) -> int:
+    """Poll ``/metrics`` and render the live view until interrupted.
+
+    ``iterations=0`` runs forever (Ctrl-C exits cleanly); a positive
+    count stops after that many refreshes, which is what the tests and
+    one-shot inspection use.  A closed output pipe (``top | head``)
+    also exits cleanly.  Returns a process exit code.
+    """
+    prev = None
+    shown = 0
+    title = f"{host}:{port}"
+    try:
+        while True:
+            try:
+                curr = MetricsSample.scrape(host, port)
+            except OSError as exc:
+                out(f"cannot scrape {title}/metrics: {exc}")
+                return 1
+            text = render_top(curr, prev, title=title)
+            out((CLEAR_SCREEN + text) if clear else text)
+            prev = curr
+            shown += 1
+            if iterations and shown >= iterations:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+    except BrokenPipeError:
+        return 0

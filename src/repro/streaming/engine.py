@@ -21,6 +21,7 @@ or RNG stream than the maintainer's).
 from __future__ import annotations
 
 from repro.core.index import InflexIndex
+from repro.obs.logs import get_logger
 from repro.streaming.deltas import DeltaBatch
 from repro.streaming.maintainer import ApplyReport, IncrementalSketchMaintainer
 from repro.streaming.subscriptions import SubscriptionRegistry
@@ -130,6 +131,14 @@ class StreamingEngine:
             self._index = self._rebuild_index()
         updates = self._registry.notify(
             report.batch_id, report.changed_points, self._index
+        )
+        get_logger("streaming").event(
+            "stream.apply",
+            batch_id=report.batch_id,
+            deltas=report.num_deltas,
+            changed_points=len(report.changed_points),
+            rr_sets_resampled=report.rr_sets_resampled,
+            updates=len(updates),
         )
         return report, updates
 

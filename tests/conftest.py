@@ -76,3 +76,26 @@ def small_index(small_dataset) -> InflexIndex:
 def small_workload(small_dataset):
     """A 10-query workload over the small dataset's catalog."""
     return generate_query_workload(small_dataset.item_topics, 10, seed=19)
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    """Give every test a pristine observability state.
+
+    Tests that enable :mod:`repro.obs` (or merely run code that
+    records into the global registry while another test left it
+    enabled) must not see each other's counters, spans, flight
+    records, or logging configuration.  Resetting *after* each test —
+    and restoring the disabled default — makes accumulated-count
+    assertions deterministic regardless of execution order.
+    """
+    from repro import obs
+    from repro.obs.flightrec import get_flight_recorder
+    from repro.obs.logs import reset_logging
+
+    yield
+    obs.disable()
+    obs.get_registry().reset()
+    obs.get_tracer().clear()
+    get_flight_recorder().clear()
+    reset_logging()

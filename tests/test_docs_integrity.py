@@ -46,6 +46,46 @@ def test_paper_map_symbols_exist():
         assert hasattr(module, parts[-1]), path
 
 
+def test_metric_catalog_matches_registrations():
+    """docs/OBSERVABILITY.md's catalog is exactly the registered set.
+
+    Both directions: every table row names a registered metric with the
+    right type and label set, and every registration appears in the
+    table.  Importing :mod:`repro.obs.instruments` performs all
+    registrations at module load.
+    """
+    from repro import obs
+    import repro.obs.instruments  # noqa: F401 - registration side effect
+
+    registered = obs.get_registry().describe()
+    text = (REPO / "docs" / "OBSERVABILITY.md").read_text()
+    documented = {}
+    for match in re.finditer(
+        r"^\| `(repro_[a-z0-9_]+)` \| (counter|gauge|histogram) "
+        r"\| ([^|]+) \|",
+        text,
+        re.MULTILINE,
+    ):
+        name, kind, labels_cell = match.groups()
+        labels_cell = labels_cell.strip()
+        labels = tuple(
+            re.findall(r"`([a-z_]+)`", labels_cell)
+        ) if labels_cell != "—" else ()
+        documented[name] = {"kind": kind, "labels": labels}
+
+    missing_from_docs = sorted(set(registered) - set(documented))
+    assert not missing_from_docs, (
+        f"registered but undocumented: {missing_from_docs}"
+    )
+    stale_in_docs = sorted(set(documented) - set(registered))
+    assert not stale_in_docs, (
+        f"documented but not registered: {stale_in_docs}"
+    )
+    for name, entry in documented.items():
+        assert entry["kind"] == registered[name]["kind"], name
+        assert entry["labels"] == registered[name]["labels"], name
+
+
 def test_required_top_level_files_present():
     for name in (
         "README.md",

@@ -163,9 +163,25 @@ class TestRegistry:
         assert 'c_total{kind="x"} 3' in text
         assert "# TYPE g_now gauge" in text
         assert "g_now 2" in text
-        assert "# TYPE h_seconds summary" in text
+        assert "# TYPE h_seconds histogram" in text
+        assert 'h_seconds_bucket{le="+Inf"} 1' in text
         assert "h_seconds_count 1" in text
         assert "h_seconds_sum 1" in text
+
+    def test_prometheus_histogram_buckets_cumulative(self, registry):
+        hist = registry.histogram("lat_seconds")
+        for value in (0.001, 0.001, 0.5, 2.0):
+            hist.observe(value)
+        pairs = hist.cumulative_buckets()
+        # Monotone non-decreasing cumulative counts, +Inf last with the
+        # grand total.
+        counts = [count for _, count in pairs]
+        assert counts == sorted(counts)
+        assert pairs[-1][0] == float("inf")
+        assert pairs[-1][1] == 4
+        text = registry.to_prometheus()
+        assert 'lat_seconds_bucket{le="+Inf"} 4' in text
+        assert "lat_seconds_count 4" in text
 
 
 # ----------------------------------------------------------------------

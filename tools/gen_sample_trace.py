@@ -1,0 +1,181 @@
+"""Generate a sample cross-process trace and flight-recorder dump.
+
+Produces the two telemetry artifacts CI uploads on every run so a
+reviewer can eyeball what the request-scoped observability layer
+actually records without running anything locally:
+
+* a Chrome ``trace_event`` file (load at chrome://tracing or
+  https://ui.perfetto.dev) holding one request's full span tree — the
+  ``query`` phases recorded in the driving thread *and* the
+  ``spread.chunk`` spans recorded inside pool worker processes, all
+  stitched under one trace id via :meth:`repro.obs.tracing.Tracer.adopt`;
+* a flight-recorder dump (``FlightRecorder.snapshot()`` JSON) whose
+  slow ring shows the same request with its captured span tree.
+
+The script fails loudly when the trace is *not* cross-process (fewer
+than two distinct worker pids among the chunk spans), so the CI
+artifact doubles as an end-to-end check of context propagation across
+the process boundary.
+
+Usage::
+
+    PYTHONPATH=src python tools/gen_sample_trace.py \
+        --trace-out sample_trace.json --flight-out sample_flight.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro import obs
+from repro.core import InflexConfig, InflexIndex
+from repro.datasets import generate_flixster_like
+from repro.obs import context as obs_context
+from repro.obs.flightrec import (
+    FlightRecord,
+    FlightRecorder,
+    gamma_fingerprint,
+)
+from repro.propagation.parallel import ParallelMonteCarloSpread
+
+
+def build_sample(workers: int = 2):
+    """One traced request: a TIM query plus a pool-backed spread
+    estimate, recorded under a single request context.
+
+    Returns ``(tracer, recorder, context)`` with the spans and flight
+    records already captured.
+    """
+    data = generate_flixster_like(
+        num_nodes=120,
+        num_topics=3,
+        num_items=20,
+        topics_per_node=1,
+        base_strength=0.25,
+        seed=5,
+    )
+    config = InflexConfig(
+        num_index_points=8,
+        num_dirichlet_samples=400,
+        seed_list_length=6,
+        ris_num_sets=300,
+        knn=4,
+        leaf_size=4,
+        seed=5,
+    )
+    index = InflexIndex.build(data.graph, data.item_topics, config)
+    gamma = data.item_topics[0]
+
+    obs.enable()
+    tracer = obs.get_tracer()
+    tracer.clear()
+    recorder = FlightRecorder(
+        capacity=64, slow_capacity=16, slow_threshold_s=1e-9
+    )
+
+    context = obs_context.new_request_context()
+    with obs_context.bind(context):
+        began = time.perf_counter()
+        answer = index.query(gamma, 5)
+        with ParallelMonteCarloSpread(
+            data.graph,
+            gamma,
+            num_simulations=64,
+            seed=9,
+            workers=workers,
+            chunks_per_worker=2,
+        ) as spread:
+            spread.estimate(answer.seeds)
+        elapsed = time.perf_counter() - began
+    recorder.record(
+        FlightRecord(
+            request_id=context.request_id,
+            trace_id=context.trace_id,
+            route="cli",
+            fingerprint=gamma_fingerprint(gamma),
+            k=5,
+            strategy=answer.strategy,
+            duration_s=elapsed,
+            epsilon_match=answer.epsilon_match,
+            num_neighbors_used=answer.num_neighbors_used,
+            timings={
+                "search": answer.timing.search,
+                "selection": answer.timing.selection,
+                "aggregation": answer.timing.aggregation,
+                "total": answer.timing.total,
+            },
+        ),
+        tracer,
+    )
+    return tracer, recorder, context
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace-out",
+        default="sample_trace.json",
+        help="Chrome trace output path",
+    )
+    parser.add_argument(
+        "--flight-out",
+        default="sample_flight.json",
+        help="flight-recorder snapshot output path",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="simulation pool width (>= 2 for a cross-process trace)",
+    )
+    args = parser.parse_args(argv)
+
+    tracer, recorder, context = build_sample(workers=args.workers)
+    try:
+        spans = tracer.find_trace(context.trace_id)
+        chunk_pids = {
+            record.thread_id
+            for record in spans
+            if record.name == "spread.chunk"
+        }
+        count = tracer.write_chrome_trace(args.trace_out)
+        with open(args.flight_out, "w", encoding="utf-8") as handle:
+            json.dump(recorder.snapshot(), handle, indent=2)
+
+        print(
+            f"trace {context.trace_id}: {len(spans)} spans "
+            f"({count} total in buffer) -> {args.trace_out}"
+        )
+        print(
+            f"flight records: {recorder.total} "
+            f"({recorder.slow_total} slow) -> {args.flight_out}"
+        )
+        names = sorted({record.name for record in spans})
+        print(f"span names: {', '.join(names)}")
+        print(f"chunk worker pids: {sorted(chunk_pids)}")
+        if args.workers >= 2 and len(chunk_pids) < 2:
+            print(
+                "ERROR: expected spread.chunk spans from >= 2 worker "
+                f"processes, saw pids {sorted(chunk_pids)}",
+                file=sys.stderr,
+            )
+            return 1
+        slow = recorder.snapshot()["slow"]
+        if not slow or not slow[0]["spans"]:
+            print(
+                "ERROR: slow ring is missing the captured span tree",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    finally:
+        obs.disable()
+        tracer.clear()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
