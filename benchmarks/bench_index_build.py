@@ -1,0 +1,239 @@
+"""Index-build engine benchmark -> ``BENCH_index_build.json``.
+
+Builds the issue's h=200, eps=0.1 index with the IMM engine and
+compares it against the engines it supersedes at matched accuracy:
+
+* **imm** — the full 200-point build is timed end to end (one shared
+  :class:`~repro.im.imm.RRSampler` per batch, as production builds
+  run).
+* **celf++-mc** — timed on a deterministic sample of index points and
+  extrapolated to 200 (a full CELF++-MC build takes ~an hour, which is
+  exactly the point of this benchmark).
+* **ris** — the legacy sequential sampler, timed on the full 200
+  points.
+
+Accuracy is matched, not assumed: on the sampled points the seeds of
+imm and celf++-mc are evaluated with one shared fresh-randomness
+Monte-Carlo estimator and the mean spread ratio must stay within 2%.
+Determinism is part of the acceptance bar too: the 200 imm seed lists
+must be bit-identical for 1 and 4 sampling workers.
+
+Acceptance bar from the issue: imm >= 5x faster than celf++-mc at
+matched spread (within 2%), recorded in ``BENCH_index_build.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+from conftest import register_report
+
+from repro.core.offline import offline_seed_list, offline_seed_lists_batch
+from repro.graph import interest_topic_graph
+from repro.propagation import estimate_spread
+from repro.simplex.sampling import sample_uniform_simplex
+
+NUM_NODES = 300
+NUM_TOPICS = 4
+NUM_POINTS = 200  # h from the issue's acceptance criteria
+SEED_LIST_LENGTH = 10
+IMM_EPSILON = 0.1
+#: celf++-mc is timed on this many sampled points and extrapolated.
+CELF_SAMPLE_POINTS = 5
+CELF_SIMULATIONS = 200
+RIS_NUM_SETS = 3000
+EVAL_SIMULATIONS = 2000
+#: Acceptance bars from the issue.
+SPEEDUP_THRESHOLD = 5.0
+SPREAD_MATCH_TOLERANCE = 0.02
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_index_build.json"
+
+
+def _graph():
+    return interest_topic_graph(
+        NUM_NODES,
+        NUM_TOPICS,
+        topics_per_node=1,
+        base_strength=0.2,
+        seed=211,
+    )
+
+
+def _index_points():
+    return sample_uniform_simplex(NUM_POINTS, NUM_TOPICS, seed=223)
+
+
+def _item_seeds():
+    return [1000 + i for i in range(NUM_POINTS)]
+
+
+def test_imm_vs_celfpp_index_build(benchmark):
+    graph = _graph()
+    points = _index_points()
+    item_seeds = _item_seeds()
+
+    # Micro-op for pytest-benchmark: one IMM seed-list extraction.
+    benchmark(
+        lambda: offline_seed_list(
+            graph,
+            points[0],
+            SEED_LIST_LENGTH,
+            engine="imm",
+            imm_epsilon=IMM_EPSILON,
+            seed=item_seeds[0],
+        )
+    )
+
+    # Full h=200 IMM build, timed end to end.
+    start = time.perf_counter()
+    imm_lists = offline_seed_lists_batch(
+        graph,
+        points,
+        SEED_LIST_LENGTH,
+        engine="imm",
+        imm_epsilon=IMM_EPSILON,
+        seeds=item_seeds,
+        workers=1,
+        sim_workers=1,
+    )
+    imm_seconds = time.perf_counter() - start
+
+    # Determinism across sampling-pool widths: the same 200 lists must
+    # come back bit-identical with 4 workers.
+    start = time.perf_counter()
+    imm_lists_wide = offline_seed_lists_batch(
+        graph,
+        points,
+        SEED_LIST_LENGTH,
+        engine="imm",
+        imm_epsilon=IMM_EPSILON,
+        seeds=item_seeds,
+        workers=1,
+        sim_workers=4,
+    )
+    imm_wide_seconds = time.perf_counter() - start
+    workers_identical = imm_lists == imm_lists_wide
+    assert workers_identical, "imm seed lists differ between 1 and 4 workers"
+
+    # CELF++-MC on a deterministic sample of points, extrapolated.
+    sample_ids = np.linspace(
+        0, NUM_POINTS - 1, CELF_SAMPLE_POINTS
+    ).astype(int)
+    celf_lists = {}
+    start = time.perf_counter()
+    for i in sample_ids:
+        celf_lists[int(i)] = offline_seed_list(
+            graph,
+            points[i],
+            SEED_LIST_LENGTH,
+            engine="celf++-mc",
+            num_simulations=CELF_SIMULATIONS,
+            seed=item_seeds[i],
+        )
+    celf_sampled_seconds = time.perf_counter() - start
+    celf_per_point = celf_sampled_seconds / CELF_SAMPLE_POINTS
+    celf_seconds_extrapolated = celf_per_point * NUM_POINTS
+
+    # Legacy sequential RIS, full build, for the record.
+    start = time.perf_counter()
+    offline_seed_lists_batch(
+        graph,
+        points,
+        SEED_LIST_LENGTH,
+        engine="ris",
+        ris_num_sets=RIS_NUM_SETS,
+        seeds=item_seeds,
+        workers=1,
+    )
+    ris_seconds = time.perf_counter() - start
+
+    # Matched accuracy: shared-estimator spreads on the sampled points.
+    ratios = []
+    spreads = []
+    for i, celf_list in celf_lists.items():
+        imm_spread = estimate_spread(
+            graph,
+            points[i],
+            list(imm_lists[i].nodes),
+            num_simulations=EVAL_SIMULATIONS,
+            seed=42,
+        ).mean
+        celf_spread = estimate_spread(
+            graph,
+            points[i],
+            list(celf_list.nodes),
+            num_simulations=EVAL_SIMULATIONS,
+            seed=42,
+        ).mean
+        ratios.append(imm_spread / celf_spread)
+        spreads.append(
+            {
+                "point": i,
+                "imm_spread": round(imm_spread, 3),
+                "celfpp_mc_spread": round(celf_spread, 3),
+                "ratio": round(imm_spread / celf_spread, 4),
+            }
+        )
+    mean_ratio = float(np.mean(ratios))
+    speedup = celf_seconds_extrapolated / imm_seconds
+
+    report = {
+        "graph": {
+            "num_nodes": NUM_NODES,
+            "num_topics": NUM_TOPICS,
+            "num_arcs": graph.num_arcs,
+        },
+        "config": {
+            "num_index_points": NUM_POINTS,
+            "seed_list_length": SEED_LIST_LENGTH,
+            "imm_epsilon": IMM_EPSILON,
+            "celfpp_mc_simulations": CELF_SIMULATIONS,
+            "celfpp_mc_sampled_points": int(CELF_SAMPLE_POINTS),
+            "ris_num_sets": RIS_NUM_SETS,
+            "eval_simulations": EVAL_SIMULATIONS,
+        },
+        "timings_seconds": {
+            "imm_full_build": round(imm_seconds, 3),
+            "imm_full_build_4_workers": round(imm_wide_seconds, 3),
+            "celfpp_mc_sampled": round(celf_sampled_seconds, 3),
+            "celfpp_mc_extrapolated_full": round(
+                celf_seconds_extrapolated, 3
+            ),
+            "ris_full_build": round(ris_seconds, 3),
+        },
+        "speedup_imm_vs_celfpp_mc": round(speedup, 1),
+        "spread_match": {
+            "mean_ratio": round(mean_ratio, 4),
+            "tolerance": SPREAD_MATCH_TOLERANCE,
+            "per_point": spreads,
+        },
+        "workers_identical_1_vs_4": workers_identical,
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    lines = [
+        f"h={NUM_POINTS} eps={IMM_EPSILON} index build "
+        f"(n={NUM_NODES}, l={SEED_LIST_LENGTH})",
+        f"  imm full build:            {imm_seconds:8.1f} s",
+        f"  celf++-mc (extrapolated):  {celf_seconds_extrapolated:8.1f} s",
+        f"  ris full build:            {ris_seconds:8.1f} s",
+        f"  speedup imm vs celf++-mc:  {speedup:8.1f} x "
+        f"(bar: {SPEEDUP_THRESHOLD}x)",
+        f"  spread ratio imm/celf++:   {mean_ratio:8.4f} "
+        f"(bar: within {SPREAD_MATCH_TOLERANCE:.0%})",
+        f"  1 vs 4 workers identical:  {workers_identical}",
+    ]
+    register_report("index build engines (BENCH_index_build.json)",
+                    "\n".join(lines))
+
+    assert speedup >= SPEEDUP_THRESHOLD, (
+        f"imm speedup {speedup:.1f}x below the {SPEEDUP_THRESHOLD}x bar"
+    )
+    assert abs(mean_ratio - 1.0) <= SPREAD_MATCH_TOLERANCE, (
+        f"imm/celf++-mc spread ratio {mean_ratio:.4f} outside "
+        f"the {SPREAD_MATCH_TOLERANCE:.0%} matched-accuracy window"
+    )

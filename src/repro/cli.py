@@ -67,6 +67,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core import (
+    IM_ENGINES,
     InflexConfig,
     InflexIndex,
     auto_size_index,
@@ -139,6 +140,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
         im_engine=args.engine,
         ris_num_sets=args.ris_sets,
         num_simulations=args.num_simulations,
+        imm_epsilon=args.epsilon,
+        imm_delta=args.delta,
         workers=args.workers,
         simulation_workers=args.sim_workers,
         seed=args.seed,
@@ -291,6 +294,30 @@ def _cmd_spread(args: argparse.Namespace) -> int:
         catalog = np.load(data_dir / "catalog.npy")
         gamma = catalog[args.item]
     seeds = [int(x) for x in args.seeds.split(",")]
+    if args.engine == "rr":
+        from repro.im import sample_rr_index
+
+        if args.num_sets < 2:
+            raise SystemExit(
+                f"--num-sets must be >= 2, got {args.num_sets}"
+            )
+        start = time.perf_counter()
+        index = sample_rr_index(
+            graph,
+            gamma,
+            args.num_sets,
+            workers=args.sim_workers,
+            seed=args.seed,
+        )
+        spread = index.spread_estimate(seeds)
+        elapsed = time.perf_counter() - start
+        print(f"seeds: {seeds}")
+        print(
+            f"spread: {spread:.3f} "
+            f"({index.num_sets} RR sets, {index.storage} storage)"
+        )
+        print(f"estimated in {elapsed * 1000:.1f} ms")
+        return 0
     start = time.perf_counter()
     estimate = estimate_spread(
         graph,
@@ -663,9 +690,11 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument(
         "--engine",
         default="ris",
-        choices=("ris", "celf++", "celf", "greedy", "celf++-mc", "greedy-mc"),
-        help="seed-extraction engine (the *-mc engines use the "
-        "parallel Monte-Carlo spread oracle)",
+        choices=IM_ENGINES,
+        help="seed-extraction engine: imm (martingale RIS with a "
+        "(1-1/e-eps) guarantee), ris (legacy sampling), or the "
+        "CELF-family engines (the *-mc ones use the parallel "
+        "Monte-Carlo spread oracle)",
     )
     build.add_argument("--ris-sets", type=int, default=6000)
     build.add_argument(
@@ -673,6 +702,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=200,
         help="Monte-Carlo cascades per spread evaluation (*-mc engines)",
+    )
+    build.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.1,
+        help="IMM approximation slack in (0, 1); the RR budget grows "
+        "as epsilon^-2 (imm engine only)",
+    )
+    build.add_argument(
+        "--delta",
+        type=float,
+        default=None,
+        help="IMM failure probability in (0, 1); default 1/num_nodes "
+        "(imm engine only)",
     )
     build.add_argument(
         "--workers",
@@ -695,7 +738,7 @@ def build_parser() -> argparse.ArgumentParser:
     build.set_defaults(func=_cmd_build)
 
     spread = sub.add_parser(
-        "spread", help="Monte-Carlo spread estimate of a seed set"
+        "spread", help="spread estimate of a seed set (MC or RR sets)"
     )
     spread.add_argument("--data", required=True, help="dataset directory")
     group = spread.add_mutually_exclusive_group(required=True)
@@ -708,7 +751,20 @@ def build_parser() -> argparse.ArgumentParser:
     spread.add_argument(
         "--seeds", required=True, help="comma-separated seed node ids"
     )
+    spread.add_argument(
+        "--engine",
+        default="mc",
+        choices=("mc", "rr"),
+        help="estimator: mc (forward Monte-Carlo cascades) or rr "
+        "(reverse-reachable set coverage)",
+    )
     spread.add_argument("--num-simulations", type=int, default=500)
+    spread.add_argument(
+        "--num-sets",
+        type=int,
+        default=5000,
+        help="RR sets for --engine rr (at least 2)",
+    )
     spread.add_argument(
         "--sim-workers",
         default=None,

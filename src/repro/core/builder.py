@@ -133,6 +133,11 @@ class ResumableBuilder:
             "num_topics": graph.num_topics,
             "num_items": int(self._catalog.shape[0]),
         }
+        # The IMM knobs change results only under the imm engine;
+        # gating them keeps checkpoints from older engines resumable.
+        if config.im_engine == "imm":
+            self._fingerprint["imm_epsilon"] = config.imm_epsilon
+            self._fingerprint["imm_delta"] = config.imm_delta
 
     # ------------------------------------------------------------------
     def _seed_path(self, index: int) -> Path:
@@ -197,6 +202,8 @@ class ResumableBuilder:
                 ris_num_sets=self._config.ris_num_sets,
                 num_snapshots=self._config.num_snapshots,
                 num_simulations=self._config.num_simulations,
+                imm_epsilon=self._config.imm_epsilon,
+                imm_delta=self._config.imm_delta,
                 sim_workers=self._config.effective_simulation_workers,
                 seed=item_seeds[i],
             )

@@ -17,7 +17,15 @@ from repro.workers import (
 )
 
 #: Influence-maximization engines available for seed-list precomputation.
-IM_ENGINES = ("ris", "celf++", "celf", "greedy", "celf++-mc", "greedy-mc")
+IM_ENGINES = (
+    "imm",
+    "ris",
+    "celf++",
+    "celf",
+    "greedy",
+    "celf++-mc",
+    "greedy-mc",
+)
 
 #: Rank-aggregation methods available at query time.
 AGGREGATORS = ("copeland", "borda", "mc4")
@@ -37,19 +45,28 @@ class InflexConfig:
     seed_list_length:
         ``l`` — length of each precomputed seed list (paper: 50).
     im_engine:
-        Seed-extraction algorithm: ``"ris"`` (default; fast sampling
-        engine), the paper's ``"celf++"`` (and ``"celf"``/``"greedy"``
-        for reference) driven by live-edge snapshots, or
+        Seed-extraction algorithm: ``"imm"`` (martingale RIS with a
+        ``(1 - 1/e - eps)`` guarantee; the paper-scale build engine),
+        ``"ris"`` (default; legacy sampling engine), the paper's
+        ``"celf++"`` (and ``"celf"``/``"greedy"`` for reference)
+        driven by live-edge snapshots, or
         ``"celf++-mc"``/``"greedy-mc"`` driven by fresh-randomness
         Monte-Carlo simulation (the paper's original formulation; the
         engines that benefit from ``simulation_workers``).
     ris_num_sets:
-        RR sets per index point for the RIS engine.
+        RR sets per index point for the RIS engine (at least 2).
     num_snapshots:
         Live-edge snapshots for the CELF-family engines.
     num_simulations:
         Monte-Carlo cascades per spread evaluation for the ``*-mc``
         engines.
+    imm_epsilon:
+        IMM's approximation slack in ``(0, 1)``: seed lists are
+        ``(1 - 1/e - imm_epsilon)``-approximate and the RR budget
+        grows as ``imm_epsilon**-2`` (see ``docs/INDEX_BUILDS.md``).
+    imm_delta:
+        IMM's failure probability in ``(0, 1)``; ``None`` uses the
+        canonical ``1/num_nodes``.
 
     Parallelism
     -----------
@@ -117,6 +134,8 @@ class InflexConfig:
     ris_num_sets: int = 3000
     num_snapshots: int = 100
     num_simulations: int = 200
+    imm_epsilon: float = 0.1
+    imm_delta: float | None = None
     workers: int | str = 1
     simulation_workers: int | str | None = None
     leaf_size: int = 16
@@ -179,6 +198,19 @@ class InflexConfig:
         if self.num_simulations < 1:
             raise ValueError(
                 f"num_simulations must be >= 1, got {self.num_simulations}"
+            )
+        if self.ris_num_sets < 2:
+            raise ValueError(
+                f"ris_num_sets must be >= 2, got {self.ris_num_sets}"
+            )
+        if not 0.0 < self.imm_epsilon < 1.0:
+            raise ValueError(
+                f"imm_epsilon must lie in (0, 1), got {self.imm_epsilon}"
+            )
+        if self.imm_delta is not None and not 0.0 < self.imm_delta < 1.0:
+            raise ValueError(
+                f"imm_delta must lie in (0, 1) or be None, "
+                f"got {self.imm_delta}"
             )
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise ValueError(

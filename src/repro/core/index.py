@@ -185,6 +185,8 @@ class InflexIndex:
                 ris_num_sets=config.ris_num_sets,
                 num_snapshots=config.num_snapshots,
                 num_simulations=config.num_simulations,
+                imm_epsilon=config.imm_epsilon,
+                imm_delta=config.imm_delta,
                 seeds=item_seeds,
                 workers=workers,
                 sim_workers=config.effective_simulation_workers,
@@ -529,6 +531,8 @@ class InflexIndex:
                 ris_num_sets=config.ris_num_sets,
                 num_snapshots=config.num_snapshots,
                 num_simulations=config.num_simulations,
+                imm_epsilon=config.imm_epsilon,
+                imm_delta=config.imm_delta,
                 sim_workers=config.effective_simulation_workers,
                 seed=config.seed,
             )
@@ -569,6 +573,8 @@ class InflexIndex:
                 ris_num_sets=config.ris_num_sets,
                 num_snapshots=config.num_snapshots,
                 num_simulations=config.num_simulations,
+                imm_epsilon=config.imm_epsilon,
+                imm_delta=config.imm_delta,
                 sim_workers=config.effective_simulation_workers,
                 seeds=[config.seed] * num_new,
             )

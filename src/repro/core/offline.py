@@ -10,11 +10,13 @@ engine used to precompute every index point's seed list.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 
 from repro.graph.topic_graph import TopicGraph
 from repro.im.celf import celf_seed_selection
 from repro.im.celfpp import celfpp_seed_selection
 from repro.im.greedy import greedy_seed_selection
+from repro.im.imm import RRSampler, imm_seed_selection
 from repro.im.ris import ris_influence_maximization
 from repro.im.seed_list import SeedList
 from repro.propagation.parallel import ParallelMonteCarloSpread
@@ -33,8 +35,11 @@ def offline_seed_list(
     ris_num_sets: int = 3000,
     num_snapshots: int = 100,
     num_simulations: int = 200,
+    imm_epsilon: float = 0.1,
+    imm_delta: float | None = None,
     sim_workers=None,
     seed=None,
+    imm_sampler: RRSampler | None = None,
 ) -> SeedList:
     """Extract a ranked seed list for one item, from scratch.
 
@@ -47,24 +52,51 @@ def offline_seed_list(
     k:
         Seed budget.
     engine:
-        ``"ris"`` (reverse influence sampling; fast default),
-        ``"celf++"`` (the paper's choice), ``"celf"`` or ``"greedy"``
-        on live-edge snapshots for exact greedy invariants, or
-        ``"celf++-mc"``/``"greedy-mc"`` on fresh-randomness Monte-Carlo
-        estimation (the engines that exploit ``sim_workers``).
+        ``"imm"`` (martingale RIS with a ``(1 - 1/e - eps)`` guarantee;
+        the paper-scale build engine), ``"ris"`` (legacy sequential
+        reverse influence sampling), ``"celf++"`` (the paper's choice),
+        ``"celf"`` or ``"greedy"`` on live-edge snapshots for exact
+        greedy invariants, or ``"celf++-mc"``/``"greedy-mc"`` on
+        fresh-randomness Monte-Carlo estimation.
     ris_num_sets / num_snapshots / num_simulations:
-        Sampling budgets of the respective engines.
+        Sampling budgets of the respective engines (``ris_num_sets``
+        must be at least 2 for the ``ris`` engine).
+    imm_epsilon / imm_delta:
+        IMM's approximation slack in ``(0, 1)`` and failure probability
+        (``None`` uses the canonical ``1/n``); the RR budget grows as
+        ``imm_epsilon**-2``.  Only the ``imm`` engine reads them.
     sim_workers:
-        Simulation pool width for the ``*-mc`` engines (int, ``"auto"``
-        or ``None`` for the ``REPRO_SIM_WORKERS`` default); the seed
+        Inner pool width for the engines that parallelize within one
+        extraction — RR-set sampling for ``imm``, Monte-Carlo
+        simulation for the ``*-mc`` engines (int, ``"auto"`` or
+        ``None`` for the ``REPRO_SIM_WORKERS`` default); the seed
         lists are bit-identical for any width.
     seed:
         Randomness control.
+    imm_sampler:
+        An existing :class:`~repro.im.imm.RRSampler` bound to
+        ``graph``, reused across items so the shared-memory payload is
+        published once per build rather than once per item.
     """
     rng = resolve_rng(seed)
     if engine == "ris":
+        if ris_num_sets < 2:
+            raise ValueError(
+                f"ris_num_sets must be >= 2, got {ris_num_sets}"
+            )
         return ris_influence_maximization(
             graph, gamma, k, num_sets=ris_num_sets, seed=rng
+        )
+    if engine == "imm":
+        return imm_seed_selection(
+            graph,
+            gamma,
+            k,
+            epsilon=imm_epsilon,
+            delta=imm_delta,
+            workers=sim_workers,
+            seed=rng,
+            sampler=imm_sampler,
         )
     if engine in ("celf++-mc", "greedy-mc"):
         with ParallelMonteCarloSpread(
@@ -87,8 +119,8 @@ def offline_seed_list(
     if engine == "greedy":
         return greedy_seed_selection(estimator, graph.num_nodes, k)
     raise ValueError(
-        f"unknown engine {engine!r}; expected 'ris', 'celf++', 'celf', "
-        "'greedy', 'celf++-mc' or 'greedy-mc'"
+        f"unknown engine {engine!r}; expected 'imm', 'ris', 'celf++', "
+        "'celf', 'greedy', 'celf++-mc' or 'greedy-mc'"
     )
 
 
@@ -96,6 +128,7 @@ def offline_seed_list(
 # Parallel batch extraction (used by index construction)
 # ----------------------------------------------------------------------
 _WORKER_GRAPH: TopicGraph | None = None
+_WORKER_SAMPLER: RRSampler | None = None
 
 
 def _init_worker(graph: TopicGraph) -> None:
@@ -105,8 +138,27 @@ def _init_worker(graph: TopicGraph) -> None:
 
 
 def _seed_list_task(args) -> SeedList:
-    gamma, k, engine, ris_num_sets, num_snapshots, num_sims, sim_w, seed = args
+    (
+        gamma,
+        k,
+        engine,
+        ris_num_sets,
+        num_snapshots,
+        num_sims,
+        imm_eps,
+        imm_delta,
+        sim_w,
+        seed,
+    ) = args
     assert _WORKER_GRAPH is not None
+    global _WORKER_SAMPLER
+    sampler = None
+    if engine == "imm":
+        # One reverse-view sampler per worker process, shared across
+        # every item that worker extracts.
+        if _WORKER_SAMPLER is None:
+            _WORKER_SAMPLER = RRSampler(_WORKER_GRAPH, workers=sim_w)
+        sampler = _WORKER_SAMPLER
     return offline_seed_list(
         _WORKER_GRAPH,
         gamma,
@@ -115,8 +167,11 @@ def _seed_list_task(args) -> SeedList:
         ris_num_sets=ris_num_sets,
         num_snapshots=num_snapshots,
         num_simulations=num_sims,
+        imm_epsilon=imm_eps,
+        imm_delta=imm_delta,
         sim_workers=sim_w,
         seed=seed,
+        imm_sampler=sampler,
     )
 
 
@@ -129,6 +184,8 @@ def offline_seed_lists_batch(
     ris_num_sets: int = 3000,
     num_snapshots: int = 100,
     num_simulations: int = 200,
+    imm_epsilon: float = 0.1,
+    imm_delta: float | None = None,
     seeds=None,
     workers=1,
     sim_workers=None,
@@ -177,6 +234,8 @@ def offline_seed_lists_batch(
             ris_num_sets,
             num_snapshots,
             num_simulations,
+            imm_epsilon,
+            imm_delta,
             sim_workers,
             seed,
         )
@@ -184,22 +243,34 @@ def offline_seed_lists_batch(
     ]
     results: list[SeedList] = []
     if workers == 1:
-        for done, task in enumerate(tasks, start=1):
-            results.append(
-                offline_seed_list(
-                    graph,
-                    task[0],
-                    k,
-                    engine=engine,
-                    ris_num_sets=ris_num_sets,
-                    num_snapshots=num_snapshots,
-                    num_simulations=num_simulations,
-                    sim_workers=sim_workers,
-                    seed=task[7],
+        # One sampler for the whole batch: its reverse CSR + (m, Z)
+        # probability payload is published to shared memory once and
+        # reused by every item.
+        sampler_cm = (
+            RRSampler(graph, workers=sim_workers)
+            if engine == "imm"
+            else nullcontext(None)
+        )
+        with sampler_cm as sampler:
+            for done, task in enumerate(tasks, start=1):
+                results.append(
+                    offline_seed_list(
+                        graph,
+                        task[0],
+                        k,
+                        engine=engine,
+                        ris_num_sets=ris_num_sets,
+                        num_snapshots=num_snapshots,
+                        num_simulations=num_simulations,
+                        imm_epsilon=imm_epsilon,
+                        imm_delta=imm_delta,
+                        sim_workers=sim_workers,
+                        seed=task[9],
+                        imm_sampler=sampler,
+                    )
                 )
-            )
-            if progress is not None:
-                progress(done, total)
+                if progress is not None:
+                    progress(done, total)
         return results
     with ProcessPoolExecutor(
         max_workers=workers, initializer=_init_worker, initargs=(graph,)

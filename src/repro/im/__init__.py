@@ -1,4 +1,4 @@
-"""Influence maximization: greedy, CELF, CELF++, RIS, and heuristics."""
+"""Influence maximization: greedy, CELF, CELF++, RIS, IMM, heuristics."""
 
 from repro.im.seed_list import SeedList
 from repro.im.greedy import greedy_seed_selection
@@ -11,6 +11,13 @@ from repro.im.ris import (
     ris_seed_selection,
     sample_rr_set,
     sample_rr_sets,
+)
+from repro.im.imm import (
+    RRIndex,
+    RRSampler,
+    imm_budgets,
+    imm_seed_selection,
+    sample_rr_index,
 )
 from repro.im.heuristics import (
     degree_seeds,
@@ -31,6 +38,11 @@ __all__ = [
     "ris_seed_selection",
     "sample_rr_set",
     "sample_rr_sets",
+    "RRIndex",
+    "RRSampler",
+    "imm_budgets",
+    "imm_seed_selection",
+    "sample_rr_index",
     "degree_discount_seeds",
     "degree_seeds",
     "pagerank_seeds",

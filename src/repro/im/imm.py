@@ -1,0 +1,876 @@
+"""IMM: martingale reverse-influence sampling for paper-scale builds.
+
+Tang, Shi & Xiao's IMM (arXiv 1404.0900) turns the RR-set framework of
+Borgs et al. (arXiv 1212.0884) into a practical near-linear-time
+influence maximization with a ``(1 - 1/e - eps)`` approximation
+guarantee holding with probability ``1 - delta``.  The algorithm has
+two phases driven by martingale concentration bounds:
+
+1. **Estimate** — a lower bound ``LB`` on the optimum spread ``OPT`` is
+   found by doubling: for guesses ``x = n/2^i`` a budget
+   ``theta_i = lambda' / x`` of RR sets is sampled and the greedy
+   max-coverage spread is tested against ``(1 + eps') * x``; the first
+   guess that passes certifies ``LB`` (Chernoff-style stopping).
+2. **Select** — the final budget ``theta = lambda* / LB`` is sampled
+   (reusing every phase-1 set; the martingale analysis permits the
+   dependence) and greedy max coverage over the pooled collection
+   returns the seed list.
+
+What makes this module *paper-scale* rather than a reference
+implementation:
+
+* **Vectorized sampling.**  RR sets are generated in blocks walked in
+  lock-step: one batched reverse-BFS expands the frontiers of hundreds
+  of sets per numpy call (gather all in-arcs, flip all coins, dedupe
+  ``(set, node)`` pairs) instead of one Python loop per set.
+* **Parallel dispatch.**  Blocks fan out over the persistent process
+  pools and shared-memory CSR payloads of
+  :mod:`repro.propagation.parallel`; the reverse CSR and the full
+  ``(m, Z)`` probability matrix are published once per
+  :class:`RRSampler` and reused across every item of a build.
+* **Determinism.**  Block ``b`` of request ``r`` always draws from
+  ``SeedSequence(entropy, spawn_key=base + (r, b))`` — worker count and
+  scheduling never touch the streams, so seed lists are bit-identical
+  for any pool width (including the fully inline ``workers=1`` path).
+* **Bit-packed storage.**  Sampled sets live in an :class:`RRIndex`:
+  ``uint64`` node bitmaps for small graphs, sorted ``uint32`` member
+  arrays otherwise, plus an inverted node-to-set CSR index that the
+  greedy max-coverage selection walks across all ``l`` rounds without
+  ever materializing Python sets.
+
+See ``docs/INDEX_BUILDS.md`` for the phase walkthrough, the
+``eps``/``delta`` semantics, and representative budget tables.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import weakref
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+
+from repro.graph.topic_graph import TopicGraph
+from repro.im.seed_list import SeedList
+from repro.obs import instruments as _obs
+from repro.obs.tracing import get_tracer
+from repro.propagation.parallel import (
+    _discard_executor,
+    _get_executor,
+    _GraphPayload,
+    _payload_arrays,
+)
+from repro.rng import as_seed_sequence
+from repro.simplex.vectors import as_distribution
+from repro.workers import default_sim_workers, resolve_workers
+
+#: Graphs at or below this node count store RR sets as uint64 bitmaps
+#: (at most 16 words per set); larger graphs use sorted uint32 arrays.
+BITMAP_MAX_NODES = 1024
+
+
+def _block_size(num_nodes: int) -> int:
+    """Deterministic sampling block size for an ``num_nodes``-node graph.
+
+    A block is the atomic unit of both vectorization (its sets walk in
+    lock-step) and randomness (it owns one ``SeedSequence`` stream), so
+    the size must be a pure function of the graph — never of memory,
+    worker count, or scheduling — for results to be reproducible.  The
+    formula caps the block's ``(block, num_nodes)`` visited matrix at a
+    few megabytes.
+    """
+    return int(min(1024, max(16, (1 << 22) // max(1, num_nodes))))
+
+
+def _sample_block(
+    in_indptr: np.ndarray,
+    in_tails: np.ndarray,
+    in_probs: np.ndarray,
+    num_nodes: int,
+    count: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Walk ``count`` RR sets in one lock-step batched reverse BFS.
+
+    All sets of the block advance together: each wave gathers the
+    in-arc slices of every frontier ``(set, node)`` pair in one ragged
+    pass, flips every live-edge coin at once, and deduplicates newly
+    reached pairs.  Randomness consumption is a pure function of the
+    in-adjacency view and the generator state, so a block replays
+    bit-identically anywhere (parent process, any worker).
+
+    Returns ``(values, indptr, roots)``: sorted ``uint32`` member
+    arrays concatenated in set order with an ``int64`` CSR pointer, and
+    the ``uint32`` root of each set.  Every set contains its root.
+    """
+    roots = rng.integers(0, num_nodes, size=count).astype(np.int64)
+    visited = np.zeros((count, num_nodes), dtype=bool)
+    set_ids = np.arange(count, dtype=np.int64)
+    visited[set_ids, roots] = True
+    frontier_sets = set_ids
+    frontier_nodes = roots
+    pair_sets = [frontier_sets]
+    pair_nodes = [frontier_nodes]
+    while frontier_nodes.size:
+        starts = in_indptr[frontier_nodes]
+        arc_counts = in_indptr[frontier_nodes + 1] - starts
+        total = int(arc_counts.sum())
+        if total == 0:
+            break
+        offsets = np.repeat(starts, arc_counts)
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(arc_counts) - arc_counts, arc_counts
+        )
+        arc_pos = offsets + within
+        arc_sets = np.repeat(frontier_sets, arc_counts)
+        success = rng.random(total) < in_probs[arc_pos]
+        parents = in_tails[arc_pos[success]]
+        parent_sets = arc_sets[success]
+        fresh = ~visited[parent_sets, parents]
+        parents = parents[fresh]
+        parent_sets = parent_sets[fresh]
+        if parents.size == 0:
+            break
+        # Dedupe (set, node) pairs reached twice within the same wave.
+        keys = np.unique(parent_sets * num_nodes + parents)
+        parent_sets = keys // num_nodes
+        parents = keys % num_nodes
+        visited[parent_sets, parents] = True
+        pair_sets.append(parent_sets)
+        pair_nodes.append(parents)
+        frontier_sets = parent_sets
+        frontier_nodes = parents
+    all_sets = np.concatenate(pair_sets)
+    all_nodes = np.concatenate(pair_nodes)
+    order = np.lexsort((all_nodes, all_sets))
+    values = all_nodes[order].astype(np.uint32)
+    sizes = np.bincount(all_sets, minlength=count)
+    indptr = np.zeros(count + 1, dtype=np.int64)
+    np.cumsum(sizes, out=indptr[1:])
+    return values, indptr, roots.astype(np.uint32)
+
+
+def _sample_blocks_task(task):
+    """Worker entry point: sample a range of blocks for one request.
+
+    ``task`` is ``(spec, gamma, entropy, base_key, request, blocks)``
+    where ``spec`` resolves (via the shared-memory payload cache) to
+    the reverse CSR plus the reverse-gathered ``(m, Z)`` probability
+    matrix, and ``blocks`` lists ``(block_id, count)`` pairs.  The
+    item-specific arc probabilities are mixed once per task.
+    """
+    spec, gamma, entropy, base_key, request, blocks = task
+    in_indptr, in_tails, prob_matrix = _payload_arrays(spec)
+    in_probs = prob_matrix @ gamma
+    num_nodes = int(in_indptr.shape[0]) - 1
+    out = []
+    for block_id, count in blocks:
+        rng = np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=entropy, spawn_key=base_key + (request, block_id)
+            )
+        )
+        out.append(
+            _sample_block(
+                in_indptr, in_tails, in_probs, num_nodes, count, rng
+            )
+        )
+    return out
+
+
+def _merge_blocks(parts, num_sets: int):
+    """Concatenate per-block ``(values, indptr, roots)`` triples."""
+    values = np.concatenate([p[0] for p in parts])
+    roots = np.concatenate([p[2] for p in parts])
+    indptr = np.zeros(num_sets + 1, dtype=np.int64)
+    pos = 0
+    offset = 0
+    for _, part_indptr, part_roots in parts:
+        block = part_roots.shape[0]
+        indptr[pos + 1 : pos + block + 1] = part_indptr[1:] + offset
+        offset += int(part_indptr[-1])
+        pos += block
+    return values, indptr, roots
+
+
+class RRIndex:
+    """Bit-packed store of reverse-reachable sets with greedy coverage.
+
+    The RR sets of one ``(graph, item)`` pair, held in the layout the
+    issue's scaling math wants: per-set storage is ``uint64`` node
+    bitmaps when the graph is small (``num_nodes`` at most
+    :data:`BITMAP_MAX_NODES`) and concatenated sorted ``uint32`` member
+    arrays otherwise, and in both modes an inverted node-to-set CSR
+    index is kept so the lazy-greedy max-coverage selection — reused
+    across all ``l`` rounds of a seed-list build — touches numpy arrays
+    only.
+
+    Parameters
+    ----------
+    values / indptr:
+        Concatenated member arrays (each set's members sorted,
+        duplicate-free) and the ``(num_sets + 1,)`` CSR pointer.
+    roots:
+        The root node each set was grown from (must be a member).
+    num_nodes:
+        Node universe size (scales coverage to spread).
+    storage:
+        ``"bitmap"``, ``"csr"``, or ``None`` to choose by graph size.
+    """
+
+    def __init__(
+        self, values, indptr, roots, num_nodes: int, *, storage=None
+    ) -> None:
+        values = np.ascontiguousarray(values, dtype=np.uint32)
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        roots = np.ascontiguousarray(roots, dtype=np.uint32)
+        num_nodes = int(num_nodes)
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        if indptr.ndim != 1 or indptr.size < 1 or indptr[0] != 0:
+            raise ValueError("indptr must be 1-D and start at 0")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be nondecreasing")
+        if int(indptr[-1]) != values.size:
+            raise ValueError(
+                f"indptr[-1]={int(indptr[-1])} != {values.size} members"
+            )
+        num_sets = indptr.size - 1
+        if roots.size != num_sets:
+            raise ValueError(f"{roots.size} roots for {num_sets} sets")
+        if values.size and int(values.max()) >= num_nodes:
+            raise ValueError("set member out of node range")
+        if roots.size and int(roots.max()) >= num_nodes:
+            raise ValueError("root out of node range")
+        if storage is None:
+            storage = "bitmap" if num_nodes <= BITMAP_MAX_NODES else "csr"
+        if storage not in ("bitmap", "csr"):
+            raise ValueError(
+                f"storage must be 'bitmap', 'csr' or None, got {storage!r}"
+            )
+        self._num_nodes = num_nodes
+        self._num_sets = num_sets
+        self._roots = roots
+        self._storage = storage
+        # Inverted node -> set-ids CSR (both modes; what greedy walks).
+        sizes = np.diff(indptr)
+        set_of_value = np.repeat(
+            np.arange(num_sets, dtype=np.int64), sizes
+        )
+        order = np.argsort(values, kind="stable")
+        self._inv_sets = set_of_value[order].astype(np.uint32)
+        node_counts = np.bincount(values, minlength=num_nodes)
+        self._inv_indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(node_counts, out=self._inv_indptr[1:])
+        if storage == "bitmap":
+            words = (num_nodes + 63) >> 6
+            bitmaps = np.zeros(num_sets * words, dtype=np.uint64)
+            slots = set_of_value * words + (values >> np.uint32(6))
+            bits = np.uint64(1) << (
+                values.astype(np.uint64) & np.uint64(63)
+            )
+            np.bitwise_or.at(bitmaps, slots, bits)
+            self._bitmaps = bitmaps.reshape(num_sets, words)
+            self._values = None
+            self._indptr = None
+        else:
+            self._bitmaps = None
+            self._values = values
+            self._indptr = indptr
+
+    # ------------------------------------------------------------------
+    @property
+    def num_sets(self) -> int:
+        """Number of RR sets stored."""
+        return self._num_sets
+
+    @property
+    def num_nodes(self) -> int:
+        """Size of the node universe."""
+        return self._num_nodes
+
+    @property
+    def storage(self) -> str:
+        """Active layout: ``"bitmap"`` or ``"csr"``."""
+        return self._storage
+
+    @property
+    def roots(self) -> np.ndarray:
+        """The root node of each set, shape ``(num_sets,)``."""
+        return self._roots
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the packed sets plus the inverted index."""
+        packed = (
+            self._bitmaps.nbytes
+            if self._bitmaps is not None
+            else self._values.nbytes + self._indptr.nbytes
+        )
+        return int(
+            packed
+            + self._inv_sets.nbytes
+            + self._inv_indptr.nbytes
+            + self._roots.nbytes
+        )
+
+    # ------------------------------------------------------------------
+    def members(self, set_id: int) -> np.ndarray:
+        """Sorted ``uint32`` members of one set (unpacked if bit-packed)."""
+        if not 0 <= set_id < self._num_sets:
+            raise ValueError(
+                f"set_id {set_id} out of range [0, {self._num_sets})"
+            )
+        if self._values is not None:
+            lo, hi = self._indptr[set_id], self._indptr[set_id + 1]
+            return self._values[lo:hi].copy()
+        # Little-endian unpack: bit i of word w is node 64*w + i.
+        bits = np.unpackbits(
+            self._bitmaps[set_id].view(np.uint8), bitorder="little"
+        )
+        return np.flatnonzero(bits[: self._num_nodes]).astype(np.uint32)
+
+    def contains(self, set_id: int, node: int) -> bool:
+        """Whether ``node`` is a member of set ``set_id``."""
+        if not 0 <= set_id < self._num_sets:
+            raise ValueError(
+                f"set_id {set_id} out of range [0, {self._num_sets})"
+            )
+        if not 0 <= node < self._num_nodes:
+            return False
+        if self._bitmaps is not None:
+            word = self._bitmaps[set_id, node >> 6]
+            return bool((word >> np.uint64(node & 63)) & np.uint64(1))
+        lo, hi = self._indptr[set_id], self._indptr[set_id + 1]
+        pos = lo + np.searchsorted(self._values[lo:hi], node)
+        return bool(pos < hi and self._values[pos] == node)
+
+    def coverage_counts(self) -> np.ndarray:
+        """Per-node count of sets containing the node, shape ``(n,)``."""
+        return np.diff(self._inv_indptr)
+
+    def covered_count(self, seeds) -> int:
+        """Number of sets hit by at least one node of ``seeds``."""
+        covered = np.zeros(self._num_sets, dtype=bool)
+        for seed in seeds:
+            node = int(seed)
+            if not 0 <= node < self._num_nodes:
+                raise ValueError(f"seed {node} out of node range")
+            lo, hi = self._inv_indptr[node], self._inv_indptr[node + 1]
+            covered[self._inv_sets[lo:hi]] = True
+        return int(covered.sum())
+
+    def spread_estimate(self, seeds) -> float:
+        """Unbiased spread estimate ``n * coverage / num_sets``."""
+        if self._num_sets == 0:
+            raise ValueError("no RR sets sampled")
+        return self._num_nodes * self.covered_count(seeds) / self._num_sets
+
+    # ------------------------------------------------------------------
+    def greedy_select(self, k: int) -> tuple[list[int], list[float]]:
+        """Lazy-greedy max coverage: ``k`` seeds with coverage gains.
+
+        Gains are in *covered-set* units (the caller scales by
+        ``n / num_sets`` for spread units); ties break toward lower
+        node ids, and when every set is covered before ``k`` seeds the
+        list is padded with the lowest-id unused nodes at zero gain —
+        the same contract as :func:`repro.im.ris.ris_seed_selection`,
+        which makes the selection invariant under set permutation.
+        """
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        if k > self._num_nodes:
+            raise ValueError(
+                f"k={k} exceeds {self._num_nodes} candidate nodes"
+            )
+        stale = np.diff(self._inv_indptr).astype(np.int64)
+        covered = np.zeros(self._num_sets, dtype=bool)
+        heap = [
+            (-int(count), int(node))
+            for node, count in enumerate(stale)
+            if count > 0
+        ]
+        heapq.heapify(heap)
+        seeds: list[int] = []
+        gains: list[float] = []
+        while len(seeds) < k and heap:
+            neg_count, node = heapq.heappop(heap)
+            count = -neg_count
+            if count != stale[node]:
+                continue
+            lo, hi = self._inv_indptr[node], self._inv_indptr[node + 1]
+            set_ids = self._inv_sets[lo:hi]
+            fresh = int(np.count_nonzero(~covered[set_ids]))
+            if fresh != count:
+                stale[node] = fresh
+                heapq.heappush(heap, (-fresh, node))
+                continue
+            seeds.append(node)
+            gains.append(float(fresh))
+            stale[node] = -1  # never reconsidered
+            covered[set_ids] = True
+        if len(seeds) < k:
+            used = set(seeds)
+            for node in range(self._num_nodes):
+                if node not in used:
+                    seeds.append(node)
+                    gains.append(0.0)
+                    if len(seeds) == k:
+                        break
+        return seeds, gains
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RRIndex(num_sets={self._num_sets}, "
+            f"num_nodes={self._num_nodes}, storage={self._storage!r})"
+        )
+
+
+class RRSampler:
+    """Vectorized, pool-parallel RR-set sampler bound to one graph.
+
+    One sampler serves every item of a build: the reverse CSR arrays
+    and the reverse-gathered ``(m, Z)`` probability matrix are
+    published to shared memory once (lazily, on first pooled dispatch)
+    and each sampling task ships only the item's ``gamma`` — workers
+    mix the item-specific arc probabilities locally.  With
+    ``workers=1`` everything runs inline and no payload is created.
+
+    Use as a context manager (or call :meth:`close`) to unlink the
+    shared-memory segments; the worker pool itself is process-wide and
+    shared with :class:`~repro.propagation.parallel.\
+ParallelMonteCarloSpread`.
+    """
+
+    def __init__(
+        self,
+        graph: TopicGraph,
+        *,
+        workers=None,
+        block_size: int | None = None,
+    ) -> None:
+        if workers is None:
+            self._workers = default_sim_workers()
+        else:
+            self._workers = resolve_workers(workers, name="workers")
+        if block_size is not None and block_size < 1:
+            raise ValueError(
+                f"block_size must be >= 1, got {block_size}"
+            )
+        in_indptr, in_tails, in_arc_ids = graph.reverse_view
+        self._in_indptr = in_indptr
+        self._in_tails = in_tails
+        self._prob_matrix = np.ascontiguousarray(
+            graph.probabilities[in_arc_ids]
+        )
+        self._num_nodes = graph.num_nodes
+        self._num_topics = graph.num_topics
+        self._block = (
+            int(block_size)
+            if block_size is not None
+            else _block_size(graph.num_nodes)
+        )
+        self._payload: _GraphPayload | None = None
+        self._finalizer = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Resolved pool width (1 means fully inline)."""
+        return self._workers
+
+    @property
+    def num_nodes(self) -> int:
+        """Node count of the bound graph."""
+        return self._num_nodes
+
+    def close(self) -> None:
+        """Unlink the shared-memory payload (idempotent)."""
+        self._closed = True
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        self._payload = None
+
+    def __enter__(self) -> "RRSampler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_payload(self) -> _GraphPayload:
+        if self._payload is None:
+            payload = _GraphPayload(
+                (self._in_indptr, self._in_tails, self._prob_matrix)
+            )
+            self._finalizer = weakref.finalize(
+                self, _GraphPayload.release, payload
+            )
+            self._payload = payload
+        return self._payload
+
+    # ------------------------------------------------------------------
+    def _blocks(self, num_sets: int) -> list[tuple[int, int]]:
+        """Split a request into ``(block_id, count)`` pairs."""
+        blocks = []
+        lo = 0
+        while lo < num_sets:
+            count = min(self._block, num_sets - lo)
+            blocks.append((len(blocks), count))
+            lo += count
+        return blocks
+
+    def sample(
+        self, gamma, num_sets: int, *, seed=None, request: int = 0
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample ``num_sets`` RR sets for item ``gamma``.
+
+        Returns the raw ``(values, indptr, roots)`` triple (see
+        :func:`_sample_block`); wrap with :class:`RRIndex` or use
+        :meth:`sample_index`.  ``request`` namespaces the random
+        streams so successive calls (IMM's doubling phases) draw
+        disjoint randomness from one root ``seed``; results are
+        bit-identical for any worker count.
+        """
+        if self._closed:
+            raise RuntimeError("RRSampler is closed; create a new one")
+        if num_sets < 1:
+            raise ValueError(f"num_sets must be >= 1, got {num_sets}")
+        dist = as_distribution(gamma)
+        if dist.size != self._num_topics:
+            raise ValueError(
+                f"item has {dist.size} topics, graph has "
+                f"{self._num_topics}"
+            )
+        root = as_seed_sequence(seed)
+        entropy = root.entropy
+        base_key = tuple(root.spawn_key)
+        blocks = self._blocks(num_sets)
+        if self._workers == 1:
+            in_probs = self._prob_matrix @ dist
+            parts = [
+                _sample_block(
+                    self._in_indptr,
+                    self._in_tails,
+                    in_probs,
+                    self._num_nodes,
+                    count,
+                    np.random.default_rng(
+                        np.random.SeedSequence(
+                            entropy=entropy,
+                            spawn_key=base_key + (request, block_id),
+                        )
+                    ),
+                )
+                for block_id, count in blocks
+            ]
+            return _merge_blocks(parts, num_sets)
+        return self._dispatch(
+            dist, entropy, base_key, request, blocks, num_sets
+        )
+
+    def _dispatch(
+        self, dist, entropy, base_key, request, blocks, num_sets
+    ):
+        """Fan blocks over the shared pool; inline on pool failure.
+
+        Block streams never depend on where a block runs, so the
+        recovery path (and the fully inline fallback) is bit-identical
+        to a healthy pooled run.
+        """
+        spec = self._ensure_payload().spec
+        chunk = max(1, -(-len(blocks) // (self._workers * 2)))
+        tasks = [
+            (spec, dist, entropy, base_key, request, blocks[i : i + chunk])
+            for i in range(0, len(blocks), chunk)
+        ]
+        results: list = [None] * len(tasks)
+        executor = _get_executor(self._workers)
+        futures = {}
+        broken = False
+        try:
+            for i, task in enumerate(tasks):
+                futures[executor.submit(_sample_blocks_task, task)] = i
+        except (BrokenProcessPool, RuntimeError):
+            broken = True
+        for future, i in futures.items():
+            try:
+                results[i] = future.result()
+            except (BrokenProcessPool, OSError):
+                broken = True
+        if broken:
+            _discard_executor(self._workers)
+        in_probs = None
+        for i, task in enumerate(tasks):
+            if results[i] is not None:
+                continue
+            if in_probs is None:
+                in_probs = self._prob_matrix @ dist
+            results[i] = [
+                _sample_block(
+                    self._in_indptr,
+                    self._in_tails,
+                    in_probs,
+                    self._num_nodes,
+                    count,
+                    np.random.default_rng(
+                        np.random.SeedSequence(
+                            entropy=entropy,
+                            spawn_key=base_key + (request, block_id),
+                        )
+                    ),
+                )
+                for block_id, count in task[5]
+            ]
+        parts = [part for result in results for part in result]
+        return _merge_blocks(parts, num_sets)
+
+    def sample_index(
+        self,
+        gamma,
+        num_sets: int,
+        *,
+        seed=None,
+        request: int = 0,
+        storage=None,
+    ) -> RRIndex:
+        """Sample ``num_sets`` RR sets and pack them into an
+        :class:`RRIndex`."""
+        values, indptr, roots = self.sample(
+            gamma, num_sets, seed=seed, request=request
+        )
+        return RRIndex(
+            values, indptr, roots, self._num_nodes, storage=storage
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RRSampler(num_nodes={self._num_nodes}, "
+            f"workers={self._workers}, block={self._block})"
+        )
+
+
+def sample_rr_index(
+    graph: TopicGraph,
+    gamma,
+    num_sets: int,
+    *,
+    workers=None,
+    seed=None,
+    storage=None,
+) -> RRIndex:
+    """One-shot convenience: sample a packed RR index for one item.
+
+    Creates a temporary :class:`RRSampler` (reuse one explicitly when
+    sampling for many items — the shared-memory publication is then
+    paid once, not per item).
+    """
+    with RRSampler(graph, workers=workers) as sampler:
+        return sampler.sample_index(
+            gamma, num_sets, seed=seed, storage=storage
+        )
+
+
+# ----------------------------------------------------------------------
+# The IMM algorithm
+# ----------------------------------------------------------------------
+
+
+def imm_budgets(
+    num_nodes: int, k: int, epsilon: float, delta: float
+) -> dict:
+    """The martingale budgets behind one IMM run, as plain numbers.
+
+    Returns a dict with ``ell`` (the confidence exponent solving
+    ``n^-ell = delta``), ``eps_prime`` (phase-1 slack,
+    ``sqrt(2) * epsilon``), ``lambda_prime`` (phase-1 numerator: the
+    budget at guess ``x`` is ``lambda_prime / x``), ``lambda_star``
+    (phase-2 numerator: the final budget is ``lambda_star / LB``), and
+    ``log_c_n_k``.  Exposed for tests and for the budget tables in
+    ``docs/INDEX_BUILDS.md``.
+    """
+    if num_nodes < 2:
+        raise ValueError(
+            f"IMM budgets need num_nodes >= 2, got {num_nodes}"
+        )
+    if not 0 <= k <= num_nodes:
+        raise ValueError(
+            f"k must lie in [0, {num_nodes}], got {k}"
+        )
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(
+            f"epsilon must lie in (0, 1), got {epsilon}"
+        )
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must lie in (0, 1), got {delta}")
+    n = float(num_nodes)
+    ln_n = math.log(n)
+    ell = math.log(1.0 / delta) / ln_n
+    log_c_n_k = (
+        math.lgamma(n + 1.0)
+        - math.lgamma(k + 1.0)
+        - math.lgamma(n - k + 1.0)
+    )
+    eps_prime = math.sqrt(2.0) * epsilon
+    lambda_prime = (
+        (2.0 + 2.0 * eps_prime / 3.0)
+        * (log_c_n_k + ell * ln_n + math.log(max(math.log2(n), 1.0)))
+        * n
+        / (eps_prime * eps_prime)
+    )
+    one_minus_inv_e = 1.0 - 1.0 / math.e
+    alpha = math.sqrt(ell * ln_n + math.log(2.0))
+    beta = math.sqrt(
+        one_minus_inv_e * (log_c_n_k + ell * ln_n + math.log(2.0))
+    )
+    lambda_star = (
+        2.0
+        * n
+        * (one_minus_inv_e * alpha + beta) ** 2
+        / (epsilon * epsilon)
+    )
+    return {
+        "ell": ell,
+        "eps_prime": eps_prime,
+        "log_c_n_k": log_c_n_k,
+        "lambda_prime": lambda_prime,
+        "lambda_star": lambda_star,
+    }
+
+
+def imm_seed_selection(
+    graph: TopicGraph,
+    gamma,
+    k: int,
+    *,
+    epsilon: float = 0.1,
+    delta: float | None = None,
+    workers=None,
+    seed=None,
+    max_sets: int | None = None,
+    sampler: RRSampler | None = None,
+) -> SeedList:
+    """IMM influence maximization: a ``(1 - 1/e - epsilon)``-approximate
+    seed list with probability ``1 - delta``.
+
+    Parameters
+    ----------
+    graph / gamma:
+        The topic graph and the item's topic distribution (Eq. 1
+        instantiates the IC instance the RR sets are walked on).
+    k:
+        Seed budget (at most ``graph.num_nodes``).
+    epsilon:
+        Approximation slack in ``(0, 1)``; the RR budget grows as
+        ``epsilon^-2``.
+    delta:
+        Failure probability in ``(0, 1)``; ``None`` uses the canonical
+        ``1/n``.
+    workers:
+        Sampling pool width (int, ``"auto"``, or ``None`` for the
+        ``REPRO_SIM_WORKERS`` default).  Seed lists are bit-identical
+        for any width.
+    seed:
+        Randomness control (int, ``SeedSequence``, ``Generator``, or
+        ``None``).
+    max_sets:
+        Optional hard cap on the RR budget.  Capping voids the formal
+        guarantee — it exists for interactive/test runs; production
+        builds should tune ``epsilon`` instead.
+    sampler:
+        An existing :class:`RRSampler` for this graph, reused across
+        the items of a build; ``None`` creates (and closes) a private
+        one.
+    """
+    n = graph.num_nodes
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    if k > n:
+        raise ValueError(f"k={k} exceeds {n} candidate nodes")
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    if delta is None:
+        delta = 1.0 / max(n, 2)
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must lie in (0, 1), got {delta}")
+    if max_sets is not None and max_sets < 2:
+        raise ValueError(f"max_sets must be >= 2, got {max_sets}")
+    if k == 0:
+        return SeedList((), (), algorithm="imm")
+    if n == 1:
+        return SeedList((0,), (1.0,), algorithm="imm")
+    budgets = imm_budgets(n, k, epsilon, delta)
+    eps_prime = budgets["eps_prime"]
+    root = as_seed_sequence(seed)
+    tracer = get_tracer()
+    own_sampler = sampler is None
+    if own_sampler:
+        sampler = RRSampler(graph, workers=workers)
+    parts: list = []
+    total = 0
+    requests = 0
+
+    def ensure(target: int, phase: str) -> None:
+        """Grow the pooled collection to ``target`` sets (capped)."""
+        nonlocal total, requests
+        if max_sets is not None:
+            target = min(target, max_sets)
+        if target <= total:
+            return
+        count = target - total
+        with tracer.span(
+            "imm.sample", category="imm", phase=phase, sets=count
+        ):
+            parts.append(
+                sampler.sample(gamma, count, seed=root, request=requests)
+            )
+        requests += 1
+        total = target
+        _obs.record_imm_sampled(phase, count)
+
+    def pooled_index() -> RRIndex:
+        values, indptr, roots = _merge_blocks(parts, total)
+        return RRIndex(values, indptr, roots, n)
+
+    try:
+        # Phase 1: lower-bound OPT by doubling (Chernoff stopping).
+        lower_bound = max(float(k), 1.0)
+        for i in range(1, max(1, math.ceil(math.log2(n)))):
+            x = n / 2.0**i
+            theta_i = math.ceil(budgets["lambda_prime"] / x)
+            ensure(theta_i, "estimate")
+            index = pooled_index()
+            with tracer.span(
+                "imm.select",
+                category="imm",
+                phase="estimate",
+                sets=index.num_sets,
+            ):
+                _, gains = index.greedy_select(k)
+            fraction = sum(gains) / index.num_sets
+            if n * fraction >= (1.0 + eps_prime) * x:
+                lower_bound = n * fraction / (1.0 + eps_prime)
+                break
+        # Phase 2: the derived theta budget, then the final greedy.
+        theta = math.ceil(budgets["lambda_star"] / lower_bound)
+        ensure(theta, "select")
+        index = pooled_index()
+        with tracer.span(
+            "imm.select",
+            category="imm",
+            phase="select",
+            sets=index.num_sets,
+        ):
+            nodes, gains = index.greedy_select(k)
+        scale = n / index.num_sets
+        _obs.record_imm_build(index.num_sets)
+        return SeedList(
+            tuple(nodes),
+            tuple(gain * scale for gain in gains),
+            algorithm="imm",
+        )
+    finally:
+        if own_sampler:
+            sampler.close()

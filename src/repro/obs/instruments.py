@@ -195,6 +195,18 @@ IM_GAIN_EVALUATIONS = _REGISTRY.counter(
 MC_SIMULATIONS = _REGISTRY.counter(
     "repro_mc_simulations_total", "Monte-Carlo cascade simulations run"
 )
+IMM_RR_SETS = _REGISTRY.counter(
+    "repro_imm_rr_sets_sampled_total",
+    "RR sets sampled by the IMM engine, by phase (estimate/select)",
+    labels=("phase",),
+)
+IMM_BUILDS = _REGISTRY.counter(
+    "repro_imm_builds_total", "IMM seed-list builds completed"
+)
+IMM_THETA = _REGISTRY.histogram(
+    "repro_imm_theta_rr_sets",
+    "Final RR-set budget (theta) per IMM seed-list build",
+)
 
 # -- parallel spread engine ---------------------------------------------
 SIM_CHUNKS = _REGISTRY.counter(
@@ -479,6 +491,29 @@ def record_gain_evaluations(engine: str, count: int) -> None:
     if not STATE.enabled or count <= 0:
         return
     IM_GAIN_EVALUATIONS.labels(engine=engine).inc(count)
+
+
+_IMM_PHASE_COUNTERS: dict = {}
+
+
+def record_imm_sampled(phase: str, count: int) -> None:
+    """Add ``count`` RR sets sampled by one IMM phase
+    (``estimate``/``select``)."""
+    if not STATE.enabled or count <= 0:
+        return
+    counter = _IMM_PHASE_COUNTERS.get(phase)
+    if counter is None:
+        counter = IMM_RR_SETS.labels(phase=phase)
+        _IMM_PHASE_COUNTERS[phase] = counter
+    counter.inc(count)
+
+
+def record_imm_build(theta: int) -> None:
+    """Count one finished IMM build and record its final RR budget."""
+    if not STATE.enabled:
+        return
+    IMM_BUILDS.inc()
+    IMM_THETA.observe(theta)
 
 
 def record_simulations(count: int) -> None:
