@@ -38,8 +38,14 @@ as the ``REPRO_FAULTS`` environment variable) for chaos testing; see
 admission control, result cache, graceful SIGTERM drain) and
 ``loadgen`` drives it with a seeded synthetic workload, reporting
 latency quantiles, throughput, shed rate, and cache-hit rate; see
-``docs/SERVING.md``.  ``serve --stream`` additionally enables the
-evolving-graph routes (``/deltas``, ``/subscriptions``).  ``serve``
+``docs/SERVING.md``.  ``serve --workers N`` (N > 1) runs the
+supervised sharded fleet instead — a router process in front of N
+worker processes attached to one shared-memory index copy, with
+heartbeat supervision, crash-safe respawn, circuit breakers,
+re-dispatch, and optional tail-latency hedging (``--hedge``); ``fleet``
+renders a running router's ``/fleet`` status.  See ``docs/FLEET.md``.
+``serve --stream`` additionally enables the evolving-graph routes
+(``/deltas``, ``/subscriptions``).  ``serve``
 also exposes the request-scoped telemetry surfaces —
 ``/debug/requests``, ``/debug/slow``, ``/debug/slo`` — tunable via
 ``--slow-ms`` / ``--flight-records`` / ``--slo-latency-ms`` /
@@ -452,8 +458,78 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             flush=True,
         )
 
-    asyncio.run(serve(index, config, ready=ready, streaming=streaming))
+    if args.workers > 1:
+        if streaming is not None:
+            print(
+                "error: --stream requires a single worker "
+                "(omit --workers)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.core import FleetConfig
+        from repro.serving import serve_fleet
+
+        fleet_config = FleetConfig(
+            workers=args.workers,
+            affinity_seed=args.affinity_seed,
+            heartbeat_interval_s=args.heartbeat_interval,
+            heartbeat_timeout_s=args.heartbeat_timeout,
+            respawn_backoff_s=args.respawn_backoff,
+            max_respawns=args.max_respawns,
+            dispatch_timeout_s=args.dispatch_timeout,
+            redispatch_attempts=args.redispatch_attempts,
+            breaker_failures=args.breaker_failures,
+            breaker_cooloff_s=args.breaker_cooloff,
+            hedge=args.hedge,
+            hedge_delay_ms=args.hedge_delay_ms,
+        )
+        asyncio.run(
+            serve_fleet(index, config, fleet_config, ready=ready)
+        )
+    else:
+        asyncio.run(serve(index, config, ready=ready, streaming=streaming))
     print("drained; all accepted requests answered", flush=True)
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Render a running fleet router's ``/fleet`` status."""
+    import json
+    import urllib.request
+
+    url = f"http://{args.host}:{args.port}/fleet"
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as resp:
+            status = json.loads(resp.read().decode("utf-8"))
+    except OSError as exc:
+        print(f"error: cannot reach {url}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(status, indent=2))
+        return 0
+    dispatch = status.get("dispatch", {})
+    print(
+        f"fleet: draining={status.get('draining')} "
+        f"accepted={dispatch.get('accepted')} "
+        f"answered={dispatch.get('answered')} "
+        f"shed={dispatch.get('shed')} "
+        f"redispatched={dispatch.get('redispatched')} "
+        f"hedged={dispatch.get('hedged')}"
+    )
+    hedge = status.get("hedge", {})
+    if hedge.get("enabled"):
+        print(f"hedge: {hedge}")
+    header = f"{'shard':>5} {'state':>8} {'port':>6} {'gen':>4} {'restarts':>8} {'breaker':>10} {'hb_age_s':>9}"
+    print(header)
+    for worker in status.get("workers", []):
+        age = worker.get("heartbeat_age_s")
+        print(
+            f"{worker.get('shard'):>5} {worker.get('state'):>8} "
+            f"{str(worker.get('port')):>6} {worker.get('generation'):>4} "
+            f"{worker.get('restarts'):>8} "
+            f"{worker.get('breaker', {}).get('state'):>10} "
+            f"{age if age is None else format(age, '.2f'):>9}"
+        )
     return 0
 
 
@@ -986,7 +1062,94 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="exponential time-decay rate of edge strength for --stream",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; >1 runs the supervised sharded fleet "
+        "(router + topic-affinity shards, see docs/FLEET.md)",
+    )
+    serve.add_argument(
+        "--affinity-seed",
+        type=int,
+        default=0,
+        help="seed for the Dirichlet topic-affinity anchors",
+    )
+    serve.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=0.25,
+        help="worker heartbeat period in seconds",
+    )
+    serve.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=2.0,
+        help="heartbeat staleness before a worker is recycled",
+    )
+    serve.add_argument(
+        "--respawn-backoff",
+        type=float,
+        default=0.05,
+        help="delay before respawning a dead worker",
+    )
+    serve.add_argument(
+        "--max-respawns",
+        type=int,
+        default=None,
+        help="per-shard respawn budget (default: unlimited)",
+    )
+    serve.add_argument(
+        "--dispatch-timeout",
+        type=float,
+        default=5.0,
+        help="per-attempt router->shard dispatch timeout in seconds",
+    )
+    serve.add_argument(
+        "--redispatch-attempts",
+        type=int,
+        default=2,
+        help="extra shards tried after the primary fails",
+    )
+    serve.add_argument(
+        "--breaker-failures",
+        type=int,
+        default=3,
+        help="consecutive failures before a shard's breaker opens",
+    )
+    serve.add_argument(
+        "--breaker-cooloff",
+        type=float,
+        default=1.0,
+        help="seconds an open breaker waits before a half-open probe",
+    )
+    serve.add_argument(
+        "--hedge",
+        action="store_true",
+        help="send a backup request to a sibling shard when the "
+        "primary exceeds the hedging delay",
+    )
+    serve.add_argument(
+        "--hedge-delay-ms",
+        type=float,
+        default=None,
+        help="fixed hedging delay in ms (default: p99-derived)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    fleet_cmd = sub.add_parser(
+        "fleet",
+        help="show a running fleet router's worker/breaker status",
+    )
+    fleet_cmd.add_argument("--host", default="127.0.0.1")
+    fleet_cmd.add_argument("--port", type=int, default=8171)
+    fleet_cmd.add_argument(
+        "--timeout", type=float, default=5.0, help="HTTP timeout in seconds"
+    )
+    fleet_cmd.add_argument(
+        "--json", action="store_true", help="print the raw /fleet JSON"
+    )
+    fleet_cmd.set_defaults(func=_cmd_fleet)
 
     loadgen = sub.add_parser(
         "loadgen",

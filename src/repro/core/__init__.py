@@ -6,6 +6,7 @@ queries in milliseconds with :meth:`InflexIndex.query`.
 
 from repro.core.config import (
     AGGREGATORS,
+    FleetConfig,
     IM_ENGINES,
     InflexConfig,
     PAPER_CONFIG,
@@ -22,6 +23,7 @@ from repro.core.offline import (
 )
 from repro.core.persistence import (
     atomic_write_bytes,
+    atomic_write_text,
     crc_of_bytes,
     load_index,
     save_index,
@@ -57,6 +59,7 @@ __all__ = [
     "SeedExplanation",
     "explain_answer",
     "AGGREGATORS",
+    "FleetConfig",
     "IM_ENGINES",
     "InflexConfig",
     "PAPER_CONFIG",
@@ -72,6 +75,7 @@ __all__ = [
     "offline_seed_lists_batch",
     "offline_tic_seed_list",
     "atomic_write_bytes",
+    "atomic_write_text",
     "crc_of_bytes",
     "load_index",
     "save_index",

@@ -32,6 +32,7 @@ from repro.clustering.kmeanspp import bregman_kmeans
 from repro.core.config import InflexConfig
 from repro.core.index import InflexIndex
 from repro.core.offline import offline_seed_list
+from repro.core.persistence import atomic_write_text
 from repro.divergence.kl import KLDivergence
 from repro.errors import CorruptArtifactError
 from repro.graph.topic_graph import TopicGraph
@@ -144,9 +145,9 @@ class ResumableBuilder:
         return self._dir / f"seeds_{index:05d}.json"
 
     def _write_state(self, state: dict) -> None:
-        tmp = self._state_path.with_suffix(".tmp")
-        tmp.write_text(_envelope(state))
-        tmp.replace(self._state_path)
+        # Durable tmp+rename+fsync: the state file pins the per-item RNG
+        # seeds, so losing it to a power cut would change results.
+        atomic_write_text(self._state_path, _envelope(state))
 
     def _load_or_create_state(self) -> dict:
         if self._state_path.exists():
@@ -223,11 +224,10 @@ class ResumableBuilder:
             # into place (e.g. power loss after rename but before the
             # data hit the platter).  Quarantine must catch this later.
             text = text[: max(1, len(text) // 2)]
-        # Write-then-rename keeps a crash from leaving a truncated
+        # Durable write-then-rename (fsync'd tmp, fsync'd directory)
+        # keeps a crash or power cut from leaving a truncated
         # checkpoint behind.
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(text)
-        tmp.replace(path)
+        atomic_write_text(path, text)
 
     def _read_checkpoint(self, i: int) -> dict | None:
         """Read checkpoint ``i``; quarantine and return ``None`` if bad.

@@ -284,9 +284,15 @@ class ServingConfig:
         Bound on requests waiting in the batcher queue; exceeding it
         also sheds with 429.
     retry_after_s:
-        Value of the ``Retry-After`` header on shed (429/503)
+        Base value of the ``Retry-After`` header on shed (429/503)
         responses, in seconds (rounded up to whole seconds on the
         wire, as the header requires).
+    retry_jitter:
+        Fraction of ``retry_after_s`` added as deterministic seeded
+        jitter (:class:`~repro.resilience.retry.RetryPolicy` math), so
+        shed clients don't retry in synchronized herds.  The exact
+        jittered value rides on the ``X-Retry-After-Ms`` response
+        header (``Retry-After`` itself has whole-second resolution).
 
     Deadlines
     ---------
@@ -335,6 +341,7 @@ class ServingConfig:
     max_inflight: int = 256
     max_queue_depth: int = 512
     retry_after_s: float = 0.05
+    retry_jitter: float = 0.5
     deadline_ms: float | None = 250.0
     cache_entries: int = 4096
     cache_decimals: int = 3
@@ -371,6 +378,10 @@ class ServingConfig:
         if self.retry_after_s < 0:
             raise ValueError(
                 f"retry_after_s must be >= 0, got {self.retry_after_s}"
+            )
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise ValueError(
+                f"retry_jitter must lie in [0, 1], got {self.retry_jitter}"
             )
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise ValueError(
@@ -416,6 +427,132 @@ class ServingConfig:
     def max_batch_wait_s(self) -> float:
         """The batching window in seconds (see ``max_batch_wait_us``)."""
         return self.max_batch_wait_us / 1e6
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Tunables of the sharded serving fleet (:mod:`repro.serving.fleet`).
+
+    Topology
+    --------
+    workers:
+        Number of worker processes (shards).  Each worker runs a full
+        :class:`~repro.serving.server.QueryServer` over the same
+        shared-memory index and stays cache-hot on its affinity slice
+        of the topic simplex.
+    affinity_seed:
+        Seed of the Dirichlet anchor draw that partitions the simplex
+        into per-shard affinity regions (deterministic routing).
+
+    Supervision
+    -----------
+    heartbeat_interval_s:
+        How often each worker sends a heartbeat over its control pipe.
+    heartbeat_timeout_s:
+        Heartbeat staleness after which the supervisor declares a
+        ready worker hung and recycles it (kill + respawn).
+    probe_interval_s / probe_timeout_s:
+        Cadence and deadline of the supervisor's HTTP ``/healthz``
+        probes against ready workers (catches a worker whose event
+        loop answers heartbeats but not requests).
+    respawn_backoff_s:
+        Minimum wall-clock gap between successive respawns of the same
+        shard, so a crash-looping worker cannot spin the supervisor.
+    max_respawns:
+        Per-shard respawn budget; a shard that exhausts it is left
+        down (its breaker stays open) rather than restarted forever.
+        ``None`` = unlimited.
+
+    Dispatch
+    --------
+    dispatch_timeout_s:
+        Router-side deadline on one proxied worker call; an expired
+        call counts as a shard failure and triggers re-dispatch.
+    redispatch_attempts:
+        How many *additional* sibling shards a request may be re-sent
+        to after its first shard fails (at most once per shard).
+    breaker_failures / breaker_cooloff_s:
+        Per-shard :class:`~repro.resilience.CircuitBreaker` knobs:
+        consecutive failures before the shard is shorted out, and the
+        open-state cool-off before a half-open probe.
+
+    Hedging
+    -------
+    hedge:
+        Enable tail-latency hedging: when a dispatch exceeds the
+        :class:`~repro.resilience.HedgePolicy` delay, duplicate it to
+        the next-nearest healthy shard and answer with whichever
+        returns first (queries are idempotent reads, so duplicates are
+        safe).
+    hedge_delay_ms:
+        Fixed hedging delay; ``None`` derives it from the rolling p99.
+    hedge_min_ms / hedge_factor:
+        Bounds of the derived delay (see ``HedgePolicy``).
+    """
+
+    workers: int = 2
+    affinity_seed: int = 0
+    heartbeat_interval_s: float = 0.25
+    heartbeat_timeout_s: float = 2.0
+    probe_interval_s: float = 1.0
+    probe_timeout_s: float = 1.0
+    respawn_backoff_s: float = 0.05
+    max_respawns: int | None = None
+    dispatch_timeout_s: float = 5.0
+    redispatch_attempts: int = 2
+    breaker_failures: int = 3
+    breaker_cooloff_s: float = 1.0
+    hedge: bool = False
+    hedge_delay_ms: float | None = None
+    hedge_min_ms: float = 5.0
+    hedge_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        for name in (
+            "heartbeat_interval_s",
+            "heartbeat_timeout_s",
+            "probe_interval_s",
+            "probe_timeout_s",
+            "dispatch_timeout_s",
+            "breaker_cooloff_s",
+            "hedge_min_ms",
+        ):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if self.heartbeat_timeout_s <= self.heartbeat_interval_s:
+            raise ValueError(
+                "need heartbeat_timeout_s > heartbeat_interval_s, got "
+                f"{self.heartbeat_timeout_s} / {self.heartbeat_interval_s}"
+            )
+        if self.respawn_backoff_s < 0:
+            raise ValueError(
+                f"respawn_backoff_s must be >= 0, got {self.respawn_backoff_s}"
+            )
+        if self.max_respawns is not None and self.max_respawns < 0:
+            raise ValueError(
+                f"max_respawns must be >= 0 or None, got {self.max_respawns}"
+            )
+        if self.redispatch_attempts < 0:
+            raise ValueError(
+                "redispatch_attempts must be >= 0, got "
+                f"{self.redispatch_attempts}"
+            )
+        if self.breaker_failures < 1:
+            raise ValueError(
+                f"breaker_failures must be >= 1, got {self.breaker_failures}"
+            )
+        if self.hedge_delay_ms is not None and self.hedge_delay_ms <= 0:
+            raise ValueError(
+                "hedge_delay_ms must be positive or None, got "
+                f"{self.hedge_delay_ms}"
+            )
+        if self.hedge_factor <= 0:
+            raise ValueError(
+                f"hedge_factor must be positive, got {self.hedge_factor}"
+            )
 
 
 #: Paper-faithful parameter set (expensive: hours of precomputation even

@@ -11,9 +11,12 @@ format free of recursive structures.
 Two durability guarantees (format version 2, see
 ``docs/RESILIENCE.md``):
 
-* **Atomic writes** — :func:`save_index` writes to a temporary file in
-  the target directory and ``os.replace``\\ s it into place, so an
-  interrupted save never clobbers the previous valid artifact.
+* **Atomic, durable writes** — :func:`save_index` writes to a
+  temporary file in the target directory, ``fsync``\\ s it,
+  ``os.replace``\\ s it into place, and ``fsync``\\ s the directory, so
+  an interrupted save never clobbers the previous valid artifact *and*
+  a power cut cannot roll the completed rename back out of the page
+  cache.
 * **Integrity checking** — every array's CRC32 is embedded in the
   archive and verified by :func:`load_index`, which raises
   :class:`~repro.errors.CorruptArtifactError` on any mismatch,
@@ -70,20 +73,52 @@ def crc_of_bytes(data: bytes) -> int:
     return zlib.crc32(data) & 0xFFFFFFFF
 
 
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory entry to stable storage (best effort).
+
+    ``os.replace`` makes a rename atomic *in the filesystem's memory*;
+    until the directory itself is fsynced, a power cut can roll the
+    rename back and resurface the old file (or none).  Platforms that
+    cannot open directories for syncing just skip this.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write_bytes(path, data: bytes) -> None:
-    """Write ``data`` to ``path`` atomically (same-dir tmp + rename).
+    """Write ``data`` to ``path`` atomically **and durably**.
 
     The write-then-``os.replace`` dance used by :func:`save_index`,
-    exposed for other artifact writers (builder state, delta logs): a
-    crash mid-write leaves any existing file untouched, plus a
-    ``*.tmp-<pid>`` remnant that is safe to delete.
+    exposed for other artifact writers (builder state and checkpoints,
+    delta logs): a crash mid-write leaves any existing file untouched,
+    plus a ``*.tmp-<pid>`` remnant that is safe to delete.  The
+    temporary file is ``fsync``\\ ed before the rename and the parent
+    directory after it — without both, "atomic" only holds until the
+    first power cut (the data, or the rename itself, could still be
+    sitting in the page cache).
     """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     tmp = target.with_name(f"{target.name}.tmp-{os.getpid()}")
     with open(tmp, "wb") as fh:
         fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
     os.replace(tmp, target)
+    _fsync_directory(target.parent)
+
+
+def atomic_write_text(path, text: str, *, encoding: str = "utf-8") -> None:
+    """:func:`atomic_write_bytes` for text content (same durability)."""
+    atomic_write_bytes(path, text.encode(encoding))
 
 
 def save_index(index: InflexIndex, path, *, fault_plan=None) -> None:
@@ -128,6 +163,8 @@ def save_index(index: InflexIndex, path, *, fault_plan=None) -> None:
             integrity_json=np.asarray(json.dumps(integrity)),
             **arrays,
         )
+        fh.flush()
+        os.fsync(fh.fileno())
     fired = maybe_inject("save-index", fault_plan)
     if fired is not None and fired.mode == "crash":
         # Chaos hook: simulate the process dying between the tmp write
@@ -136,6 +173,7 @@ def save_index(index: InflexIndex, path, *, fault_plan=None) -> None:
             f"simulated crash before renaming {tmp} over {target}"
         )
     os.replace(tmp, target)
+    _fsync_directory(target.parent)
 
 
 def load_index(path, graph: TopicGraph, *, fault_plan=None) -> InflexIndex:

@@ -144,6 +144,42 @@ SERVING_QUEUE_DEPTH = _REGISTRY.gauge(
     "repro_serving_queue_depth", "Requests waiting in the micro-batch queue"
 )
 
+# -- serving fleet (router process) ------------------------------------
+FLEET_REQUESTS = _REGISTRY.counter(
+    "repro_fleet_requests_total",
+    "Requests dispatched by the fleet router, by shard and outcome "
+    "(ok/error/timeout/redispatched)",
+    labels=("shard", "outcome"),
+)
+FLEET_RESTARTS = _REGISTRY.counter(
+    "repro_fleet_worker_restarts_total",
+    "Worker processes respawned by the supervisor, by shard",
+    labels=("shard",),
+)
+FLEET_REDISPATCHES = _REGISTRY.counter(
+    "repro_fleet_redispatches_total",
+    "Requests re-sent to a sibling shard after their shard failed",
+)
+FLEET_HEDGES = _REGISTRY.counter(
+    "repro_fleet_hedges_total",
+    "Hedged duplicate dispatches, by outcome (won/lost)",
+    labels=("outcome",),
+)
+FLEET_BREAKER_STATE = _REGISTRY.gauge(
+    "repro_fleet_breaker_state",
+    "Per-shard circuit-breaker state (0=closed, 1=half-open, 2=open)",
+    labels=("shard",),
+)
+FLEET_HEARTBEAT_AGE = _REGISTRY.gauge(
+    "repro_fleet_heartbeat_age_seconds",
+    "Seconds since each shard's last heartbeat, by shard",
+    labels=("shard",),
+)
+FLEET_WORKERS = _REGISTRY.gauge(
+    "repro_fleet_workers",
+    "Worker processes currently in the ready state",
+)
+
 # -- streaming (evolving graph) ----------------------------------------
 STREAM_BATCHES = _REGISTRY.counter(
     "repro_stream_batches_applied_total",
@@ -460,6 +496,84 @@ def record_coalesced() -> None:
     if not STATE.enabled:
         return
     SERVING_COALESCED.inc()
+
+
+_FLEET_REQUEST_COUNTERS: dict = {}
+_FLEET_RESTART_COUNTERS: dict = {}
+_FLEET_HEDGE_COUNTERS: dict = {}
+_FLEET_BREAKER_GAUGES: dict = {}
+_FLEET_HEARTBEAT_GAUGES: dict = {}
+_BREAKER_STATE_CODES = {"closed": 0, "half-open": 1, "open": 2}
+
+
+def record_fleet_dispatch(shard: int, outcome: str) -> None:
+    """Count one router dispatch to ``shard`` with the given outcome."""
+    if not STATE.enabled:
+        return
+    key = (shard, outcome)
+    counter = _FLEET_REQUEST_COUNTERS.get(key)
+    if counter is None:
+        counter = FLEET_REQUESTS.labels(shard=str(shard), outcome=outcome)
+        _FLEET_REQUEST_COUNTERS[key] = counter
+    counter.inc()
+
+
+def record_fleet_restart(shard: int) -> None:
+    """Count one supervisor respawn of ``shard``."""
+    if not STATE.enabled:
+        return
+    counter = _FLEET_RESTART_COUNTERS.get(shard)
+    if counter is None:
+        counter = FLEET_RESTARTS.labels(shard=str(shard))
+        _FLEET_RESTART_COUNTERS[shard] = counter
+    counter.inc()
+
+
+def record_fleet_redispatch() -> None:
+    """Count one request re-sent to a sibling shard."""
+    if not STATE.enabled:
+        return
+    FLEET_REDISPATCHES.inc()
+
+
+def record_fleet_hedge(outcome: str) -> None:
+    """Count one hedged duplicate dispatch (``won``/``lost``)."""
+    if not STATE.enabled:
+        return
+    counter = _FLEET_HEDGE_COUNTERS.get(outcome)
+    if counter is None:
+        counter = FLEET_HEDGES.labels(outcome=outcome)
+        _FLEET_HEDGE_COUNTERS[outcome] = counter
+    counter.inc()
+
+
+def set_fleet_breaker_state(shard: int, state: str) -> None:
+    """Publish one shard's breaker state (closed/half-open/open)."""
+    if not STATE.enabled:
+        return
+    gauge = _FLEET_BREAKER_GAUGES.get(shard)
+    if gauge is None:
+        gauge = FLEET_BREAKER_STATE.labels(shard=str(shard))
+        _FLEET_BREAKER_GAUGES[shard] = gauge
+    gauge.set(_BREAKER_STATE_CODES.get(state, 2))
+
+
+def set_fleet_heartbeat_age(shard: int, age_s: float) -> None:
+    """Publish seconds since one shard's last heartbeat."""
+    if not STATE.enabled:
+        return
+    gauge = _FLEET_HEARTBEAT_GAUGES.get(shard)
+    if gauge is None:
+        gauge = FLEET_HEARTBEAT_AGE.labels(shard=str(shard))
+        _FLEET_HEARTBEAT_GAUGES[shard] = gauge
+    gauge.set(max(0.0, age_s))
+
+
+def set_fleet_workers(ready: int) -> None:
+    """Publish the number of ready worker processes."""
+    if not STATE.enabled:
+        return
+    FLEET_WORKERS.set(ready)
 
 
 def set_serving_load(inflight: int, queue_depth: int) -> None:

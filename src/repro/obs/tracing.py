@@ -154,6 +154,17 @@ class Tracer:
         self._ids = itertools.count(1)
         self._local = threading.local()
 
+    @property
+    def epoch(self) -> float:
+        """The ``time.perf_counter()`` stamp span starts are relative to.
+
+        :meth:`spans` reports ``start`` relative to this epoch; exporters
+        that need wall-clock stamps (the ``/debug/spans`` route feeding
+        cross-process adoption) convert with
+        ``time.time() - time.perf_counter() + tracer.epoch + start``.
+        """
+        return self._epoch
+
     # -- span lifecycle -------------------------------------------------
     def span(self, name: str, *, category: str = "repro", **args) -> Span:
         """A new (not yet entered) span bound to this tracer."""

@@ -94,15 +94,24 @@ _WORKER_CACHE_MAX = 8
 
 
 class _GraphPayload:
-    """One estimator's CSR arrays, published for worker processes.
+    """One publisher's arrays, published for worker processes.
 
     ``spec`` is what travels in every task: for shared memory it is
     ``("shm", token, [(name, dtype, shape), ...])`` — a few strings —
     and for the pickle fallback it is the arrays themselves.
+
+    Although named for its original client (the CSR graph arrays of the
+    simulation pool), the payload is array-agnostic; the serving fleet
+    publishes whole indexes through the same mechanism (see
+    :func:`publish_arrays` / :mod:`repro.serving.shared_index`), so
+    segment lifecycle, leak tracking, and the worker-side attachment
+    cache stay in one place.
     """
 
-    def __init__(self, arrays: tuple[np.ndarray, ...]) -> None:
-        self.token = f"repro-sim-{os.getpid()}-{next(_TOKEN_COUNTER)}"
+    def __init__(
+        self, arrays: tuple[np.ndarray, ...], *, prefix: str = "repro-sim"
+    ) -> None:
+        self.token = f"{prefix}-{os.getpid()}-{next(_TOKEN_COUNTER)}"
         self._segments = []
         try:
             from multiprocessing import shared_memory
@@ -154,6 +163,37 @@ def active_payload_count() -> int:
     healthy process returns to 0 once every estimator is closed.
     """
     return len(_LIVE_PAYLOADS)
+
+
+def publish_arrays(arrays, *, prefix: str = "repro-shared") -> _GraphPayload:
+    """Publish ``arrays`` for other processes via shared memory.
+
+    The general-purpose entry point to the payload machinery (the
+    simulation pool constructs :class:`_GraphPayload` directly): the
+    returned payload's ``spec`` is a small picklable tuple that any
+    process on the machine can resolve with :func:`attach_arrays`,
+    attaching the segments zero-copy.  Falls back to pickling the
+    arrays into the spec when shared memory is unavailable.  The
+    caller owns the payload and must :meth:`~_GraphPayload.release`
+    it (segments outlive every attaching process until then — which is
+    exactly what lets a respawned fleet worker re-attach without any
+    disk reload).
+    """
+    materialized = tuple(
+        np.ascontiguousarray(np.asarray(array)) for array in arrays
+    )
+    return _GraphPayload(materialized, prefix=prefix)
+
+
+def attach_arrays(spec) -> tuple[np.ndarray, ...]:
+    """Resolve a payload ``spec`` into arrays (zero-copy when shared).
+
+    Safe to call from any process; attachments are cached per payload
+    token (see ``_WORKER_CACHE``), so repeated resolution of the same
+    spec — every task of a pool worker, every request of a fleet
+    worker — costs one dict lookup.
+    """
+    return _payload_arrays(spec)
 
 
 def _payload_arrays(spec) -> tuple[np.ndarray, ...]:

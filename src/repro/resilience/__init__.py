@@ -5,16 +5,21 @@ survive to answer millisecond online queries — which is only true if
 the execution and persistence layers survive the failures long-running
 systems actually see: crashed pool workers, truncated checkpoints,
 bit-rotted artifacts, and queries that must answer *something* by a
-latency budget.  This package holds the three shared primitives:
+latency budget.  This package holds the shared primitives:
 
 * :class:`RetryPolicy` — classified transient errors, exponential
   backoff with deterministic jitter;
 * :class:`Deadline` — a monotonic budget object that query paths use to
   return partial results flagged ``degraded=True`` instead of hanging;
+* :class:`CircuitBreaker` — per-downstream consecutive-failure breaker
+  with half-open probing (the fleet router runs one per worker shard);
+* :class:`HedgePolicy` — tail-latency hedging delays derived from a
+  rolling p99 window (duplicate a slow request to a sibling shard);
 * :class:`FaultPlan` — seeded, scriptable fault injection (via the
   ``REPRO_FAULTS`` environment variable, config, or code) at the
-  worker-chunk, checkpoint-write, and artifact-load hooks, so chaos
-  tests can assert byte-identical recovery rather than mere survival.
+  worker-chunk, checkpoint-write, artifact-load, and fleet
+  worker/heartbeat hooks, so chaos tests can assert byte-identical
+  recovery rather than mere survival.
 
 The recovery call sites live with the code they protect —
 :mod:`repro.propagation.parallel` (pool crash recovery),
@@ -24,7 +29,9 @@ and the full retry/degradation matrix are documented in
 ``docs/RESILIENCE.md``.
 """
 
+from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.deadline import Deadline, resolve_deadline
+from repro.resilience.hedge import HedgePolicy
 from repro.resilience.faults import (
     FAULTS_ENV,
     FaultPlan,
@@ -39,7 +46,9 @@ from repro.resilience.faults import (
 from repro.resilience.retry import RetryPolicy
 
 __all__ = [
+    "CircuitBreaker",
     "Deadline",
+    "HedgePolicy",
     "resolve_deadline",
     "FAULTS_ENV",
     "FaultPlan",

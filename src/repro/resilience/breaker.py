@@ -1,0 +1,137 @@
+"""Per-shard circuit breakers for the serving fleet.
+
+A :class:`CircuitBreaker` guards one downstream (a fleet worker shard):
+consecutive failures *open* the circuit, which takes the shard out of
+routing so a sick worker sheds its load onto healthy siblings instead
+of poisoning every request that hashes to it.  After a cooloff the
+breaker goes *half-open* and admits a single probe request; a success
+closes it again, a failure re-opens it for another cooloff.
+
+The implementation is deliberately deterministic and single-threaded:
+the fleet router drives every breaker from its event loop, so there is
+no locking, and the clock is injectable so tests can script exact
+open/half-open/close sequences.  See ``docs/FLEET.md`` for how the
+breaker composes with heartbeat supervision and hedging.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: The three classic breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker from *closed* to
+        *open* (successes reset the streak).
+    cooloff_s:
+        Seconds the breaker stays open before allowing a half-open
+        probe.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooloff_s: float = 1.0,
+        *,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooloff_s <= 0:
+            raise ValueError(f"cooloff_s must be positive, got {cooloff_s}")
+        self.failure_threshold = int(failure_threshold)
+        self.cooloff_s = float(cooloff_s)
+        self._clock = clock
+        self._state = CLOSED
+        self._streak = 0
+        self._opened_at: float | None = None
+        self._probing = False
+        self.opened_total = 0
+
+    @property
+    def state(self) -> str:
+        """Current state: ``closed``, ``open``, or ``half-open``.
+
+        Reading the state performs the time-based open -> half-open
+        transition, so callers always see the effective state.
+        """
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.cooloff_s
+        ):
+            self._state = HALF_OPEN
+            self._probing = False
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a request may be sent through this breaker now.
+
+        *Closed* always admits; *open* never does; *half-open* admits
+        exactly one probe until its outcome is recorded.
+        """
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == OPEN:
+            return False
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        """Note a successful call: closes a half-open breaker, resets
+        the failure streak."""
+        self._streak = 0
+        self._probing = False
+        if self._state != CLOSED:
+            self._state = CLOSED
+            self._opened_at = None
+
+    def record_failure(self) -> None:
+        """Note a failed call: re-opens a half-open breaker, or counts
+        toward the consecutive-failure threshold."""
+        self._probing = False
+        if self.state == HALF_OPEN:
+            self._trip()
+            return
+        self._streak += 1
+        if self._state == CLOSED and self._streak >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._streak = 0
+        self.opened_total += 1
+
+    def force_open(self) -> None:
+        """Trip the breaker immediately (used when the supervisor
+        *knows* the shard is down — a dead process needs no threshold)."""
+        if self._state != OPEN:
+            self._trip()
+        else:
+            self._opened_at = self._clock()
+
+    def snapshot(self) -> dict:
+        """JSON-friendly state for ``/fleet`` and the status CLI."""
+        return {
+            "state": self.state,
+            "streak": self._streak,
+            "opened_total": self.opened_total,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CircuitBreaker(state={self.state!r}, streak={self._streak})"

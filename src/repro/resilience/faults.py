@@ -26,6 +26,8 @@ save-index   ``save_index`` tmp→rename step  (none)
 index-load   ``load_index`` after read       (none)
 delta-apply  streaming batch application     ``batch``
 resample     per-point RR-set resampling     ``batch``, ``point``
+worker       fleet worker query handling     ``shard``, ``request``
+heartbeat    fleet worker heartbeat send     ``shard``, ``beat``
 =========== =============================== ===========================
 
 Plans come from three places, in precedence order: an explicit plan
@@ -63,6 +65,8 @@ SITES = (
     "index-load",
     "delta-apply",
     "resample",
+    "worker",
+    "heartbeat",
 )
 
 #: Modes accepted per site (parse-time validation catches typos early).
@@ -73,6 +77,14 @@ SITE_MODES = {
     "index-load": ("bitflip", "error"),
     "delta-apply": ("error",),
     "resample": ("error",),
+    # Fleet chaos (docs/FLEET.md): ``worker`` fires in a fleet worker's
+    # query handler — ``crash`` kills the process outright (exercising
+    # respawn + shared-memory re-attach + request re-dispatch), ``hang``
+    # stalls the answer (exercising the router's dispatch timeout and
+    # hedging).  ``heartbeat`` drops worker heartbeat messages so the
+    # supervisor's staleness detection restarts a live-but-mute worker.
+    "worker": ("crash", "hang"),
+    "heartbeat": ("drop",),
 }
 
 #: Spec option keys parsed as floats; everything else (except ``mode``)

@@ -1,0 +1,104 @@
+"""Tail-latency hedging policy for the serving fleet.
+
+Hedging ("the tail at scale" technique): when a request has waited
+longer than the shard's typical tail latency, fire a duplicate to a
+sibling shard and take whichever answer lands first.  The cost is a
+bounded fraction of duplicate work (only requests already in the tail
+hedge); the win is that one slow or silently-dying worker no longer
+defines the fleet's p99.
+
+:class:`HedgePolicy` owns the *when*: it maintains a rolling window of
+observed per-shard latencies and derives the hedge delay from their
+p99 (scaled, floored, and capped), or uses a fixed configured delay.
+The fleet router owns the *how* (duplicate dispatch, first-answer-wins,
+loser cancellation) — see :mod:`repro.serving.fleet` and
+``docs/FLEET.md`` for the knobs and failure-mode matrix.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class HedgePolicy:
+    """Decides how long to wait before hedging a request.
+
+    Parameters
+    ----------
+    delay_ms:
+        Fixed hedge delay; ``None`` derives the delay from observed
+        latency (p99 of the rolling window times ``factor``).
+    min_ms / max_ms:
+        Bounds on the derived delay — the floor keeps a warm fleet
+        from hedging every request, the ceiling keeps a cold window
+        from disabling hedging entirely.
+    factor:
+        Multiplier on the windowed p99 when deriving the delay.
+    window:
+        Number of recent latencies retained per policy.
+    """
+
+    def __init__(
+        self,
+        *,
+        delay_ms: float | None = None,
+        min_ms: float = 5.0,
+        max_ms: float = 1000.0,
+        factor: float = 1.0,
+        window: int = 512,
+    ) -> None:
+        if delay_ms is not None and delay_ms <= 0:
+            raise ValueError(f"delay_ms must be positive, got {delay_ms}")
+        if not 0 < min_ms <= max_ms:
+            raise ValueError(
+                f"need 0 < min_ms <= max_ms, got {min_ms} / {max_ms}"
+            )
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.delay_ms = delay_ms
+        self.min_ms = float(min_ms)
+        self.max_ms = float(max_ms)
+        self.factor = float(factor)
+        self._latencies: deque[float] = deque(maxlen=int(window))
+
+    def observe(self, latency_s: float) -> None:
+        """Feed one completed request's latency into the window."""
+        if latency_s >= 0:
+            self._latencies.append(float(latency_s))
+
+    def p99_ms(self) -> float | None:
+        """The window's p99 in milliseconds (``None`` while empty).
+
+        Computed by rank on the sorted window — the window is small
+        (hundreds of floats), so exactness beats streaming sketches.
+        """
+        if not self._latencies:
+            return None
+        values = sorted(self._latencies)
+        rank = min(len(values) - 1, int(0.99 * len(values)))
+        return values[rank] * 1000.0
+
+    def delay_s(self) -> float:
+        """Seconds a request should wait before its hedge fires."""
+        if self.delay_ms is not None:
+            return self.delay_ms / 1000.0
+        p99 = self.p99_ms()
+        if p99 is None:
+            return self.max_ms / 1000.0
+        return min(self.max_ms, max(self.min_ms, p99 * self.factor)) / 1000.0
+
+    def snapshot(self) -> dict:
+        """JSON-friendly view for ``/fleet`` and the status CLI."""
+        return {
+            "configured_delay_ms": self.delay_ms,
+            "derived_delay_ms": round(self.delay_s() * 1000.0, 3),
+            "window_p99_ms": (
+                None if (p := self.p99_ms()) is None else round(p, 3)
+            ),
+            "window_size": len(self._latencies),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HedgePolicy(delay_s={self.delay_s():.3f})"

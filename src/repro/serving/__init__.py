@@ -20,6 +20,14 @@ down:
   generation with latency/throughput/shed/cache reporting;
 * :mod:`repro.serving.protocol` — the shared HTTP codec and JSON wire
   format;
+* :mod:`repro.serving.fleet` — the supervised multi-process fleet:
+  router, topic-affinity sharding, per-shard circuit breakers,
+  heartbeat supervision with crash-safe respawn, re-dispatch, and
+  tail-latency hedging (``serve --workers N``, ``docs/FLEET.md``);
+* :mod:`repro.serving.worker` — the fleet worker entrypoint (one
+  shard: shared-memory index attach + chaos hooks);
+* :mod:`repro.serving.shared_index` — zero-copy publication of a
+  served index over POSIX shared memory;
 * :mod:`repro.serving.topview` — the ``repro-inflex top`` live
   terminal view over ``/metrics``.
 
@@ -35,10 +43,13 @@ from repro.serving.batcher import (
     MicroBatcher,
     QueueFullError,
 )
+from repro.serving.fleet import Fleet, WorkerHandle, serve_fleet
 from repro.serving.loadgen import LoadReport, build_query_mix, run_loadgen
 from repro.serving.protocol import HttpRequest, ProtocolError
 from repro.serving.server import QueryServer, serve
+from repro.serving.shared_index import attach_index, publish_index
 from repro.serving.singleflight import SingleFlight
+from repro.serving.worker import FleetWorkerServer, worker_main
 from repro.serving.topview import (
     MetricsSample,
     parse_prometheus,
@@ -52,6 +63,8 @@ __all__ = [
     "AdmissionSnapshot",
     "BatchItem",
     "BatcherStats",
+    "Fleet",
+    "FleetWorkerServer",
     "HttpRequest",
     "LoadReport",
     "MetricsSample",
@@ -60,11 +73,16 @@ __all__ = [
     "QueryServer",
     "QueueFullError",
     "SingleFlight",
+    "WorkerHandle",
+    "attach_index",
     "build_query_mix",
     "parse_prometheus",
+    "publish_index",
     "quantile_from_buckets",
     "render_top",
     "run_loadgen",
     "run_top",
     "serve",
+    "serve_fleet",
+    "worker_main",
 ]

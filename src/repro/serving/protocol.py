@@ -247,13 +247,21 @@ def encode_request(
     host: str = "localhost",
     content_type: str = "application/json",
     keep_alive: bool = True,
+    extra_headers: dict[str, str] | None = None,
 ) -> bytes:
-    """Serialize one HTTP/1.1 request."""
+    """Serialize one HTTP/1.1 request.
+
+    ``extra_headers`` ride along verbatim — the fleet router uses them
+    to forward ``X-Trace-Id`` / ``X-Request-Id`` so a proxied request
+    keeps one identity across processes.
+    """
     lines = [
         f"{method} {target} HTTP/1.1",
         f"Host: {host}",
         f"Connection: {'keep-alive' if keep_alive else 'close'}",
     ]
+    if extra_headers:
+        lines.extend(f"{name}: {value}" for name, value in extra_headers.items())
     if body:
         lines.append(f"Content-Type: {content_type}")
         lines.append(f"Content-Length: {len(body)}")

@@ -32,6 +32,10 @@ Routes
 ``GET  /debug/requests``  recent flight-recorder entries (``?n=``)
 ``GET  /debug/slow``      slow requests with captured span trees
 ``GET  /debug/slo``       burn rates and breach flags per objective
+``GET  /debug/spans``     one trace's spans in wire (adopt) format
+                          (``?trace=<id>``) — the fleet router fetches
+                          these to stitch worker spans under its own
+                          request span
 
 With a :class:`~repro.streaming.StreamingEngine` attached, three more
 routes keep the served index current on an evolving graph (404 when
@@ -52,6 +56,7 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import itertools
 import logging
 import math
 import time
@@ -67,8 +72,9 @@ from repro.obs.flightrec import FlightRecord, FlightRecorder, gamma_fingerprint
 from repro.obs.logs import get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.slo import SLOConfig, SLOMonitor
-from repro.obs.tracing import get_tracer
+from repro.obs.tracing import get_tracer, span_payload
 from repro.resilience.deadline import Deadline
+from repro.resilience.retry import RetryPolicy
 from repro.serving.admission import (
     SHED_DRAINING,
     AdmissionController,
@@ -157,6 +163,18 @@ class QueryServer:
             )
         )
         self._log = get_logger("serving")
+        # Shed responses draw successive deterministic jitter values
+        # from shared RetryPolicy math (multiplier 1.0 keeps the base
+        # constant at retry_after_s), so concurrently shed clients get
+        # spread retry hints instead of returning as one herd.
+        self._retry_after_policy = RetryPolicy(
+            max_attempts=0,
+            base_delay=self.config.retry_after_s,
+            multiplier=1.0,
+            max_delay=self.config.retry_after_s,
+            jitter=self.config.retry_jitter,
+        )
+        self._shed_counter = itertools.count()
         self._executor: concurrent.futures.ThreadPoolExecutor | None = None
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.StreamWriter] = set()
@@ -418,6 +436,8 @@ class QueryServer:
                     status, body, extra = self._handle_debug_slow(request)
                 elif route == "/debug/slo":
                     status, body, extra = 200, json_body(self.slo.status()), None
+                elif route == "/debug/spans":
+                    status, body, extra = self._handle_debug_spans(request)
                 elif route == "/query":
                     status, body, extra = await self._handle_query(
                         request, info
@@ -566,10 +586,46 @@ class QueryServer:
         }
         return 200, json_body(payload), None
 
+    def _handle_debug_spans(self, request: HttpRequest):
+        """One trace's spans as :meth:`Tracer.adopt` wire payloads.
+
+        Starts are converted to wall-clock stamps (workers don't share
+        the caller's monotonic epoch) and ``local_id``/``local_parent``
+        preserve intra-trace nesting, so the fleet router can graft a
+        worker's spans under its own request span verbatim.
+        """
+        values = parse_qs(urlsplit(request.target).query).get("trace")
+        if not values or not values[0]:
+            return 400, error_body("missing ?trace=<id> parameter"), None
+        trace_id = values[0]
+        tracer = get_tracer()
+        wall_offset = time.time() - time.perf_counter() + tracer.epoch
+        spans = []
+        for record in tracer.find_trace(trace_id):
+            entry = span_payload(
+                record.name,
+                wall_offset + record.start,
+                record.duration,
+                category=record.category,
+                trace_id=record.trace_id,
+                **record.args,
+            )
+            entry["local_id"] = record.span_id
+            if record.parent_id is not None:
+                entry["local_parent"] = record.parent_id
+            spans.append(entry)
+        return 200, json_body({"trace_id": trace_id, "spans": spans}), None
+
     def _retry_after(self) -> dict[str, str]:
-        # Retry-After takes whole seconds; round the configured hint up
-        # so sub-second values still tell clients to back off.
-        return {"Retry-After": str(max(1, math.ceil(self.config.retry_after_s)))}
+        # Retry-After takes whole seconds; round the jittered hint up
+        # so sub-second values still tell clients to back off, and ship
+        # the exact value on X-Retry-After-Ms for clients that can use
+        # millisecond resolution.
+        hint_s = self._retry_after_policy.delay(next(self._shed_counter))
+        return {
+            "Retry-After": str(max(1, math.ceil(hint_s))),
+            "X-Retry-After-Ms": f"{hint_s * 1e3:.3f}",
+        }
 
     def _handle_healthz(self):
         if self._draining:

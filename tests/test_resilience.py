@@ -517,6 +517,67 @@ class TestPersistenceIntegrity:
             observability, "repro_resilience_corrupt_artifacts_total"
         ) >= 1
 
+    # -- durability: atomic means nothing without fsync -----------------
+    def test_atomic_write_fsyncs_file_and_directory(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+
+        from repro.core.persistence import atomic_write_bytes
+
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))[1]
+        )
+        atomic_write_bytes(tmp_path / "artifact.bin", b"payload")
+        # Once for the temporary file, once for the parent directory —
+        # without the latter a power cut can roll the rename back.
+        assert len(synced) >= 2
+        assert (tmp_path / "artifact.bin").read_bytes() == b"payload"
+
+    def test_save_index_fsyncs_before_and_after_the_rename(
+        self, small_saved_index, tmp_path, monkeypatch
+    ):
+        import os
+
+        index, _ = small_saved_index
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(
+            os,
+            "fsync",
+            lambda fd: (events.append("fsync"), real_fsync(fd))[1],
+        )
+        monkeypatch.setattr(
+            os,
+            "replace",
+            lambda a, b: (events.append("replace"), real_replace(a, b))[1],
+        )
+        save_index(index, tmp_path / "index.npz")
+        assert "replace" in events
+        rename_at = events.index("replace")
+        # Data hits the platter before the rename publishes it, and the
+        # directory entry is flushed after.
+        assert "fsync" in events[:rename_at]
+        assert "fsync" in events[rename_at + 1 :]
+
+    def test_every_tmp_rename_write_path_fsyncs(self):
+        # Contract over the whole tree: any module that stages a write
+        # through a ``.tmp`` file and renames it into place must also
+        # fsync (directly or via atomic_write_bytes/atomic_write_text).
+        src = Path(__file__).resolve().parent.parent / "src" / "repro"
+        offenders = []
+        for path in sorted(src.rglob("*.py")):
+            text = path.read_text()
+            if ".tmp" not in text or "os.replace(" not in text:
+                continue
+            if "fsync" not in text and "atomic_write" not in text:
+                offenders.append(str(path.relative_to(src)))
+        assert not offenders, (
+            f"tmp+rename writers without fsync durability: {offenders}"
+        )
+
 
 # ----------------------------------------------------------------------
 # Builder quarantine and state-file protection

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import os
 import signal
 import subprocess
@@ -560,7 +561,13 @@ class TestQueryServerEndToEnd:
         ]
         assert shed, "expected sheds under a max_inflight=1 budget"
         for headers, payload in shed:
-            assert headers["retry-after"] == "1"
+            # Retry-After is jittered: the exact hint rides in
+            # X-Retry-After-Ms, the header is its whole-second ceiling.
+            hint_ms = float(headers["x-retry-after-ms"])
+            assert 1000.0 <= hint_ms <= 1500.0
+            assert int(headers["retry-after"]) == max(
+                1, math.ceil(hint_ms / 1000.0)
+            )
             assert "shed" in payload["error"]
 
     def test_batch_endpoint_answers_in_order(self, small_index):
@@ -734,6 +741,45 @@ class TestQueryMix:
     def test_zero_skew_is_uniform(self):
         _, probs = build_query_mix(4, num_distinct=10, seed=1, skew=0.0)
         np.testing.assert_allclose(probs, 0.1)
+
+
+# ----------------------------------------------------------------------
+# Jittered Retry-After hints (the herd-breaking satellite)
+# ----------------------------------------------------------------------
+class TestRetryAfterJitter:
+    def test_hints_are_deterministic_and_bounded(self, small_index):
+        config = ServingConfig(
+            port=0, retry_after_s=1.0, retry_jitter=0.5
+        )
+        first = QueryServer(small_index, config)
+        second = QueryServer(small_index, config)
+        hints = [first._retry_after() for _ in range(8)]
+        # Same policy, fresh server: identical schedule (the jitter is
+        # seeded per shed-sequence number, not wall clock).
+        assert hints == [second._retry_after() for _ in range(8)]
+        ms = [float(h["X-Retry-After-Ms"]) for h in hints]
+        assert all(1000.0 <= v <= 1500.0 for v in ms)
+        # The whole point: hints are spread out, not one thundering
+        # synchronized value.
+        assert len(set(ms)) > 1
+        for hint, v in zip(hints, ms):
+            assert hint["Retry-After"] == str(max(1, math.ceil(v / 1000.0)))
+
+    def test_zero_jitter_restores_fixed_hints(self, small_index):
+        config = ServingConfig(
+            port=0, retry_after_s=2.0, retry_jitter=0.0
+        )
+        server = QueryServer(small_index, config)
+        for _ in range(4):
+            hint = server._retry_after()
+            assert hint["Retry-After"] == "2"
+            assert float(hint["X-Retry-After-Ms"]) == 2000.0
+
+    def test_retry_jitter_is_validated(self):
+        with pytest.raises(ValueError):
+            ServingConfig(retry_jitter=1.5)
+        with pytest.raises(ValueError):
+            ServingConfig(retry_jitter=-0.1)
 
 
 # ----------------------------------------------------------------------

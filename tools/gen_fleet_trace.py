@@ -1,0 +1,202 @@
+"""Generate a stitched cross-process fleet trace artifact.
+
+Starts a two-shard serving fleet in-process, drives one query through
+*each* shard under a single pinned trace id (the router honors a
+client-supplied ``X-Trace-Id``), then asks the router to stitch the
+workers' span trees via ``/fleet/trace?trace=<id>`` — the endpoint
+pulls ``/debug/spans`` from every shard and adopts the payloads under
+the router's own request span.  The result is one Chrome
+``trace_event`` file (load at chrome://tracing or
+https://ui.perfetto.dev) showing a request crossing three processes:
+the router and both workers.
+
+The script fails loudly when the stitched trace is *not* cross-process
+(no adopted spans from at least two distinct worker pids), so the CI
+artifact doubles as an end-to-end check of trace propagation through
+the fleet's proxy layer.
+
+Usage::
+
+    PYTHONPATH=src python tools/gen_fleet_trace.py \
+        --trace-out fleet_trace.json --report-out fleet_trace_report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro import obs
+from repro.core import FleetConfig, InflexConfig, InflexIndex, ServingConfig
+from repro.datasets import generate_flixster_like
+from repro.serving import Fleet
+from repro.serving.protocol import encode_request, json_body, read_response
+
+TRACE_ID = "fleet-sample-trace"
+
+
+def _build_index() -> InflexIndex:
+    data = generate_flixster_like(
+        num_nodes=120,
+        num_topics=3,
+        num_items=20,
+        topics_per_node=1,
+        base_strength=0.25,
+        seed=5,
+    )
+    config = InflexConfig(
+        num_index_points=8,
+        num_dirichlet_samples=400,
+        seed_list_length=6,
+        ris_num_sets=300,
+        knn=4,
+        leaf_size=4,
+        seed=5,
+    )
+    return InflexIndex.build(data.graph, data.item_topics, config)
+
+
+async def _request(host, port, method, target, payload=None, headers=None):
+    """One short-lived client request against the router."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        body = json_body(payload) if payload is not None else b""
+        writer.write(
+            encode_request(
+                method,
+                target,
+                body,
+                host=host,
+                keep_alive=False,
+                extra_headers=headers,
+            )
+        )
+        await writer.drain()
+        return await read_response(reader)
+    finally:
+        writer.close()
+
+
+async def _drive_fleet(index: InflexIndex) -> dict:
+    """Start the fleet, pin one trace across both shards, stitch it.
+
+    Returns the facts the caller asserts on: worker pids, the shards
+    that answered, and the ``/fleet/trace`` adoption count.
+    """
+    fleet = Fleet(
+        index,
+        ServingConfig(port=0),
+        FleetConfig(workers=2, heartbeat_interval_s=0.1),
+    )
+    await fleet.start()
+    try:
+        worker_pids = sorted(
+            handle.process.pid for handle in fleet._handles
+        )
+        shards = []
+        for shard in range(2):
+            # Each shard's own Dirichlet anchor is, by construction,
+            # the gamma that routes to it.
+            gamma = [round(float(v), 6) for v in fleet._anchors[shard]]
+            status, headers, _ = await _request(
+                "127.0.0.1",
+                fleet.port,
+                "POST",
+                "/query",
+                payload={"gamma": gamma, "k": 5},
+                headers={
+                    "X-Trace-Id": TRACE_ID,
+                    "X-Request-Id": f"trace-sample-{shard}",
+                },
+            )
+            if status != 200:
+                raise RuntimeError(
+                    f"query for shard {shard} returned {status}"
+                )
+            shards.append(headers.get("x-shard"))
+        status, _, body = await _request(
+            "127.0.0.1",
+            fleet.port,
+            "GET",
+            f"/fleet/trace?trace={TRACE_ID}",
+        )
+        if status != 200:
+            raise RuntimeError(f"/fleet/trace returned {status}")
+        stitched = json.loads(body)
+    finally:
+        await fleet.aclose()
+    return {
+        "worker_pids": worker_pids,
+        "shards": shards,
+        "adopted": stitched["adopted"],
+    }
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace-out",
+        default="fleet_trace.json",
+        help="stitched Chrome trace output path",
+    )
+    parser.add_argument(
+        "--report-out",
+        default="fleet_trace_report.json",
+        help="JSON summary output path",
+    )
+    args = parser.parse_args(argv)
+
+    index = _build_index()
+    obs.enable()
+    tracer = obs.get_tracer()
+    tracer.clear()
+    try:
+        facts = asyncio.run(_drive_fleet(index))
+        spans = tracer.find_trace(TRACE_ID)
+        adopted_pids = sorted(
+            {
+                record.thread_id
+                for record in spans
+                if record.thread_id in facts["worker_pids"]
+            }
+        )
+        count = tracer.write_chrome_trace(args.trace_out)
+        report = {
+            "trace_id": TRACE_ID,
+            "spans_in_trace": len(spans),
+            "spans_exported": count,
+            "adopted": facts["adopted"],
+            "shards_answering": facts["shards"],
+            "worker_pids": facts["worker_pids"],
+            "worker_pids_in_trace": adopted_pids,
+            "span_names": sorted({record.name for record in spans}),
+        }
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+
+        print(
+            f"trace {TRACE_ID}: {len(spans)} spans "
+            f"({facts['adopted']} adopted from workers) -> {args.trace_out}"
+        )
+        print(f"shards answering: {facts['shards']}")
+        print(f"worker pids in trace: {adopted_pids}")
+        print(f"span names: {', '.join(report['span_names'])}")
+        if len(adopted_pids) < 2:
+            print(
+                "ERROR: expected adopted spans from >= 2 worker "
+                f"processes, saw pids {adopted_pids} "
+                f"(workers: {facts['worker_pids']})",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    finally:
+        obs.disable()
+        tracer.clear()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
