@@ -12,6 +12,8 @@ Usage (after ``pip install -e .``)::
     repro-inflex spread   --data data/ --item 3 --seeds 1,2,3 \
                           --sim-workers auto
     repro-inflex experiment fig6 --scale test
+    repro-inflex campaign --data data/ --items 4 --k 20 \
+                          --compare-independent
     repro-inflex autosize --data data/
     repro-inflex serve    --data data/ --index data/index.npz --port 8171
     repro-inflex loadgen  --port 8171 --duration 5 --out BENCH_serving.json
@@ -57,6 +59,13 @@ logs; ``top`` renders a live terminal view over a running server's
 delta log) against a built index with incremental sketch maintenance,
 reporting per-batch churn and latency tables; see
 ``docs/STREAMING.md``.
+
+``campaign`` allocates one shared seed budget across several items at
+once via k-submodular greedy over per-item RR-set oracles
+(``--compare-independent`` also runs the per-item baseline and prints
+the joint uplift); ``serve`` exposes the same planner on ``POST
+/campaign`` and ``loadgen --campaign-mix`` blends campaign traffic
+into the synthetic load.  See ``docs/CAMPAIGNS.md``.
 
 All subcommands operate on a data directory holding ``graph.npz`` (the
 topic graph) and ``catalog.npy`` (item topic distributions), plus an
@@ -315,7 +324,7 @@ def _cmd_spread(args: argparse.Namespace) -> int:
             workers=args.sim_workers,
             seed=args.seed,
         )
-        spread = index.spread_estimate(seeds)
+        spread = index.spread_of(seeds)
         elapsed = time.perf_counter() - start
         print(f"seeds: {seeds}")
         print(
@@ -340,6 +349,88 @@ def _cmd_spread(args: argparse.Namespace) -> int:
         f"(std {estimate.std:.3f}, {estimate.num_simulations} simulations)"
     )
     print(f"estimated in {elapsed * 1000:.1f} ms")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.campaign import CampaignPlanner
+    from repro.core import CampaignConfig
+
+    _apply_faults(args)
+    data_dir = Path(args.data)
+    graph = load_graph(data_dir / "graph.npz")
+    catalog = np.load(data_dir / "catalog.npy")
+    if args.item_ids:
+        ids = [int(x) for x in args.item_ids.split(",")]
+        for item_id in ids:
+            if not 0 <= item_id < catalog.shape[0]:
+                raise SystemExit(
+                    f"--item-ids: {item_id} outside the "
+                    f"{catalog.shape[0]}-item catalog"
+                )
+        gammas = [catalog[item_id] for item_id in ids]
+        labels = [f"item {item_id}" for item_id in ids]
+    else:
+        rng = np.random.default_rng(args.seed)
+        gammas = list(
+            rng.dirichlet(
+                np.full(catalog.shape[1], args.alpha), size=args.items
+            )
+        )
+        labels = [f"draw {i}" for i in range(args.items)]
+    config = CampaignConfig(
+        num_sets=args.num_sets,
+        algorithm=args.algorithm,
+        epsilon=args.epsilon,
+        max_items=max(len(gammas), 1),
+        seed=args.seed,
+    )
+    with CampaignPlanner(graph, config, workers=args.workers) as planner:
+        start = time.perf_counter()
+        allocation = planner.allocate(gammas, args.k)
+        joint_ms = (time.perf_counter() - start) * 1000.0
+        print(
+            f"campaign: {len(gammas)} items, total budget k={args.k}, "
+            f"algorithm {allocation.algorithm} "
+            f"({config.num_sets} RR sets/item)"
+        )
+        for label, nodes, gains in zip(
+            labels, allocation.assignments, allocation.gains
+        ):
+            print(
+                f"  {label:<10} seeds={list(nodes)} "
+                f"gains={[round(g, 2) for g in gains]}"
+            )
+        print(
+            f"total spread: {allocation.total_spread:.3f} "
+            f"({joint_ms:.1f} ms)"
+        )
+        payload = {
+            "labels": labels,
+            "joint": allocation.to_dict(),
+            "joint_ms": joint_ms,
+        }
+        if args.compare_independent:
+            start = time.perf_counter()
+            baseline = planner.allocate_independent(gammas, args.k)
+            indep_ms = (time.perf_counter() - start) * 1000.0
+            uplift = (
+                allocation.total_spread / baseline.total_spread - 1.0
+                if baseline.total_spread > 0
+                else 0.0
+            )
+            print(
+                f"independent baseline: {baseline.total_spread:.3f} "
+                f"({indep_ms:.1f} ms); joint uplift {uplift * 100:+.2f}%"
+            )
+            payload["independent"] = baseline.to_dict()
+            payload["independent_ms"] = indep_ms
+            payload["uplift"] = uplift
+    if args.out:
+        Path(args.out).write_text(json.dumps(payload, indent=2))
+        print(f"report written to {args.out}")
     return 0
 
 
@@ -450,6 +541,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slo_latency_ms=args.slo_latency_ms,
         slo_target=args.slo_target,
     )
+    campaign = None
+    if args.campaign_sets is not None:
+        from repro.core import CampaignConfig
+
+        campaign = CampaignConfig(num_sets=args.campaign_sets)
 
     def ready(server) -> None:
         print(
@@ -487,7 +583,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             serve_fleet(index, config, fleet_config, ready=ready)
         )
     else:
-        asyncio.run(serve(index, config, ready=ready, streaming=streaming))
+        asyncio.run(
+            serve(
+                index,
+                config,
+                ready=ready,
+                streaming=streaming,
+                campaign=campaign,
+            )
+        )
     print("drained; all accepted requests answered", flush=True)
     return 0
 
@@ -555,6 +659,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             alpha=args.alpha,
             skew=args.skew,
             seed=args.seed,
+            campaign_mix=args.campaign_mix,
+            campaign_items=args.campaign_items,
+            campaign_k=args.campaign_k,
         )
     )
     print(report.render())
@@ -856,6 +963,79 @@ def build_parser() -> argparse.ArgumentParser:
     )
     spread.set_defaults(func=_cmd_spread)
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="allocate one seed budget across several items "
+        "(k-submodular greedy over RR-set oracles)",
+    )
+    campaign.add_argument(
+        "--data", required=True, help="dataset directory"
+    )
+    group = campaign.add_mutually_exclusive_group()
+    group.add_argument(
+        "--items",
+        type=int,
+        default=3,
+        help="number of campaign items drawn Dirichlet(alpha) "
+        "from the catalog's topic space",
+    )
+    group.add_argument(
+        "--item-ids",
+        help="comma-separated catalog item ids to use as the campaign "
+        "(instead of Dirichlet draws)",
+    )
+    campaign.add_argument(
+        "--k", type=int, default=10, help="total seed budget"
+    )
+    campaign.add_argument(
+        "--algorithm",
+        default="lazy",
+        choices=("lazy", "threshold"),
+        help="lazy k-submodular greedy (1/2-approx) or threshold "
+        "greedy (1/2 - epsilon, fewer oracle calls)",
+    )
+    campaign.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.2,
+        help="threshold-greedy accuracy knob in (0, 1)",
+    )
+    campaign.add_argument(
+        "--num-sets",
+        type=int,
+        default=2000,
+        help="RR sets sampled per distinct item oracle (at least 2)",
+    )
+    campaign.add_argument(
+        "--alpha",
+        type=float,
+        default=0.8,
+        help="Dirichlet concentration for --items draws",
+    )
+    campaign.add_argument(
+        "--workers",
+        default=None,
+        help="RR sampling pool width: int, 'auto', or unset to follow "
+        "REPRO_SIM_WORKERS (allocations are worker-count invariant)",
+    )
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument(
+        "--compare-independent",
+        action="store_true",
+        help="also run B independent per-item allocations at the same "
+        "total budget and print the joint uplift",
+    )
+    campaign.add_argument(
+        "--out", help="write the JSON report here (e.g. campaign.json)"
+    )
+    campaign.add_argument(
+        "--faults",
+        default=None,
+        help="deterministic fault-plan spec for chaos testing "
+        "(REPRO_FAULTS grammar, e.g. 'chunk:mode=crash:rate=0.02')",
+    )
+    campaign.set_defaults(func=_cmd_campaign)
+
     query = sub.add_parser("query", help="answer a TIM query")
     query.add_argument("--data", required=True, help="dataset directory")
     query.add_argument("--index", required=True, help="index .npz path")
@@ -1045,6 +1225,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="latency-objective target fraction in (0, 1)",
     )
     serve.add_argument(
+        "--campaign-sets",
+        type=int,
+        default=None,
+        help="RR sets per campaign-oracle item for POST /campaign "
+        "(default: the CampaignConfig default)",
+    )
+    serve.add_argument(
         "--stream",
         action="store_true",
         help="enable evolving-graph routes (/deltas and /subscriptions)",
@@ -1212,6 +1399,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="Zipf popularity skew (0 = uniform mix)",
     )
     loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--campaign-mix",
+        type=float,
+        default=0.0,
+        help="fraction of requests in [0, 1] sent to POST /campaign "
+        "instead of /query",
+    )
+    loadgen.add_argument(
+        "--campaign-items",
+        type=int,
+        default=3,
+        help="items per campaign request (pool windows)",
+    )
+    loadgen.add_argument(
+        "--campaign-k",
+        type=int,
+        default=None,
+        help="total campaign seed budget (default: --k)",
+    )
     loadgen.add_argument(
         "--out", help="write the JSON report here (e.g. BENCH_serving.json)"
     )

@@ -6,6 +6,8 @@ queries in milliseconds with :meth:`InflexIndex.query`.
 
 from repro.core.config import (
     AGGREGATORS,
+    CAMPAIGN_ALGORITHMS,
+    CampaignConfig,
     FleetConfig,
     IM_ENGINES,
     InflexConfig,
@@ -59,6 +61,8 @@ __all__ = [
     "SeedExplanation",
     "explain_answer",
     "AGGREGATORS",
+    "CAMPAIGN_ALGORITHMS",
+    "CampaignConfig",
     "FleetConfig",
     "IM_ENGINES",
     "InflexConfig",

@@ -30,6 +30,9 @@ IM_ENGINES = (
 #: Rank-aggregation methods available at query time.
 AGGREGATORS = ("copeland", "borda", "mc4")
 
+#: Allocation algorithms available to the campaign planner.
+CAMPAIGN_ALGORITHMS = ("lazy", "threshold")
+
 
 @dataclass(frozen=True)
 class InflexConfig:
@@ -45,11 +48,11 @@ class InflexConfig:
     seed_list_length:
         ``l`` — length of each precomputed seed list (paper: 50).
     im_engine:
-        Seed-extraction algorithm: ``"imm"`` (martingale RIS with a
-        ``(1 - 1/e - eps)`` guarantee; the paper-scale build engine),
-        ``"ris"`` (default; legacy sampling engine), the paper's
-        ``"celf++"`` (and ``"celf"``/``"greedy"`` for reference)
-        driven by live-edge snapshots, or
+        Seed-extraction algorithm: ``"imm"`` (default; martingale RIS
+        with a ``(1 - 1/e - eps)`` guarantee — the paper-scale build
+        engine), ``"ris"`` (the legacy fixed-budget sampling engine),
+        the paper's ``"celf++"`` (and ``"celf"``/``"greedy"`` for
+        reference) driven by live-edge snapshots, or
         ``"celf++-mc"``/``"greedy-mc"`` driven by fresh-randomness
         Monte-Carlo simulation (the paper's original formulation; the
         engines that benefit from ``simulation_workers``).
@@ -130,7 +133,7 @@ class InflexConfig:
     num_index_points: int = 128
     num_dirichlet_samples: int = 20000
     seed_list_length: int = 50
-    im_engine: str = "ris"
+    im_engine: str = "imm"
     ris_num_sets: int = 3000
     num_snapshots: int = 100
     num_simulations: int = 200
@@ -552,6 +555,93 @@ class FleetConfig:
         if self.hedge_factor <= 0:
             raise ValueError(
                 f"hedge_factor must be positive, got {self.hedge_factor}"
+            )
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Tunables of the campaign planner (:mod:`repro.campaign`).
+
+    Oracle
+    ------
+    num_sets:
+        RR sets sampled per item for the value oracle.  The planner
+        reuses PR 7's bit-packed :class:`~repro.im.imm.RRIndex`
+        coverage recount; accuracy grows with the budget while cost is
+        linear in it.
+    oracle_cache_entries:
+        Per-planner LRU capacity for sampled per-item oracles, keyed
+        by the item's canonicalized topic distribution — repeated
+        campaigns over a stable catalog skip resampling entirely.
+
+    Allocation
+    ----------
+    algorithm:
+        ``"lazy"`` (k-submodular lazy greedy with a per-(node, item)
+        marginal-gain priority queue; 1/2-approximate under the
+        partition matroid) or ``"threshold"`` (threshold greedy,
+        ``(1/2 - epsilon)``-approximate, trading a little quality for
+        a bounded number of full oracle sweeps).
+    epsilon:
+        Accuracy knob of the threshold algorithm in ``(0, 1)``: the
+        acceptance threshold decays by ``(1 - epsilon)`` per sweep, so
+        smaller values mean more sweeps and tighter allocations.
+    max_items:
+        Upper bound on campaign items accepted per request (B); guards
+        the serving route against unbounded oracle sampling.
+
+    Degradation
+    -----------
+    degraded_num_sets:
+        Reduced per-item RR budget used once a request's deadline is
+        in danger: oracles not yet sampled fall back to this budget,
+        and an expired deadline downgrades the joint allocation to B
+        independent per-item selections (flagged ``degraded``).
+
+    Randomness
+    ----------
+    seed:
+        Master seed of the per-item RR streams.  Streams are keyed by
+        the item's distribution (not its position), so allocations are
+        deterministic for any worker count and invariant under item
+        permutation.
+    """
+
+    num_sets: int = 2000
+    algorithm: str = "lazy"
+    epsilon: float = 0.2
+    max_items: int = 16
+    oracle_cache_entries: int = 64
+    degraded_num_sets: int = 256
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_sets < 2:
+            raise ValueError(
+                f"num_sets must be >= 2, got {self.num_sets}"
+            )
+        if self.algorithm not in CAMPAIGN_ALGORITHMS:
+            raise ValueError(
+                f"algorithm must be one of {CAMPAIGN_ALGORITHMS}, "
+                f"got {self.algorithm!r}"
+            )
+        if not 0.0 < self.epsilon < 1.0:
+            raise ValueError(
+                f"epsilon must lie in (0, 1), got {self.epsilon}"
+            )
+        if self.max_items < 1:
+            raise ValueError(
+                f"max_items must be >= 1, got {self.max_items}"
+            )
+        if self.oracle_cache_entries < 1:
+            raise ValueError(
+                "oracle_cache_entries must be >= 1, got "
+                f"{self.oracle_cache_entries}"
+            )
+        if self.degraded_num_sets < 2:
+            raise ValueError(
+                f"degraded_num_sets must be >= 2, got "
+                f"{self.degraded_num_sets}"
             )
 
 

@@ -46,6 +46,8 @@ from __future__ import annotations
 
 import heapq
 import math
+import os
+import time
 import weakref
 from concurrent.futures.process import BrokenProcessPool
 
@@ -55,6 +57,7 @@ from repro.graph.topic_graph import TopicGraph
 from repro.im.seed_list import SeedList
 from repro.obs import instruments as _obs
 from repro.obs.tracing import get_tracer
+from repro.resilience.faults import InjectedFaultError, get_fault_plan
 from repro.propagation.parallel import (
     _discard_executor,
     _get_executor,
@@ -154,13 +157,32 @@ def _sample_block(
 def _sample_blocks_task(task):
     """Worker entry point: sample a range of blocks for one request.
 
-    ``task`` is ``(spec, gamma, entropy, base_key, request, blocks)``
-    where ``spec`` resolves (via the shared-memory payload cache) to
-    the reverse CSR plus the reverse-gathered ``(m, Z)`` probability
-    matrix, and ``blocks`` lists ``(block_id, count)`` pairs.  The
-    item-specific arc probabilities are mixed once per task.
+    ``task`` is ``(spec, gamma, entropy, base_key, request, blocks,
+    fault)`` where ``spec`` resolves (via the shared-memory payload
+    cache) to the reverse CSR plus the reverse-gathered ``(m, Z)``
+    probability matrix, and ``blocks`` lists ``(block_id, count)``
+    pairs.  The item-specific arc probabilities are mixed once per
+    task.
+
+    ``fault`` is the injection directive the parent attached when the
+    active fault plan fired for this task's ``chunk`` coordinates:
+    ``("crash", _)`` kills the worker (exercising pool-rebuild plus the
+    bit-identical inline fallback), ``("error", _)`` raises a
+    recoverable :class:`InjectedFaultError`, and ``("sleep", seconds)``
+    stalls before sampling.  The fault-free path pays one ``is None``
+    check.
     """
-    spec, gamma, entropy, base_key, request, blocks = task
+    spec, gamma, entropy, base_key, request, blocks, fault = task
+    if fault is not None:
+        mode, arg = fault
+        if mode == "crash":
+            os._exit(17)
+        if mode == "error":
+            raise InjectedFaultError(
+                f"injected fault for RR sampling task (request {request})"
+            )
+        if mode == "sleep":
+            time.sleep(arg if arg is not None else 0.5)
     in_indptr, in_tails, prob_matrix = _payload_arrays(spec)
     in_probs = prob_matrix @ gamma
     num_nodes = int(in_indptr.shape[0]) - 1
@@ -350,25 +372,50 @@ class RRIndex:
         """Per-node count of sets containing the node, shape ``(n,)``."""
         return np.diff(self._inv_indptr)
 
-    def covered_count(self, seeds) -> int:
-        """Number of sets hit by at least one node of ``seeds``."""
+    def node_sets(self, node: int) -> np.ndarray:
+        """Ids of the sets containing ``node`` (a read-only CSR view)."""
+        if not 0 <= node < self._num_nodes:
+            raise ValueError(f"node {node} out of node range")
+        lo, hi = self._inv_indptr[node], self._inv_indptr[node + 1]
+        return self._inv_sets[lo:hi]
+
+    def covered_mask(self, seeds) -> np.ndarray:
+        """Boolean mask over sets hit by at least one node of ``seeds``.
+
+        This is the coverage-recount primitive every consumer (greedy
+        selection, :meth:`spread_of`, the campaign planner's marginal
+        oracle) shares; shape ``(num_sets,)``.
+        """
         covered = np.zeros(self._num_sets, dtype=bool)
         for seed in seeds:
             node = int(seed)
             if not 0 <= node < self._num_nodes:
                 raise ValueError(f"seed {node} out of node range")
-            lo, hi = self._inv_indptr[node], self._inv_indptr[node + 1]
-            covered[self._inv_sets[lo:hi]] = True
-        return int(covered.sum())
+            covered[self.node_sets(node)] = True
+        return covered
 
-    def spread_estimate(self, seeds) -> float:
-        """Unbiased spread estimate ``n * coverage / num_sets``."""
+    def covered_count(self, seeds) -> int:
+        """Number of sets hit by at least one node of ``seeds``."""
+        return int(self.covered_mask(seeds).sum())
+
+    def spread_of(self, seeds) -> float:
+        """Unbiased spread estimate ``n * coverage / num_sets``.
+
+        The one public value oracle shared by ``spread --engine rr``,
+        the campaign planner, and the tests.
+        """
         if self._num_sets == 0:
             raise ValueError("no RR sets sampled")
         return self._num_nodes * self.covered_count(seeds) / self._num_sets
 
+    def spread_estimate(self, seeds) -> float:
+        """Alias of :meth:`spread_of` (the original name)."""
+        return self.spread_of(seeds)
+
     # ------------------------------------------------------------------
-    def greedy_select(self, k: int) -> tuple[list[int], list[float]]:
+    def greedy_select(
+        self, k: int, *, exclude=None
+    ) -> tuple[list[int], list[float]]:
         """Lazy-greedy max coverage: ``k`` seeds with coverage gains.
 
         Gains are in *covered-set* units (the caller scales by
@@ -377,19 +424,24 @@ class RRIndex:
         list is padded with the lowest-id unused nodes at zero gain —
         the same contract as :func:`repro.im.ris.ris_seed_selection`,
         which makes the selection invariant under set permutation.
+        ``exclude`` removes nodes from candidacy entirely (selection
+        and padding) — the campaign planner's independent-allocation
+        path uses it to keep per-item seed sets disjoint.
         """
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")
-        if k > self._num_nodes:
+        excluded = frozenset(int(node) for node in exclude or ())
+        if k > self._num_nodes - len(excluded):
             raise ValueError(
-                f"k={k} exceeds {self._num_nodes} candidate nodes"
+                f"k={k} exceeds "
+                f"{self._num_nodes - len(excluded)} candidate nodes"
             )
         stale = np.diff(self._inv_indptr).astype(np.int64)
         covered = np.zeros(self._num_sets, dtype=bool)
         heap = [
             (-int(count), int(node))
             for node, count in enumerate(stale)
-            if count > 0
+            if count > 0 and node not in excluded
         ]
         heapq.heapify(heap)
         seeds: list[int] = []
@@ -411,7 +463,7 @@ class RRIndex:
             stale[node] = -1  # never reconsidered
             covered[set_ids] = True
         if len(seeds) < k:
-            used = set(seeds)
+            used = set(seeds) | excluded
             for node in range(self._num_nodes):
                 if node not in used:
                     seeds.append(node)
@@ -578,14 +630,34 @@ ParallelMonteCarloSpread`.
 
         Block streams never depend on where a block runs, so the
         recovery path (and the fully inline fallback) is bit-identical
-        to a healthy pooled run.
+        to a healthy pooled run.  The active fault plan's ``chunk``
+        site is honoured per submitted task (coordinates ``call`` =
+        request, ``chunk`` = task index, ``attempt`` = 0), so chaos
+        runs exercise this recovery on the RR sampling path too.
         """
         spec = self._ensure_payload().spec
+        plan = get_fault_plan()
         chunk = max(1, -(-len(blocks) // (self._workers * 2)))
-        tasks = [
-            (spec, dist, entropy, base_key, request, blocks[i : i + chunk])
-            for i in range(0, len(blocks), chunk)
-        ]
+        tasks = []
+        for i in range(0, len(blocks), chunk):
+            fault = None
+            if plan is not None:
+                fired = plan.fire(
+                    "chunk", call=request, chunk=len(tasks), attempt=0
+                )
+                if fired is not None:
+                    fault = (fired.mode, fired.keep)
+            tasks.append(
+                (
+                    spec,
+                    dist,
+                    entropy,
+                    base_key,
+                    request,
+                    blocks[i : i + chunk],
+                    fault,
+                )
+            )
         results: list = [None] * len(tasks)
         executor = _get_executor(self._workers)
         futures = {}
@@ -600,6 +672,10 @@ ParallelMonteCarloSpread`.
                 results[i] = future.result()
             except (BrokenProcessPool, OSError):
                 broken = True
+            except InjectedFaultError:
+                # Worker survived the injected error; this task falls
+                # through to the bit-identical inline fallback below.
+                pass
         if broken:
             _discard_executor(self._workers)
         in_probs = None

@@ -244,6 +244,31 @@ IMM_THETA = _REGISTRY.histogram(
     "Final RR-set budget (theta) per IMM seed-list build",
 )
 
+# -- campaign planner ---------------------------------------------------
+CAMPAIGN_ALLOCATIONS = _REGISTRY.counter(
+    "repro_campaign_allocations_total",
+    "Campaign allocations completed, by algorithm "
+    "(lazy/threshold/independent) and outcome (full/degraded)",
+    labels=("algorithm", "outcome"),
+)
+CAMPAIGN_SEEDS = _REGISTRY.counter(
+    "repro_campaign_seeds_total",
+    "(node, item) seed pairs allocated across all campaigns",
+)
+CAMPAIGN_ORACLES = _REGISTRY.counter(
+    "repro_campaign_oracles_total",
+    "Per-item RR value oracles resolved, by source (sampled/cached)",
+    labels=("source",),
+)
+CAMPAIGN_ITEMS = _REGISTRY.histogram(
+    "repro_campaign_items",
+    "Campaign items (B) per allocation request",
+)
+CAMPAIGN_ALLOCATE_SECONDS = _REGISTRY.histogram(
+    "repro_campaign_allocate_seconds",
+    "Wall clock of one campaign allocation (oracle sampling + greedy)",
+)
+
 # -- parallel spread engine ---------------------------------------------
 SIM_CHUNKS = _REGISTRY.counter(
     "repro_sim_chunks_dispatched_total",
@@ -628,6 +653,51 @@ def record_imm_build(theta: int) -> None:
         return
     IMM_BUILDS.inc()
     IMM_THETA.observe(theta)
+
+
+_CAMPAIGN_ORACLE_COUNTERS: dict = {}
+
+
+def record_campaign_oracle(source: str) -> None:
+    """Count one value-oracle resolution (``sampled``/``cached``)."""
+    if not STATE.enabled:
+        return
+    counter = _CAMPAIGN_ORACLE_COUNTERS.get(source)
+    if counter is None:
+        counter = CAMPAIGN_ORACLES.labels(source=source)
+        _CAMPAIGN_ORACLE_COUNTERS[source] = counter
+    counter.inc()
+
+
+def record_campaign_allocation(
+    algorithm: str, degraded: bool, num_seeds: int
+) -> None:
+    """Count one finished campaign allocation and its seed pairs."""
+    if not STATE.enabled:
+        return
+    CAMPAIGN_ALLOCATIONS.labels(
+        algorithm=algorithm,
+        outcome="degraded" if degraded else "full",
+    ).inc()
+    if num_seeds > 0:
+        CAMPAIGN_SEEDS.inc(num_seeds)
+
+
+@contextlib.contextmanager
+def campaign_allocate_span(algorithm: str, items: int, k: int):
+    """Span + metrics around one campaign allocation."""
+    with get_tracer().span(
+        "campaign.allocate",
+        category="campaign",
+        algorithm=algorithm,
+        items=items,
+        k=k,
+    ) as span:
+        yield span
+    if STATE.enabled:
+        CAMPAIGN_ITEMS.observe(items)
+        if span.duration is not None:
+            CAMPAIGN_ALLOCATE_SECONDS.observe(span.duration)
 
 
 def record_simulations(count: int) -> None:

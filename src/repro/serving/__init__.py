@@ -7,8 +7,8 @@ heavy concurrent traffic, composing the layers the earlier PRs laid
 down:
 
 * :mod:`repro.serving.server` — stdlib-only asyncio HTTP/1.1 server
-  (``/query``, ``/query_batch``, ``/healthz``, ``/metrics``,
-  ``/stats``) with graceful SIGTERM drain;
+  (``/query``, ``/query_batch``, ``/campaign``, ``/healthz``,
+  ``/metrics``, ``/stats``) with graceful SIGTERM drain;
 * :mod:`repro.serving.batcher` — micro-batching of concurrent requests
   into :meth:`~repro.core.index.InflexIndex.query_batch` calls;
 * :mod:`repro.serving.admission` — in-flight/queue-depth admission

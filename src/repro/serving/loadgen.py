@@ -22,6 +22,12 @@ rate, and — scraped from the server's ``/metrics`` before and after
 the run — the cache-hit and singleflight-coalescing rates for the
 window.  ``benchmarks/bench_serving.py`` serializes it to
 ``BENCH_serving.json``.
+
+A ``campaign_mix`` fraction routes that share of requests to ``POST
+/campaign`` (multi-item budgeted allocation, ``docs/CAMPAIGNS.md``)
+instead of ``/query``: campaign bodies are sliding ``campaign_items``
+windows over the same Dirichlet pool, so the mixed workload stays
+fully seeded and reproducible.
 """
 
 from __future__ import annotations
@@ -54,6 +60,7 @@ class LoadReport:
     throughput_qps: float
     latency_ms: dict = field(default_factory=dict)
     degraded: int = 0
+    campaign_requests: int = 0
     cache_hit_rate: float | None = None
     coalesced: int | None = None
     status_counts: dict = field(default_factory=dict)
@@ -75,6 +82,7 @@ class LoadReport:
             "shed_rate": round(self.shed_rate, 4),
             "errors": self.errors,
             "degraded": self.degraded,
+            "campaign_requests": self.campaign_requests,
             "throughput_qps": round(self.throughput_qps, 1),
             "latency_ms": self.latency_ms,
             "cache_hit_rate": self.cache_hit_rate,
@@ -88,7 +96,12 @@ class LoadReport:
         lines = [
             f"mode: {self.mode}, duration: {self.duration_s:.2f}s",
             f"requests: {self.requests} ({self.ok} ok, {self.shed} shed, "
-            f"{self.errors} errors, {self.degraded} degraded)",
+            f"{self.errors} errors, {self.degraded} degraded)"
+            + (
+                f", {self.campaign_requests} campaign"
+                if self.campaign_requests
+                else ""
+            ),
             f"throughput: {self.throughput_qps:.1f} qps, "
             f"shed rate: {100 * self.shed_rate:.1f}%",
         ]
@@ -227,12 +240,18 @@ async def run_loadgen(
     alpha: float = 0.8,
     skew: float = 1.1,
     seed: int = 0,
+    campaign_mix: float = 0.0,
+    campaign_items: int = 3,
+    campaign_k: int | None = None,
 ) -> LoadReport:
     """Drive the server and return a :class:`LoadReport`.
 
     ``num_topics`` defaults to the value reported by the server's
     ``/healthz`` endpoint, so a plain invocation needs no knowledge of
-    the index being served.
+    the index being served.  ``campaign_mix`` in [0, 1] diverts that
+    fraction of the traffic to ``POST /campaign``, each request
+    carrying ``campaign_items`` distributions from the pool and a
+    total budget of ``campaign_k`` (default: ``k``) seeds.
     """
     if mode not in ("closed", "open"):
         raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
@@ -242,6 +261,14 @@ async def run_loadgen(
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
     if qps <= 0:
         raise ValueError(f"qps must be positive, got {qps}")
+    if not 0.0 <= campaign_mix <= 1.0:
+        raise ValueError(
+            f"campaign_mix must be in [0, 1], got {campaign_mix}"
+        )
+    if campaign_items < 1:
+        raise ValueError(
+            f"campaign_items must be >= 1, got {campaign_items}"
+        )
 
     control = _Connection(host, port)
     if num_topics is None:
@@ -276,6 +303,33 @@ async def run_loadgen(
         )
         for row in pool
     ]
+    # Campaign bodies: sliding windows over the same pool, so a mixed
+    # run stays a pure function of the seed.  The window starting at
+    # the hot row inherits the hot row's request probability.
+    campaign_bodies: list[bytes] = []
+    if campaign_mix > 0.0:
+        budget = campaign_k if campaign_k is not None else k
+        for start in range(len(pool)):
+            window = [
+                pool[(start + offset) % len(pool)]
+                for offset in range(campaign_items)
+            ]
+            campaign_bodies.append(
+                json_body(
+                    {
+                        "items": [
+                            [round(float(v), 6) for v in row]
+                            for row in window
+                        ],
+                        "k": budget,
+                        **(
+                            {"deadline_ms": deadline_ms}
+                            if deadline_ms is not None
+                            else {}
+                        ),
+                    }
+                )
+            )
     draw_rng = np.random.default_rng(seed + 1)
 
     before = await _scrape_counters(control)
@@ -284,6 +338,7 @@ async def run_loadgen(
     status_counts: dict[int, int] = {}
     degraded = 0
     errors = 0
+    campaign_requests = 0
 
     def _record(status: int, latency_s: float, payload: bytes) -> None:
         nonlocal degraded
@@ -298,25 +353,33 @@ async def run_loadgen(
 
     if mode == "closed":
         async def worker(worker_id: int) -> None:
-            nonlocal errors
+            nonlocal errors, campaign_requests
             conn = _Connection(host, port)
             # Per-worker stream: the mix each worker draws is stable
             # across runs regardless of scheduling interleavings.
             rng = np.random.default_rng([seed + 1, worker_id])
             try:
                 while time.monotonic() < ends:
-                    body = bodies[
-                        int(rng.choice(len(bodies), p=probabilities))
-                    ]
+                    is_campaign = (
+                        campaign_bodies
+                        and rng.random() < campaign_mix
+                    )
+                    draw = int(rng.choice(len(bodies), p=probabilities))
+                    if is_campaign:
+                        target, body = "/campaign", campaign_bodies[draw]
+                    else:
+                        target, body = "/query", bodies[draw]
                     sent = time.monotonic()
                     try:
                         status, _, payload = await conn.request(
-                            "POST", "/query", body
+                            "POST", target, body
                         )
                     except (ConnectionError, OSError, ProtocolError,
                             asyncio.IncompleteReadError):
                         errors += 1
                         continue
+                    if is_campaign:
+                        campaign_requests += 1
                     _record(status, time.monotonic() - sent, payload)
             finally:
                 conn.close()
@@ -332,20 +395,24 @@ async def run_loadgen(
         interval = 1.0 / qps
         tasks = []
 
-        async def fire(scheduled: float, body: bytes, conn: _Connection):
-            nonlocal errors
+        async def fire(
+            scheduled: float, target: str, body: bytes, conn: _Connection
+        ):
+            nonlocal errors, campaign_requests
             delay = scheduled - time.monotonic()
             if delay > 0:
                 await asyncio.sleep(delay)
             async with conn.lock:
                 try:
                     status, _, payload = await conn.request(
-                        "POST", "/query", body
+                        "POST", target, body
                     )
                 except (ConnectionError, OSError, ProtocolError,
                         asyncio.IncompleteReadError):
                     errors += 1
                     return
+            if target == "/campaign":
+                campaign_requests += 1
             _record(status, time.monotonic() - scheduled, payload)
 
         n = 0
@@ -353,12 +420,17 @@ async def run_loadgen(
             scheduled = started + n * interval
             if scheduled >= ends:
                 break
-            body = bodies[
-                int(draw_rng.choice(len(bodies), p=probabilities))
-            ]
+            is_campaign = (
+                campaign_bodies and draw_rng.random() < campaign_mix
+            )
+            draw = int(draw_rng.choice(len(bodies), p=probabilities))
+            if is_campaign:
+                target, body = "/campaign", campaign_bodies[draw]
+            else:
+                target, body = "/query", bodies[draw]
             tasks.append(
                 asyncio.ensure_future(
-                    fire(scheduled, body, conns[n % concurrency])
+                    fire(scheduled, target, body, conns[n % concurrency])
                 )
             )
             n += 1
@@ -408,6 +480,7 @@ async def run_loadgen(
         shed=shed,
         errors=errors,
         degraded=degraded,
+        campaign_requests=campaign_requests,
         throughput_qps=ok / elapsed if elapsed > 0 else 0.0,
         latency_ms=latency_ms,
         cache_hit_rate=cache_hit_rate,
@@ -425,5 +498,12 @@ async def run_loadgen(
             "alpha": alpha,
             "skew": skew,
             "seed": seed,
+            "campaign_mix": campaign_mix,
+            "campaign_items": campaign_items if campaign_mix else None,
+            "campaign_k": (
+                (campaign_k if campaign_k is not None else k)
+                if campaign_mix
+                else None
+            ),
         },
     )

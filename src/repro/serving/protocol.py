@@ -27,6 +27,17 @@ The JSON shapes are deliberately flat:
 * ``POST /query_batch`` body: ``{"queries": [<query>, ...]}`` with
   optional top-level ``k`` / ``strategy`` / ``deadline_ms`` defaults;
   answer: ``{"answers": [<answer-or-error>, ...]}`` in input order.
+
+* ``POST /campaign`` body::
+
+      {"items": [[0.6, 0.2, 0.2], [0.1, 0.8, 0.1]], "k": 10,
+       "algorithm": "lazy", "epsilon": 0.2, "deadline_ms": 200}
+
+  (``algorithm``, ``epsilon`` and ``deadline_ms`` optional) — answer::
+
+      {"assignments": [[4, 17], [9, ...]], "gains": [[...], ...],
+       "total_spread": 231.5, "algorithm": "lazy", "degraded": false,
+       "oracle_sets": [2000, 2000], "num_seeds": 10}
 """
 
 from __future__ import annotations
@@ -234,6 +245,87 @@ def parse_query_payload(
         if deadline_ms <= 0:
             raise ProtocolError("'deadline_ms' must be positive")
     return gamma, k, strategy, deadline_ms
+
+
+def parse_campaign_payload(
+    payload,
+    *,
+    default_algorithm: str = "lazy",
+    default_deadline_ms: float | None = None,
+    max_items: int | None = None,
+) -> tuple[list[list[float]], int, str, float | None, float | None]:
+    """Validate one campaign request ->
+    ``(items, k, algorithm, epsilon, deadline_ms)``.
+
+    ``items`` is the list of per-item topic distributions (each
+    normalized like a query gamma); ``k`` is the *global* seed budget
+    shared across items.  Raises :class:`ProtocolError` with a
+    client-actionable message on any shape problem.
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError("campaign must be a JSON object")
+    raw_items = payload.get("items")
+    if not isinstance(raw_items, (list, tuple)) or not raw_items:
+        raise ProtocolError(
+            "'items' must be a non-empty array of topic distributions"
+        )
+    if max_items is not None and len(raw_items) > max_items:
+        raise ProtocolError(
+            f"'items' may hold at most {max_items} distributions"
+        )
+    items: list[list[float]] = []
+    for i, raw in enumerate(raw_items):
+        if not isinstance(raw, (list, tuple)) or not raw:
+            raise ProtocolError(
+                f"items[{i}] must be a non-empty array of numbers"
+            )
+        try:
+            gamma = [float(v) for v in raw]
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"items[{i}] must contain only numbers"
+            ) from exc
+        if any(
+            v != v or v in (float("inf"), float("-inf")) for v in gamma
+        ):
+            raise ProtocolError(
+                f"items[{i}] must contain only finite numbers"
+            )
+        if any(v < 0 for v in gamma):
+            raise ProtocolError(
+                f"items[{i}] components must be non-negative"
+            )
+        total = sum(gamma)
+        if total <= 0:
+            raise ProtocolError(
+                f"items[{i}] components must have a positive sum"
+            )
+        items.append([v / total for v in gamma])
+    k = payload.get("k")
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        raise ProtocolError("'k' must be a positive integer")
+    algorithm = payload.get("algorithm", default_algorithm)
+    if algorithm not in ("lazy", "threshold"):
+        raise ProtocolError(
+            "'algorithm' must be 'lazy' or 'threshold'"
+        )
+    epsilon = payload.get("epsilon")
+    if epsilon is not None:
+        try:
+            epsilon = float(epsilon)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError("'epsilon' must be a number") from exc
+        if not 0.0 < epsilon < 1.0:
+            raise ProtocolError("'epsilon' must lie in (0, 1)")
+    deadline_ms = payload.get("deadline_ms", default_deadline_ms)
+    if deadline_ms is not None:
+        try:
+            deadline_ms = float(deadline_ms)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError("'deadline_ms' must be a number") from exc
+        if deadline_ms <= 0:
+            raise ProtocolError("'deadline_ms' must be positive")
+    return items, k, algorithm, epsilon, deadline_ms
 
 
 # ----------------------------------------------------------------------

@@ -25,6 +25,8 @@ Routes
 ------
 ``POST /query``         one TIM query (JSON body, see ``protocol``)
 ``POST /query_batch``   many queries in one round trip
+``POST /campaign``      multi-item budgeted seed allocation
+                        (k-submodular campaign planner, PR 9)
 ``GET  /healthz``       liveness + index shape + SLO detail (503 while
                         draining)
 ``GET  /metrics``       Prometheus text exposition of ``repro.obs``
@@ -62,8 +64,9 @@ import math
 import time
 from urllib.parse import parse_qs, urlsplit
 
+from repro.campaign import CampaignPlanner
 from repro.core.cache import CachedIndex
-from repro.core.config import ServingConfig
+from repro.core.config import CampaignConfig, ServingConfig
 from repro.core.index import InflexIndex
 from repro.errors import InvalidDistributionError, QueryError, StreamError
 from repro.obs import context as _ctx
@@ -87,6 +90,7 @@ from repro.serving.protocol import (
     encode_response,
     error_body,
     json_body,
+    parse_campaign_payload,
     parse_query_payload,
     read_request,
 )
@@ -115,6 +119,12 @@ class QueryServer:
         the server serves ``streaming.index`` (ignoring ``index`` if it
         differs) and enables the ``/deltas`` and ``/subscriptions``
         routes.
+    campaign:
+        Knobs of the ``POST /campaign`` allocator; defaults to
+        :class:`CampaignConfig()`.  The planner itself is built lazily
+        on the first campaign request (sampling runs inline on the
+        index executor thread, so allocations stay deterministic and
+        serialize with query evaluation).
     """
 
     def __init__(
@@ -124,8 +134,11 @@ class QueryServer:
         *,
         cache: CachedIndex | None = None,
         streaming=None,
+        campaign: CampaignConfig | None = None,
     ) -> None:
         self.config = config or ServingConfig()
+        self.campaign_config = campaign or CampaignConfig()
+        self._planner: CampaignPlanner | None = None
         self.streaming = streaming
         if streaming is not None:
             index = streaming.index
@@ -240,6 +253,9 @@ class QueryServer:
             writer.close()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+        if self._planner is not None:
+            self._planner.close()
+            self._planner = None
         self._log.event("server.drain.complete")
         self._drained.set()
 
@@ -444,6 +460,10 @@ class QueryServer:
                     )
                 elif route == "/query_batch":
                     status, body, extra = await self._handle_query_batch(
+                        request, info
+                    )
+                elif route == "/campaign":
+                    status, body, extra = await self._handle_campaign(
                         request, info
                     )
                 elif route == "/deltas":
@@ -753,6 +773,76 @@ class QueryServer:
         )
 
     # ------------------------------------------------------------------
+    # Campaign route
+    # ------------------------------------------------------------------
+    def _campaign_planner(self) -> CampaignPlanner:
+        """The lazily built planner for the currently served index.
+
+        ``workers=1`` keeps sampling inline on the executor thread —
+        no process pools under the server — without changing results
+        (RR streams are worker-count invariant).
+        """
+        if self._planner is None:
+            self._planner = CampaignPlanner(
+                self.index.graph, self.campaign_config, workers=1
+            )
+        return self._planner
+
+    async def _handle_campaign(self, request: HttpRequest, info: dict):
+        if request.method != "POST":
+            return 405, error_body("use POST"), None
+        if self._draining:
+            self.admission.shed(SHED_DRAINING)
+            return 503, error_body("server is draining"), self._retry_after()
+        items, k, algorithm, epsilon, deadline_ms = parse_campaign_payload(
+            request.json(),
+            default_algorithm=self.campaign_config.algorithm,
+            default_deadline_ms=self.config.deadline_ms,
+            max_items=self.campaign_config.max_items,
+        )
+        if k > self.index.graph.num_nodes:
+            raise ProtocolError(
+                f"'k' must be at most {self.index.graph.num_nodes} "
+                "(the graph's node count)"
+            )
+        reason = self.admission.try_admit()
+        if reason is not None:
+            return 429, error_body(f"shed: {reason}"), self._retry_after()
+        # The budget starts at admission: executor queue wait spends it,
+        # so a backed-up server degrades rather than blowing deadlines.
+        deadline = (
+            Deadline.from_ms(deadline_ms) if deadline_ms is not None else None
+        )
+        try:
+
+            def run() -> dict:
+                # One executor thread: allocations serialize with query
+                # batches and delta application, and see a consistent
+                # index/planner pair.
+                planner = self._campaign_planner()
+                allocation = planner.allocate(
+                    items,
+                    k,
+                    algorithm=algorithm,
+                    epsilon=epsilon,
+                    deadline=deadline,
+                )
+                return allocation.to_dict()
+
+            payload = await asyncio.get_running_loop().run_in_executor(
+                self._executor, _ctx.wrap(run)
+            )
+            info.update(
+                fingerprint=gamma_fingerprint(items[0]),
+                k=k,
+                strategy=f"campaign/{payload['algorithm']}",
+                degraded=payload["degraded"],
+            )
+            return 200, json_body(payload), None
+        finally:
+            self.admission.release()
+
+    # ------------------------------------------------------------------
     # Streaming routes (active only with a StreamingEngine attached)
     # ------------------------------------------------------------------
     async def _handle_deltas(self, request: HttpRequest):
@@ -779,6 +869,12 @@ class QueryServer:
                 report, updates = self.streaming.apply(batch)
                 self.index = self.streaming.index
                 self.cache.swap_index(self.index)
+                # The campaign planner's oracles were sampled on the
+                # old graph; drop it so the next /campaign rebuilds
+                # against the swapped index.
+                if self._planner is not None:
+                    self._planner.close()
+                    self._planner = None
                 return report, updates
 
             report, updates = await asyncio.get_running_loop().run_in_executor(
@@ -870,6 +966,11 @@ class QueryServer:
             },
             "slo": self.slo.status(),
         }
+        if self._planner is not None:
+            summary["campaign"] = {
+                "cached_oracles": self._planner.cached_oracles,
+                "algorithm": self.campaign_config.algorithm,
+            }
         if self.streaming is not None:
             summary["streaming"] = self.streaming.stats()
         return summary
@@ -882,6 +983,7 @@ async def serve(
     install_signal_handlers: bool = True,
     ready=None,
     streaming=None,
+    campaign: CampaignConfig | None = None,
 ) -> None:
     """Run a :class:`QueryServer` until drained.
 
@@ -890,9 +992,10 @@ async def serve(
     callback invoked with the server once it is listening — the CLI
     prints the bound address there, tests grab the port.  ``streaming``
     optionally attaches a :class:`~repro.streaming.StreamingEngine`
-    (enabling the ``/deltas`` and ``/subscriptions`` routes).
+    (enabling the ``/deltas`` and ``/subscriptions`` routes);
+    ``campaign`` tunes the ``POST /campaign`` allocator.
     """
-    server = QueryServer(index, config, streaming=streaming)
+    server = QueryServer(index, config, streaming=streaming, campaign=campaign)
     await server.start()
     if install_signal_handlers:
         import signal

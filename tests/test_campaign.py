@@ -1,0 +1,457 @@
+"""Tests for the campaign planner (`repro.campaign`).
+
+Covers the k-submodular allocators against exhaustive enumeration on
+tiny instances, the budget/partition invariants, worker-count
+determinism and item-permutation invariance (hypothesis-driven), the
+oracle LRU cache, the two-stage deadline degradation contract, config
+validation, the ``/campaign`` wire-format parser, and the serving
+route end to end (including the deadline-degraded fallback).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import CampaignAllocation, CampaignItem, CampaignPlanner
+from repro.core import CampaignConfig, ServingConfig
+from repro.im import sample_rr_index
+from repro.resilience import Deadline
+from repro.serving import QueryServer
+from repro.serving.protocol import (
+    ProtocolError,
+    encode_request,
+    json_body,
+    parse_campaign_payload,
+    read_response,
+)
+
+TWO_ITEMS = [np.array([0.9, 0.1]), np.array([0.2, 0.8])]
+
+
+@pytest.fixture(scope="module")
+def small_planner(small_graph):
+    """One planner over the 200-node graph, shared within the module."""
+    with CampaignPlanner(
+        small_graph, CampaignConfig(num_sets=600, seed=7), workers=1
+    ) as planner:
+        yield planner
+
+
+def _mixes(num: int, num_topics: int = 4, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return list(rng.dirichlet(np.full(num_topics, 0.8), size=num))
+
+
+# ----------------------------------------------------------------------
+# Allocator correctness on tiny instances
+# ----------------------------------------------------------------------
+class TestAgainstExhaustive:
+    @pytest.mark.parametrize("algorithm", ["lazy", "threshold"])
+    def test_matches_exhaustive_optimum(self, tiny_graph, algorithm):
+        # Enumerate every disjoint (S_1, S_2) with |S_1| + |S_2| = k on
+        # independently sampled oracles; both greedy allocators must
+        # recover the same argmax on this 6-node instance.
+        k = 2
+        with CampaignPlanner(
+            tiny_graph, CampaignConfig(num_sets=4000, seed=3), workers=1
+        ) as planner:
+            alloc = planner.allocate(TWO_ITEMS, k, algorithm=algorithm)
+        oracles = [
+            sample_rr_index(tiny_graph, g, 4000, seed=11)
+            for g in TWO_ITEMS
+        ]
+        best, best_sets = -1.0, None
+        nodes = range(tiny_graph.num_nodes)
+        for size in range(k + 1):
+            for s1 in itertools.combinations(nodes, size):
+                rest = [n for n in nodes if n not in s1]
+                for s2 in itertools.combinations(rest, k - size):
+                    objective = oracles[0].spread_of(s1) + oracles[
+                        1
+                    ].spread_of(s2)
+                    if objective > best:
+                        best, best_sets = objective, (set(s1), set(s2))
+        assert tuple(set(a) for a in alloc.assignments) == best_sets
+        # The planner's own estimate agrees with the independently
+        # sampled objective up to RR sampling noise.
+        assert alloc.total_spread == pytest.approx(best, rel=0.05)
+
+    def test_joint_beats_or_ties_independent(self, small_planner):
+        gammas = _mixes(4, seed=5)
+        joint = small_planner.allocate(gammas, 12, algorithm="lazy")
+        indep = small_planner.allocate_independent(gammas, 12)
+        assert joint.total_spread >= indep.total_spread - 1e-9
+        assert indep.algorithm == "independent"
+        assert not indep.degraded
+
+
+# ----------------------------------------------------------------------
+# Invariants: budget, partition, padding, duplicates
+# ----------------------------------------------------------------------
+class TestInvariants:
+    @pytest.mark.parametrize("algorithm", ["lazy", "threshold"])
+    def test_budget_and_partition(self, small_planner, algorithm):
+        gammas = _mixes(3, seed=1)
+        alloc = small_planner.allocate(gammas, 10, algorithm=algorithm)
+        assert alloc.num_seeds == 10
+        flat = [n for nodes in alloc.assignments for n in nodes]
+        assert len(flat) == len(set(flat)), "nodes must seed one item"
+        assert all(
+            0 <= n < small_planner.graph.num_nodes for n in flat
+        )
+        assert len(alloc.assignments) == len(gammas)
+        assert all(
+            len(nodes) == len(gains)
+            for nodes, gains in zip(alloc.assignments, alloc.gains)
+        )
+
+    def test_budget_beyond_frontier_pads_with_zero_gains(self, tiny_graph):
+        with CampaignPlanner(
+            tiny_graph, CampaignConfig(num_sets=200, seed=0), workers=1
+        ) as planner:
+            alloc = planner.allocate(TWO_ITEMS, tiny_graph.num_nodes)
+        assert alloc.num_seeds == tiny_graph.num_nodes
+        flat = sorted(n for nodes in alloc.assignments for n in nodes)
+        assert flat == list(range(tiny_graph.num_nodes))
+
+    def test_duplicate_items_collapse_to_first_occurrence(
+        self, small_planner
+    ):
+        gamma = _mixes(1, seed=9)[0]
+        alloc = small_planner.allocate([gamma, gamma.copy()], 6)
+        assert alloc.assignments[1] == ()
+        assert len(alloc.assignments[0]) == 6
+        assert alloc.oracle_sets == (600, 600)
+
+    def test_zero_budget(self, small_planner):
+        alloc = small_planner.allocate(_mixes(2), 0)
+        assert alloc.num_seeds == 0
+        assert alloc.total_spread == 0.0
+
+    def test_validation_errors(self, small_planner):
+        with pytest.raises(ValueError, match="at least one item"):
+            small_planner.allocate([], 3)
+        with pytest.raises(ValueError, match="exceeds"):
+            small_planner.allocate(_mixes(1), 10_000)
+        with pytest.raises(ValueError, match="algorithm"):
+            small_planner.allocate(_mixes(1), 3, algorithm="brute")
+        with pytest.raises(ValueError, match="epsilon"):
+            small_planner.allocate(
+                _mixes(1), 3, algorithm="threshold", epsilon=1.5
+            )
+        with pytest.raises(ValueError, match="topics"):
+            small_planner.allocate([np.array([0.5, 0.5])], 3)
+        with pytest.raises(ValueError, match="max_items"):
+            small_planner.allocate(
+                _mixes(CampaignConfig().max_items + 1), 3
+            )
+
+
+# ----------------------------------------------------------------------
+# Determinism: worker count and item permutation
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_worker_count_invariance(self, small_graph):
+        gammas = _mixes(3, seed=21)
+        results = []
+        for workers in (1, 4):
+            with CampaignPlanner(
+                small_graph,
+                CampaignConfig(num_sets=500, seed=13),
+                workers=workers,
+            ) as planner:
+                results.append(planner.allocate(gammas, 8))
+        assert results[0].assignments == results[1].assignments
+        assert results[0].gains == results[1].gains
+        assert results[0].total_spread == results[1].total_spread
+
+    def test_repeat_allocation_is_bit_identical(self, small_planner):
+        gammas = _mixes(3, seed=2)
+        first = small_planner.allocate(gammas, 7)
+        second = small_planner.allocate(gammas, 7)
+        assert first == second
+
+    @settings(max_examples=15, deadline=None)
+    @given(perm=st.permutations(list(range(4))))
+    def test_permutation_invariance(self, small_planner, perm):
+        gammas = _mixes(4, seed=33)
+        base = small_planner.allocate(gammas, 9)
+        shuffled = small_planner.allocate([gammas[i] for i in perm], 9)
+        for new_pos, old_pos in enumerate(perm):
+            assert shuffled.assignments[new_pos] == (
+                base.assignments[old_pos]
+            )
+        assert shuffled.total_spread == base.total_spread
+
+    @settings(max_examples=10, deadline=None)
+    @given(k=st.integers(min_value=0, max_value=20))
+    def test_spread_monotone_in_budget(self, small_planner, k):
+        gammas = _mixes(2, seed=4)
+        smaller = small_planner.allocate(gammas, k)
+        larger = small_planner.allocate(gammas, k + 3)
+        assert larger.total_spread >= smaller.total_spread - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Oracle cache
+# ----------------------------------------------------------------------
+class TestOracleCache:
+    def test_repeat_items_hit_the_cache(self, small_graph):
+        gammas = _mixes(3, seed=6)
+        with CampaignPlanner(
+            small_graph, CampaignConfig(num_sets=300, seed=0), workers=1
+        ) as planner:
+            planner.allocate(gammas, 5)
+            assert planner.cached_oracles == 3
+            planner.allocate(gammas, 5)
+            assert planner.cached_oracles == 3
+
+    def test_lru_eviction_respects_capacity(self, small_graph):
+        with CampaignPlanner(
+            small_graph,
+            CampaignConfig(num_sets=300, oracle_cache_entries=2, seed=0),
+            workers=1,
+        ) as planner:
+            planner.allocate(_mixes(3, seed=6), 5)
+            assert planner.cached_oracles == 2
+
+
+# ----------------------------------------------------------------------
+# Deadlines: two-stage degradation
+# ----------------------------------------------------------------------
+class TestDeadlines:
+    def test_expired_before_sampling_degrades_everything(
+        self, small_planner
+    ):
+        alloc = small_planner.allocate(
+            _mixes(2, seed=40), 6, deadline=Deadline.from_ms(0.0)
+        )
+        assert alloc.degraded
+        assert alloc.algorithm == "independent"
+        assert alloc.num_seeds == 6
+        degraded_sets = small_planner.config.degraded_num_sets
+        assert all(s == degraded_sets for s in alloc.oracle_sets)
+
+    @pytest.mark.parametrize("algorithm", ["lazy", "threshold"])
+    def test_mid_greedy_expiry_falls_back_to_independent(
+        self, small_planner, algorithm
+    ):
+        # An injectable clock: sampling happens inside the first
+        # expired() window, then time jumps past the deadline while
+        # the greedy loop runs.
+        ticks = iter([0.0] * 3 + [100.0] * 1000)
+        deadline = Deadline(1.0, clock=lambda: next(ticks))
+        alloc = small_planner.allocate(
+            _mixes(2, seed=41), 6, algorithm=algorithm, deadline=deadline
+        )
+        assert alloc.degraded
+        assert alloc.algorithm == "independent"
+        assert alloc.num_seeds == 6
+        # Full-budget oracles were already sampled before expiry.
+        assert all(s == 600 for s in alloc.oracle_sets)
+
+
+# ----------------------------------------------------------------------
+# Config and dataclass surfaces
+# ----------------------------------------------------------------------
+class TestConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(num_sets=1)
+        with pytest.raises(ValueError):
+            CampaignConfig(algorithm="exhaustive")
+        with pytest.raises(ValueError):
+            CampaignConfig(epsilon=0.0)
+        with pytest.raises(ValueError):
+            CampaignConfig(max_items=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(oracle_cache_entries=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(degraded_num_sets=1)
+
+    def test_campaign_item_normalizes(self):
+        item = CampaignItem("promo", (2.0, 1.0, 1.0))
+        assert sum(item.gamma) == pytest.approx(1.0)
+
+    def test_allocation_to_dict_round_trips_json(self, small_planner):
+        alloc = small_planner.allocate(_mixes(2, seed=8), 4)
+        assert isinstance(alloc, CampaignAllocation)
+        payload = json.loads(json.dumps(alloc.to_dict()))
+        assert payload["num_seeds"] == 4
+        assert payload["algorithm"] == "lazy"
+
+
+# ----------------------------------------------------------------------
+# Wire format
+# ----------------------------------------------------------------------
+class TestParseCampaignPayload:
+    def test_parses_and_normalizes(self):
+        items, k, algorithm, epsilon, deadline_ms = parse_campaign_payload(
+            {
+                "items": [[2.0, 1.0, 1.0], [1.0, 1.0, 2.0]],
+                "k": 5,
+                "algorithm": "threshold",
+                "epsilon": 0.1,
+                "deadline_ms": 50,
+            }
+        )
+        assert len(items) == 2
+        assert all(abs(sum(row) - 1.0) < 1e-9 for row in items)
+        assert (k, algorithm, epsilon, deadline_ms) == (
+            5,
+            "threshold",
+            0.1,
+            50.0,
+        )
+
+    def test_defaults_apply(self):
+        _, k, algorithm, epsilon, deadline_ms = parse_campaign_payload(
+            {"items": [[0.5, 0.5]], "k": 3},
+            default_algorithm="lazy",
+            default_deadline_ms=200.0,
+        )
+        assert (k, algorithm, epsilon, deadline_ms) == (
+            3,
+            "lazy",
+            None,
+            200.0,
+        )
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"k": 3},
+            {"items": [], "k": 3},
+            {"items": [[0.5, "x"]], "k": 3},
+            {"items": [[0.0, 0.0]], "k": 3},
+            {"items": [[-0.5, 1.5]], "k": 3},
+            {"items": [[0.5, 0.5]]},
+            {"items": [[0.5, 0.5]], "k": 0},
+            {"items": [[0.5, 0.5]], "k": True},
+            {"items": [[0.5, 0.5]], "k": 3, "algorithm": "brute"},
+            {"items": [[0.5, 0.5]], "k": 3, "epsilon": 2.0},
+            {"items": [[0.5, 0.5]], "k": 3, "deadline_ms": -1},
+        ],
+    )
+    def test_rejects_malformed(self, payload):
+        with pytest.raises(ProtocolError):
+            parse_campaign_payload(payload)
+
+    def test_max_items_cap(self):
+        with pytest.raises(ProtocolError, match="at most"):
+            parse_campaign_payload(
+                {"items": [[0.5, 0.5]] * 3, "k": 2}, max_items=2
+            )
+
+
+# ----------------------------------------------------------------------
+# Serving route end to end
+# ----------------------------------------------------------------------
+async def _post_campaign(host, port, body):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            encode_request("POST", "/campaign", json_body(body))
+        )
+        await writer.drain()
+        status, headers, payload = await read_response(reader)
+        return status, json.loads(payload) if payload else {}
+    finally:
+        writer.close()
+
+
+def _run_with_server(index, scenario):
+    async def main():
+        server = QueryServer(
+            index,
+            ServingConfig(port=0),
+            campaign=CampaignConfig(num_sets=300, seed=5),
+        )
+        await server.start()
+        try:
+            return await scenario(server)
+        finally:
+            await server.aclose()
+
+    return asyncio.run(main())
+
+
+class TestCampaignRoute:
+    def test_allocates_over_http(self, small_index):
+        items = [[round(float(v), 6) for v in row] for row in _mixes(3)]
+
+        async def scenario(server):
+            return await _post_campaign(
+                "127.0.0.1",
+                server.port,
+                {"items": items, "k": 6, "algorithm": "lazy"},
+            )
+
+        status, payload = _run_with_server(small_index, scenario)
+        assert status == 200
+        assert payload["num_seeds"] == 6
+        assert payload["algorithm"] == "lazy"
+        assert not payload["degraded"]
+        assert len(payload["assignments"]) == 3
+        flat = [n for nodes in payload["assignments"] for n in nodes]
+        assert len(flat) == len(set(flat)) == 6
+        assert payload["total_spread"] > 0
+
+    def test_deadline_expiry_degrades_over_http(self, small_index):
+        items = [[round(float(v), 6) for v in row] for row in _mixes(2)]
+
+        async def scenario(server):
+            return await _post_campaign(
+                "127.0.0.1",
+                server.port,
+                {"items": items, "k": 4, "deadline_ms": 1e-6},
+            )
+
+        status, payload = _run_with_server(small_index, scenario)
+        assert status == 200
+        assert payload["degraded"]
+        assert payload["algorithm"] == "independent"
+        assert payload["num_seeds"] == 4
+
+    def test_rejects_malformed_and_wrong_method(self, small_index):
+        async def scenario(server):
+            bad = await _post_campaign(
+                "127.0.0.1", server.port, {"items": [], "k": 3}
+            )
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            try:
+                writer.write(encode_request("GET", "/campaign", b""))
+                await writer.drain()
+                status, _, _ = await read_response(reader)
+            finally:
+                writer.close()
+            return bad, status
+
+        (bad_status, bad_payload), get_status = _run_with_server(
+            small_index, scenario
+        )
+        assert bad_status == 400
+        assert "items" in bad_payload["error"]
+        assert get_status == 405
+
+    def test_stats_surface_campaign_state(self, small_index):
+        items = [[round(float(v), 6) for v in row] for row in _mixes(2)]
+
+        async def scenario(server):
+            await _post_campaign(
+                "127.0.0.1", server.port, {"items": items, "k": 3}
+            )
+            return server.stats()
+
+        stats = _run_with_server(small_index, scenario)
+        assert stats["campaign"]["cached_oracles"] == 2
+        assert stats["campaign"]["algorithm"] == "lazy"

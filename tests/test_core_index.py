@@ -267,7 +267,7 @@ class TestIndexStats:
         assert stats["tree_leaves"] >= 1
         assert stats["tree_depth"] >= 1
         assert stats["memory_bytes"] == small_index.memory_footprint()
-        assert stats["im_engine"] == "ris"
+        assert stats["im_engine"] == "imm"
         assert len(stats["dirichlet_alpha"]) == small_index.graph.num_topics
 
     def test_stats_json_serializable(self, small_index):

@@ -345,6 +345,27 @@ class TestPoolCrashRecovery:
         assert recovered.mean == reference[0].mean
         assert plan.specs[0].fired == 1
 
+    @pytest.mark.parametrize("mode", ["crash", "error"])
+    def test_rr_sampler_recovers_bit_identically(self, small_graph, mode):
+        """Chunk faults on the RR sampling pool fall back inline.
+
+        The campaign planner's value oracle rides this path, so chaos
+        runs with ``chunk`` faults must leave RR streams — and hence
+        allocations — bit-identical to a healthy run.
+        """
+        from repro.im.imm import RRSampler
+
+        with RRSampler(small_graph, workers=2) as sampler:
+            clean = sampler.sample(GAMMA4, 1200, seed=9, request=2)
+        plan = FaultPlan([FaultSpec(site="chunk", mode=mode, times=2)])
+        with fault_plan(plan):
+            with RRSampler(small_graph, workers=2) as sampler:
+                recovered = sampler.sample(GAMMA4, 1200, seed=9, request=2)
+        assert plan.specs[0].fired >= 1
+        assert all(
+            np.array_equal(a, b) for a, b in zip(clean, recovered)
+        )
+
     def test_persistent_crashes_degrade_to_sequential(
         self, small_graph, observability
     ):
