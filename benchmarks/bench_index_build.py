@@ -20,6 +20,12 @@ must be bit-identical for 1 and 4 sampling workers.
 
 Acceptance bar from the issue: imm >= 5x faster than celf++-mc at
 matched spread (within 2%), recorded in ``BENCH_index_build.json``.
+
+``test_paper_scale_imm_build`` additionally records the ROADMAP's
+outstanding follow-up from the imm-default flip: the full h=1000,
+100k-Dirichlet-sample laptop build (Dirichlet MLE -> cloud sampling ->
+Bregman K-means++ -> 1000 IMM seed lists -> bb-tree), end to end on
+one core, merged into the same JSON under ``paper_scale``.
 """
 
 from __future__ import annotations
@@ -213,6 +219,12 @@ def test_imm_vs_celfpp_index_build(benchmark):
         },
         "workers_identical_1_vs_4": workers_identical,
     }
+    if OUT_PATH.exists():
+        # Preserve the paper-scale section recorded by the companion
+        # test (the two tests own disjoint keys of the same report).
+        previous = json.loads(OUT_PATH.read_text())
+        if "paper_scale" in previous:
+            report["paper_scale"] = previous["paper_scale"]
     OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
 
     lines = [
@@ -236,4 +248,111 @@ def test_imm_vs_celfpp_index_build(benchmark):
     assert abs(mean_ratio - 1.0) <= SPREAD_MATCH_TOLERANCE, (
         f"imm/celf++-mc spread ratio {mean_ratio:.4f} outside "
         f"the {SPREAD_MATCH_TOLERANCE:.0%} matched-accuracy window"
+    )
+
+
+# ----------------------------------------------------------------------
+# Paper-scale laptop build (ROADMAP follow-up from the imm-default flip)
+# ----------------------------------------------------------------------
+PAPER_NUM_NODES = 1000
+PAPER_NUM_TOPICS = 4
+PAPER_NUM_ITEMS = 200
+PAPER_H = 1000
+PAPER_DIRICHLET_SAMPLES = 100_000
+PAPER_IMM_EPSILON = 0.2
+
+
+def test_paper_scale_imm_build():
+    """The h=1000, 100k-sample build, timed end to end on one core."""
+    from repro.core import InflexConfig
+    from repro.core.index import InflexIndex
+
+    graph = interest_topic_graph(
+        PAPER_NUM_NODES,
+        PAPER_NUM_TOPICS,
+        topics_per_node=1,
+        base_strength=0.2,
+        seed=401,
+    )
+    catalog = np.random.default_rng(409).dirichlet(
+        np.full(PAPER_NUM_TOPICS, 0.7), size=PAPER_NUM_ITEMS
+    )
+    config = InflexConfig(
+        num_index_points=PAPER_H,
+        num_dirichlet_samples=PAPER_DIRICHLET_SAMPLES,
+        seed_list_length=SEED_LIST_LENGTH,
+        imm_epsilon=PAPER_IMM_EPSILON,
+        seed=419,
+    )
+    stage_seconds: dict[str, float] = {}
+    marks = {"start": time.perf_counter()}
+
+    def progress(stage, done, total):
+        # First time a stage reports, close out the previous one.
+        if stage not in stage_seconds and done in (0, 1):
+            now = time.perf_counter()
+            if "current" in marks:
+                stage_seconds[marks["current"]] = now - marks["at"]
+            marks["current"] = stage
+            marks["at"] = now
+
+    start = time.perf_counter()
+    index = InflexIndex.build(graph, catalog, config, progress=progress)
+    total_seconds = time.perf_counter() - start
+    if "current" in marks:
+        stage_seconds[marks["current"]] = (
+            time.perf_counter() - marks["at"]
+        )
+
+    assert index.num_index_points == PAPER_H
+    answer = index.query(
+        np.full(PAPER_NUM_TOPICS, 1.0 / PAPER_NUM_TOPICS), 10
+    )
+    assert len(answer.seeds) == 10
+
+    section = {
+        "graph": {
+            "num_nodes": PAPER_NUM_NODES,
+            "num_topics": PAPER_NUM_TOPICS,
+            "num_arcs": graph.num_arcs,
+        },
+        "config": {
+            "num_index_points": PAPER_H,
+            "num_dirichlet_samples": PAPER_DIRICHLET_SAMPLES,
+            "seed_list_length": SEED_LIST_LENGTH,
+            "imm_epsilon": PAPER_IMM_EPSILON,
+            "engine": "imm",
+            "workers": 1,
+        },
+        "timings_seconds": {
+            "total": round(total_seconds, 1),
+            "per_stage": {
+                name: round(seconds, 1)
+                for name, seconds in stage_seconds.items()
+            },
+            "per_seed_list": round(
+                stage_seconds.get("seed-lists", total_seconds) / PAPER_H,
+                3,
+            ),
+        },
+    }
+    report = (
+        json.loads(OUT_PATH.read_text()) if OUT_PATH.exists() else {}
+    )
+    report["paper_scale"] = section
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    per_stage = ", ".join(
+        f"{name}={seconds:.1f}s"
+        for name, seconds in stage_seconds.items()
+    )
+    register_report(
+        "paper-scale index build (BENCH_index_build.json)",
+        (
+            f"h={PAPER_H}, {PAPER_DIRICHLET_SAMPLES:,} Dirichlet samples, "
+            f"n={PAPER_NUM_NODES}, eps={PAPER_IMM_EPSILON}, 1 worker\n"
+            f"  total: {total_seconds:.1f} s ({per_stage})\n"
+            f"  per seed list: "
+            f"{section['timings_seconds']['per_seed_list'] * 1000:.0f} ms"
+        ),
     )

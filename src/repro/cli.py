@@ -92,6 +92,48 @@ from repro.core import (
 from repro.datasets import generate_flixster_like
 from repro.graph import load_graph, save_graph
 
+#: Query strategies accepted by ``query``, ``obs``, and ``loadgen``.
+#: ``sketch`` needs a per-topic sketch bank (``build --sketches``)
+#: loaded alongside the index.
+_STRATEGY_CHOICES = (
+    "inflex",
+    "exact-knn",
+    "approx-knn",
+    "approx-knn-sel",
+    "approx-ad",
+    "sketch",
+)
+
+
+def _sketches_path_for(index_path) -> Path:
+    """The default sketch-bank path next to an index file.
+
+    ``index.npz`` -> ``index.sketches.npz`` — the colocation contract
+    shared by ``build --sketches``, ``query``, and ``serve``.
+    """
+    path = Path(index_path)
+    return path.with_name(path.stem + ".sketches.npz")
+
+
+def _load_sketches_into(index, sketches_arg, index_path) -> bool:
+    """Attach a sketch bank to ``index`` if one is given or colocated.
+
+    An explicit ``--sketches`` path must exist (load errors propagate);
+    otherwise the default colocated path is tried and silently skipped
+    when absent.  Returns whether a bank was attached.
+    """
+    from repro.sketches import load_sketches
+
+    if sketches_arg is not None:
+        path = Path(sketches_arg)
+    else:
+        path = _sketches_path_for(index_path)
+        if not path.exists():
+            return False
+    index.attach_sketches(load_sketches(path))
+    return True
+
+
 #: Experiment name -> module (resolved lazily to keep startup fast).
 _EXPERIMENTS = (
     "fig3",
@@ -175,6 +217,30 @@ def _cmd_build(args: argparse.Namespace) -> int:
     print(
         f"built {index} in {time.perf_counter() - start:.1f}s -> {args.out}"
     )
+    if args.sketches:
+        from repro.core import SketchConfig
+        from repro.sketches import SketchBank, save_sketches
+
+        sketch_config = SketchConfig(
+            num_sets=args.sketch_sets,
+            fallback_divergence=(
+                args.sketch_fallback if args.sketch_fallback > 0 else None
+            ),
+            seed=args.seed,
+        )
+        start = time.perf_counter()
+        bank = SketchBank.build(graph, sketch_config, workers=config.workers)
+        sketches_out = (
+            args.sketches_out
+            if args.sketches_out
+            else _sketches_path_for(args.out)
+        )
+        save_sketches(bank, sketches_out)
+        print(
+            f"built sketch bank ({bank.num_topics} topics x "
+            f"{bank.num_sets} sets, {bank.nbytes / 1e6:.1f} MB) in "
+            f"{time.perf_counter() - start:.1f}s -> {sketches_out}"
+        )
     return 0
 
 
@@ -253,6 +319,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     data_dir = Path(args.data)
     graph = load_graph(data_dir / "graph.npz")
     index = load_index(args.index, graph)
+    _load_sketches_into(index, args.sketches, args.index)
     if args.gamma is not None:
         gamma = _parse_gamma(args.gamma)
     else:
@@ -285,7 +352,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if answer.epsilon_match:
         notes = " (epsilon-exact hit)"
     elif answer.degraded:
-        notes = " (DEGRADED: deadline expired, nearest-neighbor answer)"
+        notes = (
+            f" (DEGRADED: {answer.reason}; answered by "
+            f"{answer.seeds.algorithm})"
+        )
     print(
         f"evaluated in {answer.timing.total * 1000:.2f} ms using "
         f"{answer.num_neighbors_used} index lists" + notes
@@ -474,6 +544,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     data_dir = Path(args.data)
     graph = load_graph(data_dir / "graph.npz")
     index = load_index(args.index, graph)
+    _load_sketches_into(index, args.sketches, args.index)
     catalog = np.load(data_dir / "catalog.npy")
     rows = catalog[np.arange(args.queries) % catalog.shape[0]]
     from repro.obs import context as _ctx
@@ -509,6 +580,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     data_dir = Path(args.data)
     graph = load_graph(data_dir / "graph.npz")
     index = load_index(args.index, graph)
+    if _load_sketches_into(index, args.sketches, args.index):
+        bank = index.sketches
+        print(
+            f"sketch bank attached: {bank.num_topics} topics x "
+            f"{bank.num_sets} sets (strategy=sketch enabled)",
+            flush=True,
+        )
     if not args.no_obs:
         from repro import obs
 
@@ -643,6 +721,17 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
     from repro.serving import run_loadgen
 
+    index_points = None
+    if args.far_mix > 0.0:
+        if args.index is None:
+            print(
+                "error: --far-mix needs --index (the served index's "
+                ".npz) to rank candidate queries by min-KL distance",
+                file=sys.stderr,
+            )
+            return 2
+        with np.load(args.index, allow_pickle=False) as data:
+            index_points = np.array(data["index_points"])
     report = asyncio.run(
         run_loadgen(
             args.host,
@@ -662,6 +751,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             campaign_mix=args.campaign_mix,
             campaign_items=args.campaign_items,
             campaign_k=args.campaign_k,
+            far_mix=args.far_mix,
+            index_points=index_points,
         )
     )
     print(report.render())
@@ -913,6 +1004,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build.add_argument("--seed", type=int, default=0)
     build.add_argument(
+        "--sketches",
+        action="store_true",
+        help="also precompute the per-topic composable RR sketch bank "
+        "(enables strategy=sketch and the distance-fallback upgrade; "
+        "see docs/SKETCHES.md)",
+    )
+    build.add_argument(
+        "--sketch-sets",
+        type=int,
+        default=2000,
+        help="RR sets per topic pool in the sketch bank",
+    )
+    build.add_argument(
+        "--sketch-fallback",
+        type=float,
+        default=1.0,
+        help="KL-divergence threshold beyond which serving upgrades a "
+        "degraded answer to a composed-sketch answer (<=0 disables)",
+    )
+    build.add_argument(
+        "--sketches-out",
+        default=None,
+        help="sketch-bank output path (default: <out>.sketches.npz "
+        "next to the index)",
+    )
+    build.add_argument(
         "--faults",
         default=None,
         help="deterministic fault-plan spec for chaos testing "
@@ -1050,7 +1167,13 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--strategy",
         default="inflex",
-        choices=("inflex", "exact-knn", "approx-knn", "approx-knn-sel", "approx-ad"),
+        choices=_STRATEGY_CHOICES,
+    )
+    query.add_argument(
+        "--sketches",
+        default=None,
+        help="sketch-bank .npz for strategy=sketch and the distance "
+        "fallback (default: <index>.sketches.npz when present)",
     )
     query.add_argument(
         "--deadline-ms",
@@ -1113,7 +1236,13 @@ def build_parser() -> argparse.ArgumentParser:
     obs_cmd.add_argument(
         "--strategy",
         default="inflex",
-        choices=("inflex", "exact-knn", "approx-knn", "approx-knn-sel", "approx-ad"),
+        choices=_STRATEGY_CHOICES,
+    )
+    obs_cmd.add_argument(
+        "--sketches",
+        default=None,
+        help="sketch-bank .npz for strategy=sketch "
+        "(default: <index>.sketches.npz when present)",
     )
     obs_cmd.add_argument(
         "--format", default="json", choices=("json", "prometheus")
@@ -1223,6 +1352,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.99,
         help="latency-objective target fraction in (0, 1)",
+    )
+    serve.add_argument(
+        "--sketches",
+        default=None,
+        help="sketch-bank .npz enabling strategy=sketch and the "
+        "distance-fallback upgrade (default: <index>.sketches.npz "
+        "when present)",
     )
     serve.add_argument(
         "--campaign-sets",
@@ -1366,7 +1502,7 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--strategy",
         default="inflex",
-        choices=("inflex", "exact-knn", "approx-knn", "approx-knn-sel", "approx-ad"),
+        choices=_STRATEGY_CHOICES,
     )
     loadgen.add_argument(
         "--deadline-ms",
@@ -1417,6 +1553,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="total campaign seed budget (default: --k)",
+    )
+    loadgen.add_argument(
+        "--far-mix",
+        type=float,
+        default=0.0,
+        help="fraction of requests in [0, 1] using queries far (by "
+        "min-KL) from every index point — the regime where serving "
+        "degrades to sketch fallbacks; needs --index",
+    )
+    loadgen.add_argument(
+        "--index",
+        default=None,
+        help="the served index's .npz; its index points anchor the "
+        "--far-mix distance ranking",
     )
     loadgen.add_argument(
         "--out", help="write the JSON report here (e.g. BENCH_serving.json)"

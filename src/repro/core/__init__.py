@@ -13,6 +13,7 @@ from repro.core.config import (
     InflexConfig,
     PAPER_CONFIG,
     ServingConfig,
+    SketchConfig,
 )
 from repro.core.query import QueryTiming, TimAnswer, TimQuery
 from repro.core.index import STRATEGIES, InflexIndex
@@ -68,6 +69,7 @@ __all__ = [
     "InflexConfig",
     "PAPER_CONFIG",
     "ServingConfig",
+    "SketchConfig",
     "QueryTiming",
     "TimAnswer",
     "TimQuery",

@@ -645,6 +645,76 @@ class CampaignConfig:
             )
 
 
+@dataclass(frozen=True)
+class SketchConfig:
+    """Tunables of the per-topic sketch bank (:mod:`repro.sketches`).
+
+    Precomputation
+    --------------
+    num_sets:
+        RR sets sampled per topic pool.  Pools are sampled under the
+        single-topic item ``e_z`` with worker-count-invariant
+        ``SeedSequence`` streams, so the bank is deterministic for any
+        build parallelism.
+    compose_sets:
+        Default composition budget at query time — how many sets the
+        ``gamma``-weighted mixture draws across the pools.  ``None``
+        uses the full ``num_sets`` (which makes composing at a simplex
+        vertex bit-identical to the vertex's own pool); smaller values
+        trade accuracy for latency.
+
+    Fallback
+    --------
+    fallback_divergence:
+        KL-distance threshold of the degraded-answer upgrade: when a
+        query's nearest index point is farther than this (or a
+        deadline would force a nearest-neighbor fallback), the index
+        answers from composed sketches instead, flagged
+        ``algorithm="sketch:fallback"``.  ``None`` disables the
+        distance trigger (the deadline trigger stays active whenever a
+        bank is attached).
+
+    Randomness
+    ----------
+    seed:
+        Master seed of the per-topic RR streams (pool ``z`` draws from
+        request ``z`` of this seed's stream family).
+    """
+
+    num_sets: int = 2000
+    compose_sets: int | None = None
+    fallback_divergence: float | None = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_sets < 2:
+            raise ValueError(
+                f"num_sets must be >= 2, got {self.num_sets}"
+            )
+        if self.compose_sets is not None and not (
+            1 <= self.compose_sets <= self.num_sets
+        ):
+            raise ValueError(
+                "compose_sets must lie in [1, num_sets] or be None, got "
+                f"{self.compose_sets}"
+            )
+        if (
+            self.fallback_divergence is not None
+            and self.fallback_divergence <= 0
+        ):
+            raise ValueError(
+                "fallback_divergence must be positive or None, got "
+                f"{self.fallback_divergence}"
+            )
+
+    @property
+    def effective_compose_sets(self) -> int:
+        """``compose_sets`` resolved (``None`` = the full pool)."""
+        if self.compose_sets is None:
+            return self.num_sets
+        return self.compose_sets
+
+
 #: Paper-faithful parameter set (expensive: hours of precomputation even
 #: with the RIS engine at full scale — provided for completeness).
 PAPER_CONFIG = InflexConfig(

@@ -14,9 +14,16 @@ Construction (Section 3 of the paper):
 Query evaluation (Section 4): similarity search on the bb-tree
 (Algorithm 1), importance weighting (Eq. 9), automatic neighbor
 selection, and weighted rank aggregation with Local Kemenization.
-Five strategies are exposed, matching the paper's comparison:
-``inflex``, ``exact-knn``, ``approx-knn``, ``approx-knn-sel`` and
-``approx-ad``.
+Six strategies are exposed — the paper's five retrieval variants
+(``inflex``, ``exact-knn``, ``approx-knn``, ``approx-knn-sel``,
+``approx-ad``) plus ``sketch``, a second answering engine that skips
+retrieval entirely: it composes precomputed per-topic RR sketch pools
+for the query mixture and runs lazy-greedy max coverage over the
+composition (:mod:`repro.sketches`, requires an attached bank).  A
+bank, when attached, also upgrades the degraded-answer path of every
+other strategy: far-from-index queries and expired deadlines answer
+from composed sketches (``algorithm="sketch:fallback"``) instead of
+the bare nearest-neighbor list.
 """
 
 from __future__ import annotations
@@ -46,14 +53,19 @@ from repro.rng import resolve_rng, spawn_rngs
 from repro.simplex.dirichlet import Dirichlet, fit_dirichlet_mle
 from repro.simplex.vectors import as_distribution_matrix, smooth
 
-#: Strategy names accepted by :meth:`InflexIndex.query`.
-STRATEGIES = (
+#: Retrieval strategies answered from the index alone — the paper's
+#: Section 5 variants.  These are what the figure experiments sweep.
+RETRIEVAL_STRATEGIES = (
     "inflex",
     "exact-knn",
     "approx-knn",
     "approx-knn-sel",
     "approx-ad",
 )
+
+#: Strategy names accepted by :meth:`InflexIndex.query`.  ``"sketch"``
+#: additionally needs an attached :class:`repro.sketches.SketchBank`.
+STRATEGIES = RETRIEVAL_STRATEGIES + ("sketch",)
 
 
 class InflexIndex:
@@ -104,6 +116,7 @@ class InflexIndex:
                 seed=config.seed,
             )
         self._tree = tree
+        self._sketches = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -238,6 +251,32 @@ class InflexIndex:
     def num_index_points(self) -> int:
         return int(self._points.shape[0])
 
+    @property
+    def sketches(self):
+        """The attached per-topic sketch bank (``None`` when absent)."""
+        return self._sketches
+
+    def attach_sketches(self, bank) -> None:
+        """Attach a :class:`~repro.sketches.SketchBank` to this index.
+
+        Enables ``strategy="sketch"`` and upgrades the degraded-answer
+        path of every other strategy (distance and deadline fallbacks
+        answer from composed sketches).  Pass ``None`` to detach.
+        """
+        if bank is not None:
+            if bank.num_nodes != self._graph.num_nodes:
+                raise ValueError(
+                    f"sketch bank covers {bank.num_nodes} nodes, graph "
+                    f"has {self._graph.num_nodes}"
+                )
+            if bank.num_topics != self._graph.num_topics:
+                raise ValueError(
+                    f"sketch bank has {bank.num_topics} topics, graph "
+                    f"has {self._graph.num_topics}"
+                )
+            _obs.set_sketch_pool(bank.num_topics * bank.num_sets)
+        self._sketches = bank
+
     # ------------------------------------------------------------------
     # Query evaluation
     # ------------------------------------------------------------------
@@ -284,6 +323,8 @@ class InflexIndex:
             raise QueryError(
                 f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
             )
+        if strategy == "sketch":
+            return self._sketch_query(tim_query)
         config = self._config
         query_point = smooth(tim_query.gamma)
         tracer = get_tracer()
@@ -312,7 +353,29 @@ class InflexIndex:
 
             if deadline is not None and deadline.expired():
                 return self._degraded_answer(
-                    strategy, k, result, QueryTiming(search=search_span.duration)
+                    strategy,
+                    tim_query,
+                    result,
+                    QueryTiming(search=search_span.duration),
+                )
+
+            bank = self._sketches
+            if (
+                bank is not None
+                and bank.config.fallback_divergence is not None
+                and float(result.divergences[0])
+                > bank.config.fallback_divergence
+            ):
+                # Degraded-answer upgrade: the query landed farther from
+                # every index point than the sketch fallback threshold —
+                # rank aggregation over distant neighbors would be weak,
+                # so answer from composed sketches instead.
+                return self._sketch_fallback(
+                    strategy,
+                    tim_query,
+                    result,
+                    reason="distance",
+                    timing=QueryTiming(search=search_span.duration),
                 )
 
             # Phase 2: weights and automatic selection ------------------
@@ -344,7 +407,7 @@ class InflexIndex:
                 # dominates query cost; skip it once over budget.
                 return self._degraded_answer(
                     strategy,
-                    k,
+                    tim_query,
                     result,
                     QueryTiming(
                         search=search_span.duration,
@@ -394,20 +457,29 @@ class InflexIndex:
     def _degraded_answer(
         self,
         strategy: str,
-        k: int,
+        tim_query: TimQuery,
         result: SearchResult,
         timing: QueryTiming,
     ) -> TimAnswer:
-        """Deadline-expired fast path: the nearest neighbor's list as-is.
+        """Deadline-expired fast path.
 
-        Skipping the selection/aggregation phases bounds the remaining
-        work to one list slice, so an expired query returns promptly
-        with an honest (if lower-quality) answer instead of blowing
-        through its budget.
+        With a sketch bank attached the fallback composes a fresh
+        answer for the query mixture (``algorithm="sketch:fallback"``)
+        — strictly better than a canned list when the query is far
+        from every index point.  Without one, the nearest neighbor's
+        precomputed list as-is: skipping the selection/aggregation
+        phases bounds the remaining work to one list slice, so an
+        expired query returns promptly with an honest (if
+        lower-quality) answer instead of blowing through its budget.
         """
         _obs.record_deadline_expired("query")
+        if self._sketches is not None:
+            return self._sketch_fallback(
+                strategy, tim_query, result, reason="deadline",
+                timing=timing,
+            )
         nearest = int(result.indices[0])
-        seeds = self._seed_lists[nearest].top(k)
+        seeds = self._seed_lists[nearest].top(tim_query.k)
         answer = TimAnswer(
             seeds=SeedList(
                 seeds.nodes, (), algorithm=f"{strategy}:degraded"
@@ -420,6 +492,104 @@ class InflexIndex:
             timing=timing,
             epsilon_match=False,
             degraded=True,
+            reason="deadline",
+        )
+        _obs.record_query(strategy, answer)
+        return answer
+
+    # ------------------------------------------------------------------
+    # Sketch strategy (see repro.sketches and docs/SKETCHES.md)
+    # ------------------------------------------------------------------
+    def _require_sketches(self):
+        if self._sketches is None:
+            raise QueryError(
+                'strategy "sketch" requires an attached sketch bank; '
+                "build one with `build --sketches` and load it alongside "
+                "the index"
+            )
+        return self._sketches
+
+    def _sketch_seeds(
+        self, gamma: np.ndarray, k: int, *, algorithm: str
+    ) -> tuple[SeedList, QueryTiming]:
+        """Compose the bank for ``gamma`` and greedy-select ``k`` seeds.
+
+        The composition replaces the similarity search (its duration is
+        reported as the ``search`` phase) and the lazy-greedy max
+        coverage replaces selection; there is no aggregation phase.
+        Marginal gains are scaled from covered-set units to expected
+        spread (``n / num_sets``).
+        """
+        bank = self._require_sketches()
+        tracer = get_tracer()
+        with tracer.span("sketch.compose") as compose_span:
+            composed = bank.compose_index(gamma)
+        _obs.record_sketch_compose(compose_span.duration)
+        with tracer.span("sketch.select") as select_span:
+            nodes, gains = composed.greedy_select(
+                min(k, composed.num_nodes)
+            )
+        scale = composed.num_nodes / composed.num_sets
+        seeds = SeedList(
+            tuple(nodes),
+            tuple(float(g) * scale for g in gains),
+            algorithm=algorithm,
+        )
+        timing = QueryTiming(
+            search=compose_span.duration, selection=select_span.duration
+        )
+        return seeds, timing
+
+    def _sketch_query(self, tim_query: TimQuery) -> TimAnswer:
+        """The ``strategy="sketch"`` path: no retrieval, no aggregation."""
+        self._require_sketches()
+        with get_tracer().span(
+            "query", strategy="sketch", k=tim_query.k
+        ):
+            seeds, timing = self._sketch_seeds(
+                tim_query.gamma, tim_query.k, algorithm="sketch"
+            )
+            answer = TimAnswer(
+                seeds=seeds, strategy="sketch", timing=timing
+            )
+            _obs.record_query("sketch", answer)
+            return answer
+
+    def _sketch_fallback(
+        self,
+        strategy: str,
+        tim_query: TimQuery,
+        result: SearchResult,
+        *,
+        reason: str,
+        timing: QueryTiming,
+    ) -> TimAnswer:
+        """Degraded-answer upgrade: compose sketches for the query.
+
+        Used when a deadline expired or the nearest index point is
+        beyond the bank's KL fallback threshold.  The retrieved nearest
+        neighbor rides along for provenance (weight 0 — it did not
+        contribute to the seeds).
+        """
+        _obs.record_sketch_fallback(reason)
+        seeds, sketch_timing = self._sketch_seeds(
+            tim_query.gamma, tim_query.k, algorithm="sketch:fallback"
+        )
+        answer = TimAnswer(
+            seeds=seeds,
+            strategy=strategy,
+            neighbor_ids=(int(result.indices[0]),),
+            neighbor_divergences=(float(result.divergences[0]),),
+            neighbor_weights=(0.0,),
+            search_stats=result.stats,
+            timing=QueryTiming(
+                search=timing.search + sketch_timing.search,
+                selection=timing.selection + sketch_timing.selection,
+                aggregation=timing.aggregation,
+            ),
+            epsilon_match=False,
+            degraded=True,
+            reason=reason,
         )
         _obs.record_query(strategy, answer)
         return answer
@@ -450,6 +620,8 @@ class InflexIndex:
             summary["dirichlet_concentration"] = float(
                 self._dirichlet.concentration
             )
+        if self._sketches is not None:
+            summary["sketches"] = self._sketches.stats()
         return summary
 
     def query_batch(
@@ -536,13 +708,15 @@ class InflexIndex:
                 sim_workers=config.effective_simulation_workers,
                 seed=config.seed,
             )
-        return InflexIndex(
+        updated = InflexIndex(
             self._graph,
             np.vstack([self._points, point]),
             self._seed_lists + [seed_list],
             self._config,
             dirichlet=self._dirichlet,
         )
+        updated.attach_sketches(self._sketches)
+        return updated
 
     def with_added_points(
         self, gammas, seed_lists: list[SeedList] | None = None
@@ -582,13 +756,15 @@ class InflexIndex:
             raise ValueError(
                 f"{len(seed_lists)} seed lists for {num_new} new points"
             )
-        return InflexIndex(
+        updated = InflexIndex(
             self._graph,
             np.vstack([self._points, points]),
             self._seed_lists + list(seed_lists),
             self._config,
             dirichlet=self._dirichlet,
         )
+        updated.attach_sketches(self._sketches)
+        return updated
 
     def without_point(self, index_point_id: int) -> "InflexIndex":
         """A new index with one index point removed.
@@ -607,13 +783,15 @@ class InflexIndex:
         keep = [
             i for i in range(self.num_index_points) if i != index_point_id
         ]
-        return InflexIndex(
+        updated = InflexIndex(
             self._graph,
             self._points[keep],
             [self._seed_lists[i] for i in keep],
             self._config,
             dirichlet=self._dirichlet,
         )
+        updated.attach_sketches(self._sketches)
+        return updated
 
     def coverage_of(self, gamma) -> float:
         """KL divergence of the nearest index point to ``gamma``.

@@ -87,11 +87,15 @@ class TimAnswer:
     epsilon_match:
         Whether the answer came from an epsilon-exact index hit.
     degraded:
-        ``True`` when a deadline expired mid-evaluation and the answer
-        was short-circuited to the nearest neighbor's precomputed list
-        instead of the full weighted aggregation.  The seeds are still
-        valid (they are what ``k=1`` neighborhood aggregation would
-        return) but below the strategy's usual quality.
+        ``True`` when the full evaluation was short-circuited: a
+        deadline expired mid-evaluation, or the query landed farther
+        from every index point than the sketch bank's fallback
+        threshold.  The seeds are still valid but come from a cheaper
+        path — the nearest neighbor's precomputed list, or a composed
+        sketch answer when a bank is attached.
+    reason:
+        Machine-readable cause of the degradation: ``"deadline"`` or
+        ``"distance"``.  ``None`` for full-quality answers.
     """
 
     seeds: SeedList
@@ -103,6 +107,7 @@ class TimAnswer:
     timing: QueryTiming = field(default_factory=QueryTiming)
     epsilon_match: bool = False
     degraded: bool = False
+    reason: str | None = None
 
     def __post_init__(self) -> None:
         if len(self.neighbor_ids) != len(self.neighbor_divergences):

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.index import STRATEGIES
+from repro.core.index import RETRIEVAL_STRATEGIES as STRATEGIES
 from repro.experiments.context import ExperimentContext
 from repro.experiments.reporting import format_series
 

@@ -269,6 +269,30 @@ CAMPAIGN_ALLOCATE_SECONDS = _REGISTRY.histogram(
     "Wall clock of one campaign allocation (oracle sampling + greedy)",
 )
 
+# -- per-topic sketch bank ----------------------------------------------
+SKETCH_COMPOSES = _REGISTRY.counter(
+    "repro_sketch_composes_total",
+    "Sketch compositions evaluated (strategy=sketch plus fallbacks)",
+)
+SKETCH_COMPOSE_SECONDS = _REGISTRY.histogram(
+    "repro_sketch_compose_seconds",
+    "Wall clock of one gamma-weighted sketch composition",
+)
+SKETCH_FALLBACKS = _REGISTRY.counter(
+    "repro_sketch_fallbacks_total",
+    "Degraded answers upgraded to composed sketches, by reason "
+    "(distance/deadline)",
+    labels=("reason",),
+)
+SKETCH_POOL_SETS = _REGISTRY.gauge(
+    "repro_sketch_pool_sets",
+    "Total RR sets held by the attached sketch bank (Z pools x S sets)",
+)
+SKETCH_REFRESHES = _REGISTRY.counter(
+    "repro_sketch_refreshes_total",
+    "Sketch-bank refreshes applied after streaming deltas",
+)
+
 # -- parallel spread engine ---------------------------------------------
 SIM_CHUNKS = _REGISTRY.counter(
     "repro_sim_chunks_dispatched_total",
@@ -698,6 +722,43 @@ def campaign_allocate_span(algorithm: str, items: int, k: int):
         CAMPAIGN_ITEMS.observe(items)
         if span.duration is not None:
             CAMPAIGN_ALLOCATE_SECONDS.observe(span.duration)
+
+
+_SKETCH_FALLBACK_COUNTERS: dict = {}
+
+
+def record_sketch_compose(seconds: float | None) -> None:
+    """Count one sketch composition and its wall clock."""
+    if not STATE.enabled:
+        return
+    SKETCH_COMPOSES.inc()
+    if seconds is not None:
+        SKETCH_COMPOSE_SECONDS.observe(seconds)
+
+
+def record_sketch_fallback(reason: str) -> None:
+    """Count one sketch-upgraded degraded answer (by trigger reason)."""
+    if not STATE.enabled:
+        return
+    counter = _SKETCH_FALLBACK_COUNTERS.get(reason)
+    if counter is None:
+        counter = SKETCH_FALLBACKS.labels(reason=reason)
+        _SKETCH_FALLBACK_COUNTERS[reason] = counter
+    counter.inc()
+
+
+def set_sketch_pool(total_sets: int) -> None:
+    """Publish the attached sketch bank's total RR-set count."""
+    if not STATE.enabled:
+        return
+    SKETCH_POOL_SETS.set(total_sets)
+
+
+def record_sketch_refresh() -> None:
+    """Count one streaming-driven sketch-bank refresh."""
+    if not STATE.enabled:
+        return
+    SKETCH_REFRESHES.inc()
 
 
 def record_simulations(count: int) -> None:

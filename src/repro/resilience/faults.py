@@ -24,6 +24,8 @@ chunk        simulation worker chunk         ``call``, ``chunk``, ``attempt``
 checkpoint   builder per-item checkpoint     ``item``
 save-index   ``save_index`` tmp→rename step  (none)
 index-load   ``load_index`` after read       (none)
+save-sketches  ``save_sketches`` tmp→rename  (none)
+sketches-load  ``load_sketches`` after read  (none)
 delta-apply  streaming batch application     ``batch``
 resample     per-point RR-set resampling     ``batch``, ``point``
 worker       fleet worker query handling     ``shard``, ``request``
@@ -63,6 +65,8 @@ SITES = (
     "checkpoint",
     "save-index",
     "index-load",
+    "save-sketches",
+    "sketches-load",
     "delta-apply",
     "resample",
     "worker",
@@ -75,6 +79,8 @@ SITE_MODES = {
     "checkpoint": ("truncate",),
     "save-index": ("crash",),
     "index-load": ("bitflip", "error"),
+    "save-sketches": ("crash",),
+    "sketches-load": ("bitflip", "error"),
     "delta-apply": ("error",),
     "resample": ("error",),
     # Fleet chaos (docs/FLEET.md): ``worker`` fires in a fleet worker's

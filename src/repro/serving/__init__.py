@@ -44,7 +44,12 @@ from repro.serving.batcher import (
     QueueFullError,
 )
 from repro.serving.fleet import Fleet, WorkerHandle, serve_fleet
-from repro.serving.loadgen import LoadReport, build_query_mix, run_loadgen
+from repro.serving.loadgen import (
+    LoadReport,
+    build_far_mix,
+    build_query_mix,
+    run_loadgen,
+)
 from repro.serving.protocol import HttpRequest, ProtocolError
 from repro.serving.server import QueryServer, serve
 from repro.serving.shared_index import attach_index, publish_index
@@ -75,6 +80,7 @@ __all__ = [
     "SingleFlight",
     "WorkerHandle",
     "attach_index",
+    "build_far_mix",
     "build_query_mix",
     "parse_prometheus",
     "publish_index",

@@ -28,6 +28,15 @@ A ``campaign_mix`` fraction routes that share of requests to ``POST
 instead of ``/query``: campaign bodies are sliding ``campaign_items``
 windows over the same Dirichlet pool, so the mixed workload stays
 fully seeded and reproducible.
+
+A ``far_mix`` fraction sends *far* queries: spiky Dirichlet samples
+ranked by their min-KL distance to every index point of the served
+index (pass its ``index_points``), keeping the most distant ones.
+Far queries are where INFLEX's neighbor lists are least transferable —
+the regime that trips the distance-fallback upgrade to composed
+sketches (``docs/SKETCHES.md``).  The report breaks out far-query
+degradation and the server's machine-readable degradation reasons
+(``deadline`` vs ``distance``).
 """
 
 from __future__ import annotations
@@ -60,7 +69,10 @@ class LoadReport:
     throughput_qps: float
     latency_ms: dict = field(default_factory=dict)
     degraded: int = 0
+    degraded_reasons: dict = field(default_factory=dict)
     campaign_requests: int = 0
+    far_requests: int = 0
+    far_degraded: int = 0
     cache_hit_rate: float | None = None
     coalesced: int | None = None
     status_counts: dict = field(default_factory=dict)
@@ -82,7 +94,10 @@ class LoadReport:
             "shed_rate": round(self.shed_rate, 4),
             "errors": self.errors,
             "degraded": self.degraded,
+            "degraded_reasons": dict(self.degraded_reasons),
             "campaign_requests": self.campaign_requests,
+            "far_requests": self.far_requests,
+            "far_degraded": self.far_degraded,
             "throughput_qps": round(self.throughput_qps, 1),
             "latency_ms": self.latency_ms,
             "cache_hit_rate": self.cache_hit_rate,
@@ -105,6 +120,17 @@ class LoadReport:
             f"throughput: {self.throughput_qps:.1f} qps, "
             f"shed rate: {100 * self.shed_rate:.1f}%",
         ]
+        if self.far_requests:
+            lines.append(
+                f"far queries: {self.far_requests} "
+                f"({self.far_degraded} degraded)"
+            )
+        if self.degraded_reasons:
+            reasons = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(self.degraded_reasons.items())
+            )
+            lines.append(f"degraded reasons: {reasons}")
         if self.latency_ms:
             lines.append(
                 "latency (ms): p50={p50:.2f} p95={p95:.2f} p99={p99:.2f} "
@@ -148,6 +174,49 @@ def build_query_mix(
     pool = rng.dirichlet(np.full(num_topics, alpha), size=num_distinct)
     weights = 1.0 / np.arange(1, num_distinct + 1, dtype=np.float64) ** skew
     return pool, weights / weights.sum()
+
+
+#: Dirichlet concentration of far-mix candidates: spiky corner-hugging
+#: mixes, the shape most distant from an interior point cloud.
+_FAR_ALPHA = 0.15
+
+#: Candidate oversampling factor of :func:`build_far_mix`.
+_FAR_CANDIDATES_PER = 8
+
+
+def build_far_mix(
+    num_topics: int,
+    index_points,
+    *,
+    num_distinct: int = 64,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Queries far (by min-KL) from *every* index point.
+
+    Oversamples spiky Dirichlet candidates, computes each candidate's
+    minimum ``KL(q || p)`` over the index points ``p`` (the direction
+    the index's own search ranks neighbors by), and keeps the
+    ``num_distinct`` most distant.  Returns ``(pool, min_kl)`` with
+    ``min_kl[i]`` the kept query ``i``'s distance to its *closest*
+    index point — the gap no neighbor list can close.
+    """
+    points = np.asarray(index_points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != num_topics:
+        raise ValueError(
+            f"index_points must be (h, {num_topics}), got shape "
+            f"{points.shape}"
+        )
+    rng = np.random.default_rng([seed, 2])
+    count = num_distinct * _FAR_CANDIDATES_PER
+    candidates = rng.dirichlet(np.full(num_topics, _FAR_ALPHA), size=count)
+    q = np.clip(candidates, 1e-12, None)
+    q /= q.sum(axis=1, keepdims=True)
+    p = np.clip(points, 1e-12, None)
+    p /= p.sum(axis=1, keepdims=True)
+    entropy = np.sum(q * np.log(q), axis=1)
+    min_kl = (entropy[:, None] - q @ np.log(p).T).min(axis=1)
+    order = np.argsort(-min_kl, kind="stable")[:num_distinct]
+    return candidates[order], min_kl[order]
 
 
 class _Connection:
@@ -243,6 +312,8 @@ async def run_loadgen(
     campaign_mix: float = 0.0,
     campaign_items: int = 3,
     campaign_k: int | None = None,
+    far_mix: float = 0.0,
+    index_points=None,
 ) -> LoadReport:
     """Drive the server and return a :class:`LoadReport`.
 
@@ -252,6 +323,10 @@ async def run_loadgen(
     fraction of the traffic to ``POST /campaign``, each request
     carrying ``campaign_items`` distributions from the pool and a
     total budget of ``campaign_k`` (default: ``k``) seeds.
+    ``far_mix`` in [0, 1] diverts that fraction to far queries built
+    by :func:`build_far_mix` over ``index_points`` (required when
+    ``far_mix > 0``); campaign and far fractions share the unit
+    interval, so their sum must stay within it.
     """
     if mode not in ("closed", "open"):
         raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
@@ -269,6 +344,15 @@ async def run_loadgen(
         raise ValueError(
             f"campaign_items must be >= 1, got {campaign_items}"
         )
+    if not 0.0 <= far_mix <= 1.0:
+        raise ValueError(f"far_mix must be in [0, 1], got {far_mix}")
+    if campaign_mix + far_mix > 1.0:
+        raise ValueError(
+            f"campaign_mix + far_mix must be <= 1, got "
+            f"{campaign_mix + far_mix}"
+        )
+    if far_mix > 0.0 and index_points is None:
+        raise ValueError("far_mix needs the served index's index_points")
 
     control = _Connection(host, port)
     if num_topics is None:
@@ -330,6 +414,33 @@ async def run_loadgen(
                     }
                 )
             )
+    # Far bodies: the most distant corner of the simplex, where every
+    # neighbor list transfers worst (and sketch fallbacks kick in).
+    far_bodies: list[bytes] = []
+    far_min_kl = None
+    if far_mix > 0.0:
+        far_pool, far_distances = build_far_mix(
+            num_topics,
+            index_points,
+            num_distinct=num_distinct,
+            seed=seed,
+        )
+        far_min_kl = round(float(far_distances.min()), 4)
+        far_bodies = [
+            json_body(
+                {
+                    "gamma": [round(float(v), 6) for v in row],
+                    "k": k,
+                    "strategy": strategy,
+                    **(
+                        {"deadline_ms": deadline_ms}
+                        if deadline_ms is not None
+                        else {}
+                    ),
+                }
+            )
+            for row in far_pool
+        ]
     draw_rng = np.random.default_rng(seed + 1)
 
     before = await _scrape_counters(control)
@@ -337,38 +448,59 @@ async def run_loadgen(
     latencies: list[float] = []
     status_counts: dict[int, int] = {}
     degraded = 0
+    degraded_reasons: dict[str, int] = {}
     errors = 0
     campaign_requests = 0
+    far_requests = 0
+    far_degraded = 0
 
-    def _record(status: int, latency_s: float, payload: bytes) -> None:
-        nonlocal degraded
+    def _record(
+        status: int, latency_s: float, payload: bytes, *, far: bool = False
+    ) -> None:
+        nonlocal degraded, far_degraded
         status_counts[status] = status_counts.get(status, 0) + 1
         if status == 200:
             latencies.append(latency_s)
             if b'"degraded":true' in payload:
                 degraded += 1
+                if far:
+                    far_degraded += 1
+                for reason in ("deadline", "distance"):
+                    if f'"reason":"{reason}"'.encode() in payload:
+                        degraded_reasons[reason] = (
+                            degraded_reasons.get(reason, 0) + 1
+                        )
+                        break
+
+    def _draw_request(rng) -> tuple[str, bytes, str]:
+        """One seeded traffic draw: ``(target, body, kind)``.
+
+        A single uniform splits the stream into campaign / far /
+        regular slices, and a single pool draw indexes whichever pool
+        was picked — the rng consumption is identical on every path,
+        so each slice's sequence is stable under the mix fractions.
+        """
+        u = rng.random()
+        draw = int(rng.choice(len(bodies), p=probabilities))
+        if campaign_bodies and u < campaign_mix:
+            return "/campaign", campaign_bodies[draw], "campaign"
+        if far_bodies and u < campaign_mix + far_mix:
+            return "/query", far_bodies[draw % len(far_bodies)], "far"
+        return "/query", bodies[draw], "query"
 
     started = time.monotonic()
     ends = started + duration_s
 
     if mode == "closed":
         async def worker(worker_id: int) -> None:
-            nonlocal errors, campaign_requests
+            nonlocal errors, campaign_requests, far_requests
             conn = _Connection(host, port)
             # Per-worker stream: the mix each worker draws is stable
             # across runs regardless of scheduling interleavings.
             rng = np.random.default_rng([seed + 1, worker_id])
             try:
                 while time.monotonic() < ends:
-                    is_campaign = (
-                        campaign_bodies
-                        and rng.random() < campaign_mix
-                    )
-                    draw = int(rng.choice(len(bodies), p=probabilities))
-                    if is_campaign:
-                        target, body = "/campaign", campaign_bodies[draw]
-                    else:
-                        target, body = "/query", bodies[draw]
+                    target, body, kind = _draw_request(rng)
                     sent = time.monotonic()
                     try:
                         status, _, payload = await conn.request(
@@ -378,9 +510,16 @@ async def run_loadgen(
                             asyncio.IncompleteReadError):
                         errors += 1
                         continue
-                    if is_campaign:
+                    if kind == "campaign":
                         campaign_requests += 1
-                    _record(status, time.monotonic() - sent, payload)
+                    elif kind == "far":
+                        far_requests += 1
+                    _record(
+                        status,
+                        time.monotonic() - sent,
+                        payload,
+                        far=kind == "far",
+                    )
             finally:
                 conn.close()
 
@@ -396,9 +535,13 @@ async def run_loadgen(
         tasks = []
 
         async def fire(
-            scheduled: float, target: str, body: bytes, conn: _Connection
+            scheduled: float,
+            target: str,
+            body: bytes,
+            kind: str,
+            conn: _Connection,
         ):
-            nonlocal errors, campaign_requests
+            nonlocal errors, campaign_requests, far_requests
             delay = scheduled - time.monotonic()
             if delay > 0:
                 await asyncio.sleep(delay)
@@ -411,26 +554,29 @@ async def run_loadgen(
                         asyncio.IncompleteReadError):
                     errors += 1
                     return
-            if target == "/campaign":
+            if kind == "campaign":
                 campaign_requests += 1
-            _record(status, time.monotonic() - scheduled, payload)
+            elif kind == "far":
+                far_requests += 1
+            _record(
+                status,
+                time.monotonic() - scheduled,
+                payload,
+                far=kind == "far",
+            )
 
         n = 0
         while True:
             scheduled = started + n * interval
             if scheduled >= ends:
                 break
-            is_campaign = (
-                campaign_bodies and draw_rng.random() < campaign_mix
-            )
-            draw = int(draw_rng.choice(len(bodies), p=probabilities))
-            if is_campaign:
-                target, body = "/campaign", campaign_bodies[draw]
-            else:
-                target, body = "/query", bodies[draw]
+            target, body, kind = _draw_request(draw_rng)
             tasks.append(
                 asyncio.ensure_future(
-                    fire(scheduled, target, body, conns[n % concurrency])
+                    fire(
+                        scheduled, target, body, kind,
+                        conns[n % concurrency],
+                    )
                 )
             )
             n += 1
@@ -480,7 +626,10 @@ async def run_loadgen(
         shed=shed,
         errors=errors,
         degraded=degraded,
+        degraded_reasons=degraded_reasons,
         campaign_requests=campaign_requests,
+        far_requests=far_requests,
+        far_degraded=far_degraded,
         throughput_qps=ok / elapsed if elapsed > 0 else 0.0,
         latency_ms=latency_ms,
         cache_hit_rate=cache_hit_rate,
@@ -505,5 +654,7 @@ async def run_loadgen(
                 if campaign_mix
                 else None
             ),
+            "far_mix": far_mix,
+            "far_min_kl": far_min_kl,
         },
     )

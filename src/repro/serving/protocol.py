@@ -20,7 +20,8 @@ The JSON shapes are deliberately flat:
 * answer (one per query)::
 
       {"seeds": [4, 17, ...], "strategy": "inflex",
-       "epsilon_match": false, "degraded": false,
+       "algorithm": "inflex", "epsilon_match": false,
+       "degraded": false, "reason": null,
        "num_neighbors_used": 3, "timing_ms": 1.92,
        "cache_hit": true, "coalesced": false}
 
@@ -184,12 +185,20 @@ def error_body(message: str) -> bytes:
 def answer_to_dict(
     answer, *, cache_hit: bool = False, coalesced: bool = False
 ) -> dict:
-    """The wire form of a :class:`~repro.core.query.TimAnswer`."""
+    """The wire form of a :class:`~repro.core.query.TimAnswer`.
+
+    ``algorithm`` names the producing path (e.g. ``"sketch"``,
+    ``"inflex:degraded"``, ``"sketch:fallback"``) and ``reason`` is the
+    machine-readable degradation cause (``"deadline"``/``"distance"``,
+    ``None`` for full-quality answers).
+    """
     return {
         "seeds": list(answer.seeds.nodes),
         "strategy": answer.strategy,
+        "algorithm": answer.seeds.algorithm,
         "epsilon_match": bool(answer.epsilon_match),
         "degraded": bool(answer.degraded),
+        "reason": answer.reason,
         "num_neighbors_used": answer.num_neighbors_used,
         "timing_ms": round(answer.timing.total * 1000.0, 4),
         "cache_hit": bool(cache_hit),

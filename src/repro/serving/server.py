@@ -188,6 +188,7 @@ class QueryServer:
             jitter=self.config.retry_jitter,
         )
         self._shed_counter = itertools.count()
+        self._degraded_reasons: dict[str, int] = {}
         self._executor: concurrent.futures.ThreadPoolExecutor | None = None
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.StreamWriter] = set()
@@ -318,6 +319,7 @@ class QueryServer:
         cached = self.cache.lookup(key)
         if cached is not None:
             payload = answer_to_dict(cached, cache_hit=True)
+            self._note_answer(payload)
             if info is not None:
                 self._fill_info(info, gamma, k, strategy, cached, payload, None)
             return payload
@@ -343,10 +345,24 @@ class QueryServer:
 
         answer, leader = await self.singleflight.run(key, compute)
         payload = answer_to_dict(answer, coalesced=not leader)
+        self._note_answer(payload)
         if info is not None:
             batch_id = submitted[0].batch_id if submitted else None
             self._fill_info(info, gamma, k, strategy, answer, payload, batch_id)
         return payload
+
+    def _note_answer(self, payload: dict) -> None:
+        """Tally degraded answers by machine-readable reason.
+
+        Surfaced as ``degraded_reasons`` in ``/stats`` so an operator
+        can tell deadline pressure (capacity problem) apart from
+        distance fallbacks (index-coverage problem) at a glance.
+        """
+        if payload.get("degraded") and payload.get("reason"):
+            reason = str(payload["reason"])
+            self._degraded_reasons[reason] = (
+                self._degraded_reasons.get(reason, 0) + 1
+            )
 
     @staticmethod
     def _fill_info(
@@ -965,7 +981,10 @@ class QueryServer:
                 "slow_total": self.flight.slow_total,
             },
             "slo": self.slo.status(),
+            "degraded_reasons": dict(self._degraded_reasons),
         }
+        if self.index.sketches is not None:
+            summary["sketches"] = self.index.sketches.stats()
         if self._planner is not None:
             summary["campaign"] = {
                 "cached_oracles": self._planner.cached_oracles,

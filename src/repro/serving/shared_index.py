@@ -80,7 +80,34 @@ def publish_index(index: InflexIndex, *, prefix: str = "repro-fleet"):
         "algorithms": algorithms,
         "config": index.config,
     }
+    if index.sketches is not None:
+        # The sketch bank rides along in its own segments so every
+        # worker answers strategy="sketch" (and serves the same
+        # fallback upgrades) from the same shared pools.
+        from repro.sketches.shared import publish_sketches
+
+        sketch_payload, sketch_spec = publish_sketches(
+            index.sketches, prefix=f"{prefix}-sketches"
+        )
+        spec["sketches"] = sketch_spec
+        return _CompositePayload(payload, sketch_payload), spec
     return payload, spec
+
+
+class _CompositePayload:
+    """Two payloads (index + sketch bank) released as one.
+
+    Quacks like :class:`~repro.propagation.parallel._GraphPayload` for
+    the fleet's ownership bookkeeping (it only ever calls
+    ``release()``).
+    """
+
+    def __init__(self, *payloads) -> None:
+        self._payloads = payloads
+
+    def release(self) -> None:
+        for payload in self._payloads:
+            payload.release()
 
 
 def attach_index(spec) -> InflexIndex:
@@ -117,7 +144,12 @@ def attach_index(spec) -> InflexIndex:
     config = spec["config"]
     if not isinstance(config, InflexConfig):  # pragma: no cover - defensive
         config = InflexConfig(**dict(config))
-    return InflexIndex(graph, arrays["index_points"], seed_lists, config)
+    index = InflexIndex(graph, arrays["index_points"], seed_lists, config)
+    if spec.get("sketches") is not None:
+        from repro.sketches.shared import attach_sketches
+
+        index.attach_sketches(attach_sketches(spec["sketches"]))
+    return index
 
 
 def attach_kind(spec) -> str:

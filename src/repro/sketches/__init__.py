@@ -1,0 +1,19 @@
+"""Per-topic composable RR sketches — the second online strategy.
+
+A preprocessing-based answering engine competing with INFLEX's bb-tree
+retrieval: one topic-marginal RR pool per topic, composed at query time
+for any ``gamma_q`` by mixture weighting (see :mod:`repro.sketches.bank`
+and ``docs/SKETCHES.md``).
+"""
+
+from repro.sketches.bank import SketchBank
+from repro.sketches.persistence import load_sketches, save_sketches
+from repro.sketches.shared import attach_sketches, publish_sketches
+
+__all__ = [
+    "SketchBank",
+    "attach_sketches",
+    "load_sketches",
+    "publish_sketches",
+    "save_sketches",
+]

@@ -1,0 +1,59 @@
+"""Publishing a sketch bank to shared memory for fleet workers.
+
+Built on the same payload machinery as the graph and index publications
+(:func:`repro.propagation.parallel.publish_arrays`): the publisher owns
+one :class:`~repro.propagation.parallel._GraphPayload` holding the
+bank's four storage arrays, and every worker attaches the segments
+zero-copy from the small picklable spec.  The serving fleet bundles the
+sketch spec inside the index spec (see
+:mod:`repro.serving.shared_index`), so a respawned worker re-attaches
+both from the same message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+from repro.core.config import SketchConfig
+from repro.propagation.parallel import attach_arrays, publish_arrays
+from repro.sketches.bank import SketchBank
+
+
+def publish_sketches(bank: SketchBank, *, prefix: str = "repro-sketches"):
+    """Publish ``bank`` for other processes; returns ``(payload, spec)``.
+
+    The caller owns the payload and must ``release()`` it once every
+    worker is gone; ``spec`` is a small picklable dict any process can
+    resolve with :func:`attach_sketches`.
+    """
+    arrays = bank.arrays()
+    payload = publish_arrays(
+        (
+            arrays["values"],
+            arrays["pool_offsets"],
+            arrays["indptr_matrix"],
+            arrays["roots_matrix"],
+        ),
+        prefix=prefix,
+    )
+    spec = {
+        "payload": payload.spec,
+        "num_nodes": bank.num_nodes,
+        "config": asdict(bank.config),
+    }
+    return payload, spec
+
+
+def attach_sketches(spec) -> SketchBank:
+    """Resolve a :func:`publish_sketches` spec into a bank (zero-copy)."""
+    values, pool_offsets, indptr_matrix, roots_matrix = attach_arrays(
+        spec["payload"]
+    )
+    return SketchBank(
+        values,
+        pool_offsets,
+        indptr_matrix,
+        roots_matrix,
+        int(spec["num_nodes"]),
+        SketchConfig(**spec["config"]),
+    )

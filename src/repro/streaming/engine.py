@@ -16,12 +16,26 @@ On construction the engine re-derives every seed list from its own
 sketches, so answers are consistent with the maintained state from the
 first query on (the build-time lists may come from a different engine
 or RNG stream than the maintainer's).
+
+When the wrapped index carries a per-topic
+:class:`~repro.sketches.SketchBank`, a second maintainer tracks the
+``Z`` single-topic pools (index points = the identity matrix) through
+the same delta stream, so ``strategy="sketch"`` answers and the
+distance/deadline fallback upgrades stay fresh on hot-swaps too.  The
+bank is likewise re-derived from the maintainer's own RNG streams at
+construction, trading bit-compatibility with the on-disk bank for the
+differential guarantee: the served bank after any delta sequence is
+bit-identical to one rebuilt from scratch on the final graph.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.index import InflexIndex
+from repro.obs import instruments as _obs
 from repro.obs.logs import get_logger
+from repro.resilience.faults import FaultPlan
 from repro.streaming.deltas import DeltaBatch
 from repro.streaming.maintainer import ApplyReport, IncrementalSketchMaintainer
 from repro.streaming.subscriptions import SubscriptionRegistry
@@ -75,7 +89,38 @@ class StreamingEngine:
         )
         self._registry = SubscriptionRegistry(max_pending=max_pending)
         self._template = index
+        self._sketch_maintainer = None
+        self._bank = None
+        if index.sketches is not None:
+            # One pool per topic: the identity rows are the e_z "index
+            # points" of the composable bank.  The main maintainer runs
+            # the batch first and fires any scripted faults pre-commit,
+            # so this one is shielded (empty plan beats the env plan) —
+            # either both maintainers advance or neither does.
+            self._sketch_config = index.sketches.config
+            self._sketch_maintainer = IncrementalSketchMaintainer(
+                index.graph,
+                np.eye(index.graph.num_topics),
+                num_sets=self._sketch_config.num_sets,
+                seed_list_length=1,
+                seed=self._sketch_config.seed,
+                decay_rate=decay_rate,
+                workers=workers,
+                fault_plan=FaultPlan(),
+            )
+            self._bank = self._rebuild_bank()
         self._index = self._rebuild_index()
+
+    def _rebuild_bank(self):
+        """Pack the sketch maintainer's live pools into a fresh bank."""
+        from repro.sketches import SketchBank
+
+        maintainer = self._sketch_maintainer
+        return SketchBank.from_collections(
+            [collection.sets for collection in maintainer.rr_collections],
+            maintainer.graph.num_nodes,
+            self._sketch_config,
+        )
 
     def _rebuild_index(self) -> InflexIndex:
         """A fresh index over the maintainer's current seed lists.
@@ -86,7 +131,7 @@ class StreamingEngine:
         and the graph reference — are new.
         """
         template = self._template
-        return InflexIndex(
+        index = InflexIndex(
             self._maintainer.graph,
             template.index_points,
             list(self._maintainer.seed_lists),
@@ -94,6 +139,9 @@ class StreamingEngine:
             dirichlet=template.dirichlet,
             tree=template.tree,
         )
+        if self._bank is not None:
+            index.attach_sketches(self._bank)
+        return index
 
     # ------------------------------------------------------------------
     # Accessors
@@ -127,6 +175,15 @@ class StreamingEngine:
         if not isinstance(batch, DeltaBatch):
             batch = DeltaBatch.from_dict(batch)
         report = self._maintainer.apply_batch(batch)
+        if self._sketch_maintainer is not None:
+            # The main maintainer validated the batch and committed, so
+            # this (fault-shielded) apply cannot fail; the per-topic
+            # pools advance to the same stream clock.
+            sketch_report = self._sketch_maintainer.apply_batch(batch)
+            if sketch_report.rr_sets_resampled or sketch_report.decayed:
+                self._bank = self._rebuild_bank()
+                self._index.attach_sketches(self._bank)
+                _obs.record_sketch_refresh()
         if report.changed_points or report.decayed:
             self._index = self._rebuild_index()
         updates = self._registry.notify(
@@ -167,10 +224,13 @@ class StreamingEngine:
 
     def stats(self) -> dict:
         """Combined maintainer + registry counters (JSON-friendly)."""
-        return {
+        summary = {
             "maintainer": self._maintainer.stats(),
             "subscriptions": self._registry.stats(),
         }
+        if self._sketch_maintainer is not None:
+            summary["sketch_maintainer"] = self._sketch_maintainer.stats()
+        return summary
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
